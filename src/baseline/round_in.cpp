@@ -1,0 +1,36 @@
+#include "baseline/round_in.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace dalut::baseline {
+
+RoundIn::RoundIn(const core::MultiOutputFunction& g, unsigned dropped_bits)
+    : num_inputs_(g.num_inputs()),
+      num_outputs_(g.num_outputs()),
+      dropped_bits_(dropped_bits) {
+  assert(dropped_bits >= 1 && dropped_bits < g.num_inputs());
+  const std::size_t block = std::size_t{1} << dropped_bits;
+  table_.resize(table_entries());
+  std::vector<core::OutputWord> outputs(block);
+  for (std::size_t entry = 0; entry < table_.size(); ++entry) {
+    const core::InputWord base =
+        static_cast<core::InputWord>(entry << dropped_bits);
+    for (std::size_t offset = 0; offset < block; ++offset) {
+      outputs[offset] = g.value(base + static_cast<core::InputWord>(offset));
+    }
+    // Median output of the block (lower median for even block sizes).
+    std::nth_element(outputs.begin(), outputs.begin() + (block - 1) / 2,
+                     outputs.end());
+    table_[entry] = outputs[(block - 1) / 2];
+  }
+}
+
+std::vector<core::OutputWord> RoundIn::values() const {
+  std::vector<core::OutputWord> all(std::size_t{1} << num_inputs_);
+  for (core::InputWord x = 0; x < all.size(); ++x) all[x] = eval(x);
+  return all;
+}
+
+}  // namespace dalut::baseline

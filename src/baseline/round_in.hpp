@@ -1,0 +1,35 @@
+// RoundIn baseline (Sec. V-B): rounds off w input bits. The inputs are
+// partitioned into blocks of 2^w adjacent codes; every code in a block reads
+// the block's *median* output from a 2^(n-w)-entry LUT of m-bit words.
+#pragma once
+
+#include "core/input_distribution.hpp"
+#include "core/multi_output_function.hpp"
+
+namespace dalut::baseline {
+
+class RoundIn {
+ public:
+  /// Drops the w least significant input bits of g (0 < w < n).
+  RoundIn(const core::MultiOutputFunction& g, unsigned dropped_bits);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  unsigned num_outputs() const noexcept { return num_outputs_; }
+  unsigned dropped_bits() const noexcept { return dropped_bits_; }
+  std::size_t table_entries() const noexcept {
+    return std::size_t{1} << (num_inputs_ - dropped_bits_);
+  }
+
+  core::OutputWord eval(core::InputWord x) const noexcept {
+    return table_[x >> dropped_bits_];
+  }
+  std::vector<core::OutputWord> values() const;
+
+ private:
+  unsigned num_inputs_;
+  unsigned num_outputs_;
+  unsigned dropped_bits_;
+  std::vector<core::OutputWord> table_;
+};
+
+}  // namespace dalut::baseline

@@ -1,0 +1,36 @@
+#include "baseline/round_out.hpp"
+
+#include <cassert>
+
+namespace dalut::baseline {
+
+RoundOut::RoundOut(const core::MultiOutputFunction& g, unsigned dropped_bits)
+    : num_inputs_(g.num_inputs()),
+      num_outputs_(g.num_outputs()),
+      dropped_bits_(dropped_bits) {
+  assert(dropped_bits < g.num_outputs());
+  stored_.resize(g.domain_size());
+  for (core::InputWord x = 0; x < stored_.size(); ++x) {
+    stored_[x] = g.value(x) >> dropped_bits;
+  }
+}
+
+std::vector<core::OutputWord> RoundOut::values() const {
+  std::vector<core::OutputWord> table(table_entries());
+  for (core::InputWord x = 0; x < table.size(); ++x) table[x] = eval(x);
+  return table;
+}
+
+unsigned RoundOut::choose_q(const core::MultiOutputFunction& g,
+                            const core::InputDistribution& dist,
+                            double med_floor) {
+  for (unsigned q = 1; q < g.num_outputs(); ++q) {
+    const RoundOut candidate(g, q);
+    const double med =
+        core::mean_error_distance(g, candidate.values(), dist);
+    if (med > med_floor) return q;
+  }
+  return g.num_outputs() - 1;
+}
+
+}  // namespace dalut::baseline

@@ -1,0 +1,45 @@
+// RoundOut baseline (Sec. V-B): rounds off the q output LSBs and keeps the
+// rest, implemented as a full 2^n-entry LUT of (m - q)-bit words.
+#pragma once
+
+#include "core/evaluate.hpp"
+#include "core/input_distribution.hpp"
+#include "core/multi_output_function.hpp"
+
+namespace dalut::baseline {
+
+class RoundOut {
+ public:
+  /// Drops the q least significant output bits of g (0 <= q < m).
+  RoundOut(const core::MultiOutputFunction& g, unsigned dropped_bits);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  unsigned num_outputs() const noexcept { return num_outputs_; }
+  unsigned dropped_bits() const noexcept { return dropped_bits_; }
+  /// Stored word width (m - q) and LUT entry count (2^n).
+  unsigned stored_bits() const noexcept { return num_outputs_ - dropped_bits_; }
+  std::size_t table_entries() const noexcept {
+    return std::size_t{1} << num_inputs_;
+  }
+
+  /// The approximate output: stored MSBs with the dropped LSBs read as 0.
+  core::OutputWord eval(core::InputWord x) const noexcept {
+    return static_cast<core::OutputWord>(stored_[x]) << dropped_bits_;
+  }
+  std::vector<core::OutputWord> values() const;
+
+  /// Picks the smallest q whose MED exceeds `med_floor` (the paper tunes q
+  /// per benchmark so RoundOut's MED is larger than DALTA's). Returns m-1 if
+  /// even dropping all but one bit stays below the floor.
+  static unsigned choose_q(const core::MultiOutputFunction& g,
+                           const core::InputDistribution& dist,
+                           double med_floor);
+
+ private:
+  unsigned num_inputs_;
+  unsigned num_outputs_;
+  unsigned dropped_bits_;
+  std::vector<std::uint32_t> stored_;
+};
+
+}  // namespace dalut::baseline

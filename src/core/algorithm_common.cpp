@@ -1,0 +1,73 @@
+#include "core/algorithm_common.hpp"
+
+#include <bit>
+#include <unordered_set>
+
+namespace dalut::core {
+
+namespace {
+
+/// Binomial coefficient, saturating at a large sentinel to avoid overflow.
+std::uint64_t choose(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+    if (result > (std::uint64_t{1} << 40)) return std::uint64_t{1} << 40;
+  }
+  return result;
+}
+
+}  // namespace
+
+void write_bit_to_cache(std::vector<OutputWord>& cache, unsigned k,
+                        const Setting& setting) {
+  const DecomposedBit bit = DecomposedBit::realize(setting);
+  const OutputWord mask = OutputWord{1} << k;
+  for (InputWord x = 0; x < cache.size(); ++x) {
+    if (bit.eval(x)) {
+      cache[x] |= mask;
+    } else {
+      cache[x] &= ~mask;
+    }
+  }
+}
+
+double setting_error_under_costs(const Setting& setting,
+                                 std::span<const double> c0,
+                                 std::span<const double> c1) {
+  const DecomposedBit bit = DecomposedBit::realize(setting);
+  double error = 0.0;
+  for (InputWord x = 0; x < c0.size(); ++x) {
+    error += bit.eval(x) ? c1[x] : c0[x];
+  }
+  return error;
+}
+
+std::vector<Partition> sample_partitions(unsigned num_inputs,
+                                         unsigned bound_size, unsigned count,
+                                         util::Rng& rng) {
+  const std::uint64_t space = choose(num_inputs, bound_size);
+  std::vector<Partition> result;
+
+  if (space <= count) {
+    // Enumerate the whole space.
+    const std::uint32_t full = (std::uint32_t{1} << num_inputs) - 1;
+    for (std::uint32_t mask = 1; mask < full; ++mask) {
+      if (static_cast<unsigned>(std::popcount(mask)) == bound_size) {
+        result.emplace_back(num_inputs, mask);
+      }
+    }
+    return result;
+  }
+
+  std::unordered_set<std::uint32_t> seen;
+  result.reserve(count);
+  while (result.size() < count) {
+    auto p = Partition::random(num_inputs, bound_size, rng);
+    if (seen.insert(p.bound_mask()).second) result.push_back(std::move(p));
+  }
+  return result;
+}
+
+}  // namespace dalut::core

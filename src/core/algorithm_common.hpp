@@ -1,0 +1,48 @@
+// Shared pieces of the DALTA and BS-SA decomposition drivers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/evaluate.hpp"
+#include "core/setting.hpp"
+#include "util/rng.hpp"
+
+namespace dalut::core {
+
+/// Outcome of a full approximate-decomposition run.
+struct DecompositionResult {
+  std::vector<Setting> settings;  ///< one per output bit, index = bit k
+  double med = 0.0;               ///< exact MED of the realized LUT
+  ErrorReport report;             ///< full error metrics of the realized LUT
+  double runtime_seconds = 0.0;
+  std::size_t partitions_evaluated = 0;  ///< total OptForPart partitions
+
+  /// Realizes the settings into a functional approximate LUT.
+  ApproxLut realize(unsigned num_inputs) const {
+    return ApproxLut::realize(num_inputs, settings);
+  }
+};
+
+/// Overwrites output bit k of every cached approximate value with the
+/// realized behaviour of `setting`.
+void write_bit_to_cache(std::vector<OutputWord>& cache, unsigned k,
+                        const Setting& setting);
+
+/// Exact error of an already-chosen setting under the current per-input
+/// cost arrays: realizes the setting and sums c1/c0 per its output. Used to
+/// compare an incumbent setting against freshly searched candidates so a
+/// refinement round never regresses (coordinate descent stays monotone).
+double setting_error_under_costs(const Setting& setting,
+                                 std::span<const double> c0,
+                                 std::span<const double> c1);
+
+/// Up to `count` distinct random partitions with the given bound size
+/// (fewer when the partition space is smaller than `count`).
+std::vector<Partition> sample_partitions(unsigned num_inputs,
+                                         unsigned bound_size, unsigned count,
+                                         util::Rng& rng);
+
+}  // namespace dalut::core

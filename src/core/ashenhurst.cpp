@@ -1,0 +1,117 @@
+#include "core/ashenhurst.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace dalut::core {
+
+TruthTable ExactDecomposition::phi() const {
+  TruthTable table(partition.bound_size());
+  for (InputWord c = 0; c < pattern.size(); ++c) {
+    table.set(c, pattern[c] != 0);
+  }
+  return table;
+}
+
+TruthTable ExactDecomposition::compose_f() const {
+  TruthTable table(partition.free_size() + 1);
+  for (std::uint32_t row = 0; row < types.size(); ++row) {
+    for (std::uint32_t phi_bit = 0; phi_bit < 2; ++phi_bit) {
+      bool value = false;
+      switch (types[row]) {
+        case RowType::kAllZero:
+          value = false;
+          break;
+        case RowType::kAllOne:
+          value = true;
+          break;
+        case RowType::kPattern:
+          value = phi_bit != 0;
+          break;
+        case RowType::kComplement:
+          value = phi_bit == 0;
+          break;
+      }
+      table.set((row << 1) | phi_bit, value);
+    }
+  }
+  return table;
+}
+
+bool ExactDecomposition::eval(InputWord x) const {
+  const std::uint32_t col = partition.col_of(x);
+  const std::uint32_t row = partition.row_of(x);
+  const bool phi_bit = pattern[col] != 0;
+  switch (types[row]) {
+    case RowType::kAllZero:
+      return false;
+    case RowType::kAllOne:
+      return true;
+    case RowType::kPattern:
+      return phi_bit;
+    case RowType::kComplement:
+      return !phi_bit;
+  }
+  return false;
+}
+
+std::optional<ExactDecomposition> exact_decomposition(
+    const TruthTable& f, const Partition& partition) {
+  const auto table = TwoDimTruthTable::build(f, partition);
+
+  ExactDecomposition result{partition, {}, {}};
+  result.types.assign(table.rows, RowType::kAllZero);
+  bool have_pattern = false;
+
+  for (std::size_t r = 0; r < table.rows; ++r) {
+    const std::uint8_t first = table.at(r, 0);
+    bool constant = true;
+    for (std::size_t c = 1; c < table.cols; ++c) {
+      if (table.at(r, c) != first) {
+        constant = false;
+        break;
+      }
+    }
+    if (constant) {
+      result.types[r] = first ? RowType::kAllOne : RowType::kAllZero;
+      continue;
+    }
+    if (!have_pattern) {
+      // First non-constant row defines V.
+      result.pattern.resize(table.cols);
+      for (std::size_t c = 0; c < table.cols; ++c) {
+        result.pattern[c] = table.at(r, c);
+      }
+      have_pattern = true;
+      result.types[r] = RowType::kPattern;
+      continue;
+    }
+    bool matches = true;
+    bool complements = true;
+    for (std::size_t c = 0; c < table.cols; ++c) {
+      if (table.at(r, c) != result.pattern[c]) matches = false;
+      if (table.at(r, c) == result.pattern[c]) complements = false;
+      if (!matches && !complements) return std::nullopt;
+    }
+    result.types[r] = matches ? RowType::kPattern : RowType::kComplement;
+  }
+
+  if (!have_pattern) {
+    // All rows constant: f is independent of B; any V works. Use all-zero.
+    result.pattern.assign(table.cols, 0);
+  }
+  return result;
+}
+
+bool has_exact_decomposition(const TruthTable& f, unsigned bound_size) {
+  const unsigned n = f.num_inputs();
+  assert(bound_size >= 1 && bound_size < n);
+  const std::uint32_t full = (std::uint32_t{1} << n) - 1;
+  for (std::uint32_t mask = 1; mask < full; ++mask) {
+    if (std::popcount(mask) != static_cast<int>(bound_size)) continue;
+    if (exact_decomposition(f, Partition(n, mask)).has_value()) return true;
+  }
+  return false;
+}
+
+}  // namespace dalut::core

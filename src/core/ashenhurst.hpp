@@ -1,0 +1,39 @@
+// Exact Ashenhurst disjoint decomposition (Theorem 1).
+//
+// A function f has a disjoint decomposition F(phi(B), A) iff every row of
+// the 2D truth table is all-0, all-1, the pattern V, or its complement.
+// This module tests the condition, extracts (V, T), and rebuilds phi and F -
+// used by the paper-example programs and as a ground truth for tests.
+#pragma once
+
+#include <optional>
+
+#include "core/setting.hpp"
+#include "core/two_dim_table.hpp"
+
+namespace dalut::core {
+
+struct ExactDecomposition {
+  Partition partition;
+  std::vector<std::uint8_t> pattern;  ///< V: truth table of phi over B
+  std::vector<RowType> types;         ///< T: defines F over (phi, A)
+
+  /// phi(B) as a truth table over the bound inputs (packed column index).
+  TruthTable phi() const;
+  /// F(phi, A): input code = (row << 1) | phi.
+  TruthTable compose_f() const;
+  /// Evaluates F(phi(B), A) on an original input code.
+  bool eval(InputWord x) const;
+};
+
+/// Returns the decomposition if f is exactly decomposable under `partition`
+/// (Theorem 1 check), nullopt otherwise. Constant rows are typed
+/// AllZero/AllOne; V is taken from the first non-constant row.
+std::optional<ExactDecomposition> exact_decomposition(
+    const TruthTable& f, const Partition& partition);
+
+/// True iff f has *some* nontrivial exact disjoint decomposition with the
+/// given bound-set size (tries every partition; exponential, test-sized n).
+bool has_exact_decomposition(const TruthTable& f, unsigned bound_size);
+
+}  // namespace dalut::core

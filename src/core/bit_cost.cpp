@@ -1,0 +1,90 @@
+#include "core/bit_cost.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace dalut::core {
+
+namespace {
+
+inline double raw_distance(OutputWord a, OutputWord b) noexcept {
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+
+/// loss(Y, Yhat) for the chosen metric given the absolute distance.
+inline double loss_of_distance(double distance, CostMetric metric) noexcept {
+  switch (metric) {
+    case CostMetric::kMed:
+      return distance;
+    case CostMetric::kMse:
+      return distance * distance;
+    case CostMetric::kErrorRate:
+      return distance != 0.0 ? 1.0 : 0.0;
+  }
+  return distance;
+}
+
+}  // namespace
+
+BitCostArrays build_bit_costs(const MultiOutputFunction& g,
+                              const std::vector<OutputWord>& approx_values,
+                              unsigned k, LsbModel model,
+                              const InputDistribution& dist,
+                              CostMetric metric) {
+  assert(k < g.num_outputs());
+  assert(approx_values.size() == g.domain_size());
+  assert(dist.num_inputs() == g.num_inputs());
+
+  const std::size_t domain = g.domain_size();
+  const OutputWord bit_k = OutputWord{1} << k;
+  const OutputWord below_mask = bit_k - 1;
+  const OutputWord above_mask = g.output_mask() & ~(below_mask | bit_k);
+
+  BitCostArrays costs;
+  costs.c0.resize(domain);
+  costs.c1.resize(domain);
+
+  for (InputWord x = 0; x < domain; ++x) {
+    const double p = dist.probability(x);
+    const OutputWord y = g.value(x);
+    const OutputWord msb = approx_values[x] & above_mask;
+
+    double distance[2] = {0.0, 0.0};
+    switch (model) {
+      case LsbModel::kCurrentApprox: {
+        const OutputWord lsb = approx_values[x] & below_mask;
+        distance[0] = raw_distance(y, msb | lsb);
+        distance[1] = raw_distance(y, msb | bit_k | lsb);
+        break;
+      }
+      case LsbModel::kAccurateFill: {
+        const OutputWord lsb = y & below_mask;
+        distance[0] = raw_distance(y, msb | lsb);
+        distance[1] = raw_distance(y, msb | bit_k | lsb);
+        break;
+      }
+      case LsbModel::kPredictive: {
+        const OutputWord y_m = y & ~below_mask;  // Y_M: bits >= k of Y
+        for (unsigned v = 0; v < 2; ++v) {
+          const OutputWord yhat_m = msb | (v ? bit_k : 0);
+          if (yhat_m > y_m) {
+            // Case 1: overshoot - the optimizer would zero the LSBs.
+            distance[v] = static_cast<double>(yhat_m - y);
+          } else if (yhat_m < y_m) {
+            // Case 2: undershoot - the optimizer would max out the LSBs.
+            distance[v] = static_cast<double>(y - yhat_m - below_mask);
+          } else {
+            // Case 3: match - the LSBs can reproduce Y exactly.
+            distance[v] = 0.0;
+          }
+        }
+        break;
+      }
+    }
+    costs.c0[x] = p * loss_of_distance(distance[0], metric);
+    costs.c1[x] = p * loss_of_distance(distance[1], metric);
+  }
+  return costs;
+}
+
+}  // namespace dalut::core

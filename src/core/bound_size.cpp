@@ -1,0 +1,60 @@
+#include "core/bound_size.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dalut::core {
+
+std::vector<BoundSizeProbe> sweep_bound_sizes(const MultiOutputFunction& g,
+                                              const InputDistribution& dist,
+                                              const BoundSweepParams& params) {
+  const unsigned n = g.num_inputs();
+  const unsigned lo = std::max(2u, params.min_bound);
+  const unsigned hi =
+      params.max_bound == 0 ? n - 2 : std::min(params.max_bound, n - 2);
+  assert(lo <= hi);
+
+  std::vector<BoundSizeProbe> probes;
+  for (unsigned b = lo; b <= hi; ++b) {
+    BssaParams run_params = params.probe;
+    run_params.bound_size = b;
+    const auto result = run_bssa(g, dist, run_params);
+
+    BoundSizeProbe probe;
+    probe.bound_size = b;
+    probe.med = result.med;
+    probe.entries_per_bit =
+        (std::size_t{1} << b) + (std::size_t{1} << (n - b + 1));
+    probe.runtime_seconds = result.runtime_seconds;
+    probes.push_back(probe);
+  }
+  return probes;
+}
+
+BoundSizeProbe choose_bound_size(const MultiOutputFunction& g,
+                                 const InputDistribution& dist,
+                                 double med_budget,
+                                 const BoundSweepParams& params) {
+  const auto probes = sweep_bound_sizes(g, dist, params);
+  assert(!probes.empty());
+
+  const BoundSizeProbe* best = nullptr;
+  for (const auto& probe : probes) {
+    if (probe.med > med_budget) continue;
+    if (best == nullptr || probe.entries_per_bit < best->entries_per_bit ||
+        (probe.entries_per_bit == best->entries_per_bit &&
+         probe.med < best->med)) {
+      best = &probe;
+    }
+  }
+  if (best != nullptr) return *best;
+
+  // Nothing meets the budget: return the most accurate size.
+  return *std::min_element(probes.begin(), probes.end(),
+                           [](const BoundSizeProbe& a,
+                              const BoundSizeProbe& b) {
+                             return a.med < b.med;
+                           });
+}
+
+}  // namespace dalut::core

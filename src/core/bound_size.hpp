@@ -1,0 +1,44 @@
+// Bound-set size selection.
+//
+// The paper fixes b = 9 for n = 16; in general b trades storage
+// (2^b + 2^(n-b+1) entries per bit, minimized near b = (n+1)/2) against
+// approximation quality (larger bound tables give phi more expressive
+// power). This module sweeps candidate sizes with a reduced-budget BS-SA
+// probe and picks the cheapest size meeting an error budget.
+#pragma once
+
+#include <vector>
+
+#include "core/bssa.hpp"
+
+namespace dalut::core {
+
+struct BoundSizeProbe {
+  unsigned bound_size = 0;
+  double med = 0.0;                ///< probe-run MED
+  std::size_t entries_per_bit = 0; ///< 2^b + 2^(n-b+1)
+  double runtime_seconds = 0.0;
+};
+
+/// Probe parameters: a scaled-down BS-SA configuration is usually enough to
+/// rank bound sizes (the ranking, not the absolute MED, is what matters).
+struct BoundSweepParams {
+  unsigned min_bound = 2;
+  unsigned max_bound = 0;  ///< 0 = n - 2
+  BssaParams probe{};      ///< bound_size is overwritten per candidate
+};
+
+/// Runs the probe for every candidate b and returns one entry per size,
+/// ascending in b.
+std::vector<BoundSizeProbe> sweep_bound_sizes(const MultiOutputFunction& g,
+                                              const InputDistribution& dist,
+                                              const BoundSweepParams& params);
+
+/// Smallest-storage bound size whose probe MED is within `med_budget`;
+/// falls back to the lowest-MED size if none meets the budget.
+BoundSizeProbe choose_bound_size(const MultiOutputFunction& g,
+                                 const InputDistribution& dist,
+                                 double med_budget,
+                                 const BoundSweepParams& params);
+
+}  // namespace dalut::core

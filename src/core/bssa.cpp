@@ -1,0 +1,191 @@
+#include "core/bssa.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "core/bit_cost.hpp"
+#include "core/partition_opt.hpp"
+#include "util/timer.hpp"
+
+namespace dalut::core {
+
+namespace {
+
+/// One beam of the first-round search: a partial setting sequence (bits
+/// m-1..k already decided), the realized approximate values of those bits,
+/// and the sequence error (the E of its most recent setting, which already
+/// accounts for decided MSBs and predicted LSBs).
+struct Beam {
+  std::vector<Setting> settings;
+  std::vector<OutputWord> cache;
+  double error = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+DecompositionResult run_bssa(const MultiOutputFunction& g,
+                             const InputDistribution& dist,
+                             const BssaParams& params) {
+  assert(params.bound_size >= 1 && params.bound_size < g.num_inputs());
+  const unsigned m = g.num_outputs();
+  const bool reconfigurable = params.modes.allow_bto || params.modes.allow_nd;
+  if (params.rounds < 1 || (reconfigurable && params.rounds < 2)) {
+    throw std::invalid_argument(
+        "BS-SA needs rounds >= 1 (>= 2 with BTO/ND mode selection)");
+  }
+
+  util::WallTimer timer;
+  util::Rng rng(params.seed);
+  std::size_t partitions_evaluated = 0;
+
+  // ---- Round 1: beam search (Algorithm 1, lines 1-10). ----
+  std::vector<Beam> beams(1);
+  beams[0].settings.resize(m);
+  beams[0].cache = g.values();  // contents above the current bit are unused
+                                // until that bit has been decided
+
+  for (unsigned k = m; k-- > 0;) {
+    std::vector<Beam> extended;
+    for (const auto& beam : beams) {
+      const auto costs = build_bit_costs(g, beam.cache, k,
+                                         params.first_round_model, dist,
+                                         params.metric);
+      auto found = find_best_settings(g.num_inputs(), params.bound_size,
+                                      costs.c0, costs.c1, params.beam_width,
+                                      params.sa, rng, params.pool,
+                                      /*track_bto=*/false);
+      partitions_evaluated += found.partitions_visited;
+      for (auto& setting : found.top) {
+        Beam next;
+        next.settings = beam.settings;
+        next.cache = beam.cache;
+        next.error = setting.error;
+        next.settings[k] = std::move(setting);
+        write_bit_to_cache(next.cache, k, next.settings[k]);
+        extended.push_back(std::move(next));
+      }
+    }
+    // FindTops: keep the N_beam sequences with the least error.
+    std::sort(extended.begin(), extended.end(),
+              [](const Beam& a, const Beam& b) { return a.error < b.error; });
+    if (extended.size() > params.beam_width) {
+      extended.resize(params.beam_width);
+    }
+    beams = std::move(extended);
+  }
+
+  Beam best = std::move(beams.front());
+
+  // ---- Rounds 2..R: greedy refinement + mode selection (lines 11-15). ----
+  const OptForPartParams opt_params{params.sa.init_patterns, 64};
+  for (unsigned round = 2; round <= params.rounds; ++round) {
+    for (unsigned k = m; k-- > 0;) {
+      const auto costs =
+          build_bit_costs(g, best.cache, k, LsbModel::kCurrentApprox, dist,
+                          params.metric);
+      const unsigned n_beam =
+          params.modes.allow_nd ? std::max(1u, params.nd_candidates) : 1u;
+      auto found = find_best_settings(g.num_inputs(), params.bound_size,
+                                      costs.c0, costs.c1, n_beam, params.sa,
+                                      rng, params.pool,
+                                      params.modes.allow_bto);
+      partitions_evaluated += found.partitions_visited;
+      Setting normal = found.top.front();
+
+      // The incumbent setting competes within its own mode category: the
+      // per-bit cost arrays are exact given the other bits, so merging it
+      // keeps each category's candidate monotone across rounds while the
+      // delta rules still arbitrate *between* modes.
+      Setting incumbent = best.settings[k];
+      incumbent.error =
+          setting_error_under_costs(incumbent, costs.c0, costs.c1);
+
+      Setting chosen;
+      if (!reconfigurable) {
+        chosen = incumbent.error <= normal.error ? std::move(incumbent)
+                                                 : std::move(normal);
+      } else {
+        Setting bto;  // invalid unless tracked
+        if (!found.top_bto.empty()) bto = found.top_bto.front();
+
+        Setting nd;  // best ND over the top normal partitions
+        if (params.modes.allow_nd) {
+          for (const auto& candidate : found.top) {
+            auto trial = optimize_nondisjoint(candidate.partition, costs.c0,
+                                              costs.c1, opt_params, rng);
+            if (trial.error < nd.error) nd = std::move(trial);
+          }
+        }
+
+        // The delta rules compare every mode against the normal-mode error
+        // E, implicitly assuming E is the best known for this bit. A fresh
+        // random-start search can miss the incumbent's (already good)
+        // routing, which would let a mediocre BTO/ND candidate pass the
+        // rules against an inflated E. Re-optimizing the incumbent's
+        // partition in every supported mode restores that assumption.
+        {
+          const auto& p = incumbent.partition;
+          auto inc_normal =
+              optimize_normal(p, costs.c0, costs.c1, opt_params, rng);
+          if (inc_normal.error < normal.error) normal = std::move(inc_normal);
+          if (params.modes.allow_bto) {
+            auto inc_bto = optimize_bto(p, costs.c0, costs.c1);
+            if (inc_bto.error < bto.error) bto = std::move(inc_bto);
+          }
+          if (params.modes.allow_nd) {
+            auto inc_nd = optimize_nondisjoint(p, costs.c0, costs.c1,
+                                               opt_params, rng);
+            if (inc_nd.error < nd.error) nd = std::move(inc_nd);
+          }
+        }
+
+        Setting* category = nullptr;
+        switch (incumbent.mode) {
+          case DecompMode::kNormal:
+            category = &normal;
+            break;
+          case DecompMode::kBto:
+            category = &bto;
+            break;
+          case DecompMode::kNonDisjoint:
+            category = &nd;
+            break;
+        }
+        if (category != nullptr && incumbent.error <= category->error) {
+          *category = std::move(incumbent);
+        }
+        if (std::getenv("DALUT_DEBUG_BSSA") != nullptr) {
+          std::fprintf(stderr,
+                       "  select k=%u normal=%.4f bto=%.4f nd=%.4f\n", k,
+                       normal.error, bto.error, nd.error);
+        }
+        chosen = select_mode(normal, bto, nd, params.modes);
+      }
+
+      best.settings[k] = std::move(chosen);
+      write_bit_to_cache(best.cache, k, best.settings[k]);
+      if (std::getenv("DALUT_DEBUG_BSSA") != nullptr) {
+        std::fprintf(stderr,
+                     "round=%u k=%u inc(mode=%d,e=%.4f) chosen(mode=%d,"
+                     "e=%.4f) med=%.4f\n",
+                     round, k, static_cast<int>(incumbent.mode),
+                     incumbent.error, static_cast<int>(best.settings[k].mode),
+                     best.settings[k].error,
+                     mean_error_distance(g, best.cache, dist));
+      }
+    }
+  }
+
+  DecompositionResult result;
+  result.settings = std::move(best.settings);
+  result.report = error_report(g, best.cache, dist);
+  result.med = result.report.med;
+  result.runtime_seconds = timer.seconds();
+  result.partitions_evaluated = partitions_evaluated;
+  return result;
+}
+
+}  // namespace dalut::core

@@ -1,0 +1,83 @@
+// Per-bit mode-configuration sweeps (the machinery behind Fig. 6).
+//
+// Given, for every output bit, one candidate setting per operating mode,
+// a ConfigSweep evaluates mixed configurations exactly and cheaply: each
+// candidate's output bitmap is precomputed once, the current approximate
+// word table is maintained incrementally, and the MED of "current config
+// with one bit swapped" is a single O(2^n) pass instead of a full
+// re-realization. `greedy_frontier` walks the accuracy/cost trade-off from
+// the cheapest configuration to the most accurate one.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/evaluate.hpp"
+
+namespace dalut::core {
+
+/// Candidate settings for one output bit, by mode level:
+/// level 0 = BTO, 1 = normal, 2 = ND (matching increasing cost/accuracy).
+struct ModeCandidates {
+  std::array<Setting, 3> by_level;
+};
+
+class ConfigSweep {
+ public:
+  /// `costs[k][level]` is the per-unit cost (e.g. fJ/read) of bit k at that
+  /// level; used by the greedy frontier's benefit/cost ratio.
+  ConfigSweep(const MultiOutputFunction& g, const InputDistribution& dist,
+              std::vector<ModeCandidates> candidates,
+              std::vector<std::array<double, 3>> costs);
+
+  unsigned num_outputs() const noexcept {
+    return static_cast<unsigned>(levels_.size());
+  }
+  const std::vector<unsigned>& levels() const noexcept { return levels_; }
+
+  /// Sets every bit to `level` (must be 0..2).
+  void set_all(unsigned level);
+  /// Sets one bit's level.
+  void set_level(unsigned k, unsigned level);
+
+  double current_med() const noexcept { return current_med_; }
+  double current_cost() const noexcept { return current_cost_; }
+  double cost_of(unsigned k, unsigned level) const {
+    return costs_.at(k).at(level);
+  }
+  /// Exact MED if bit k were switched to `level` (no state change).
+  double med_with(unsigned k, unsigned level) const;
+
+  /// The current configuration's settings (for realization/serialization).
+  std::vector<Setting> settings() const;
+
+ private:
+  void rebuild();
+
+  const MultiOutputFunction& g_;
+  const InputDistribution& dist_;
+  std::vector<ModeCandidates> candidates_;
+  std::vector<std::array<double, 3>> costs_;
+  /// Precomputed output bitmaps: bit_values_[k][level][x].
+  std::vector<std::array<std::vector<std::uint8_t>, 3>> bit_values_;
+  std::vector<unsigned> levels_;
+  std::vector<OutputWord> values_;
+  double current_med_ = 0.0;
+  double current_cost_ = 0.0;
+};
+
+/// One point of the greedy trade-off frontier.
+struct FrontierPoint {
+  std::array<unsigned, 3> mode_counts;  ///< (#BTO, #normal, #ND)
+  double med = 0.0;
+  double cost = 0.0;
+};
+
+/// Walks from all-level-0 to all-level-2, at each step taking the single
+/// upgrade (including level-0 -> level-2 jumps) with the best exact
+/// MED-reduction per extra cost. Returns one point per visited
+/// configuration, starting with all-level-0.
+std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep);
+
+}  // namespace dalut::core

@@ -1,0 +1,79 @@
+#include "core/dalta.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "core/partition_opt.hpp"
+#include "util/timer.hpp"
+
+namespace dalut::core {
+
+DecompositionResult run_dalta(const MultiOutputFunction& g,
+                              const InputDistribution& dist,
+                              const DaltaParams& params) {
+  assert(params.bound_size >= 1 && params.bound_size < g.num_inputs());
+  assert(params.rounds >= 1);
+  const unsigned m = g.num_outputs();
+  const OptForPartParams opt_params{params.init_patterns, 64};
+
+  util::WallTimer timer;
+  util::Rng rng(params.seed);
+
+  DecompositionResult result;
+  result.settings.resize(m);
+  std::vector<OutputWord> cache = g.values();
+
+  for (unsigned round = 1; round <= params.rounds; ++round) {
+    const LsbModel model =
+        round == 1 ? LsbModel::kAccurateFill : LsbModel::kCurrentApprox;
+    for (unsigned k = m; k-- > 0;) {  // MSB to LSB
+      const auto costs =
+          build_bit_costs(g, cache, k, model, dist, params.metric);
+
+      const auto candidates = sample_partitions(
+          g.num_inputs(), params.bound_size, params.partition_limit, rng);
+      std::vector<Setting> settings(candidates.size());
+      std::vector<util::Rng> rngs;
+      rngs.reserve(candidates.size());
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        rngs.push_back(rng.fork());
+      }
+
+      auto work = [&](std::size_t i) {
+        settings[i] = optimize_normal(candidates[i], costs.c0, costs.c1,
+                                      opt_params, rngs[i]);
+      };
+      if (params.pool != nullptr && candidates.size() > 1) {
+        params.pool->parallel_for(0, candidates.size(), work);
+      } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) work(i);
+      }
+      result.partitions_evaluated += candidates.size();
+
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < settings.size(); ++i) {
+        if (settings[i].error < settings[best].error) best = i;
+      }
+
+      // From round 2 on there is an incumbent setting for this bit; keep it
+      // unless the fresh search found something strictly better (its error
+      // is re-scored under the current cost arrays first, since the other
+      // bits have changed). This keeps the refinement rounds monotone.
+      if (round > 1) {
+        Setting& incumbent = result.settings[k];
+        incumbent.error =
+            setting_error_under_costs(incumbent, costs.c0, costs.c1);
+        if (incumbent.error <= settings[best].error) continue;
+      }
+      result.settings[k] = std::move(settings[best]);
+      write_bit_to_cache(cache, k, result.settings[k]);
+    }
+  }
+
+  result.report = error_report(g, cache, dist);
+  result.med = result.report.med;
+  result.runtime_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace dalut::core

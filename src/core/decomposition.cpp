@@ -1,0 +1,164 @@
+#include "core/decomposition.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace dalut::core {
+
+namespace {
+
+/// Expands a type vector into free-table contents: index = (row << 1) | phi.
+std::vector<std::uint8_t> free_table_from_types(
+    const std::vector<RowType>& types) {
+  std::vector<std::uint8_t> table(types.size() * 2);
+  for (std::size_t row = 0; row < types.size(); ++row) {
+    std::uint8_t at_phi0 = 0;
+    std::uint8_t at_phi1 = 0;
+    switch (types[row]) {
+      case RowType::kAllZero:
+        break;
+      case RowType::kAllOne:
+        at_phi0 = at_phi1 = 1;
+        break;
+      case RowType::kPattern:
+        at_phi1 = 1;
+        break;
+      case RowType::kComplement:
+        at_phi0 = 1;
+        break;
+    }
+    table[(row << 1) | 0] = at_phi0;
+    table[(row << 1) | 1] = at_phi1;
+  }
+  return table;
+}
+
+}  // namespace
+
+DecomposedBit DecomposedBit::realize(const Setting& setting) {
+  if (!setting.valid()) {
+    throw std::invalid_argument("cannot realize an invalid setting");
+  }
+  DecomposedBit bit;
+  bit.mode_ = setting.mode;
+  bit.partition_ = setting.partition;
+  bit.shared_bit_ = setting.shared_bit;
+
+  const std::size_t cols = setting.partition.num_cols();
+  [[maybe_unused]] const std::size_t rows = setting.partition.num_rows();
+
+  switch (setting.mode) {
+    case DecompMode::kNormal:
+      assert(setting.pattern.size() == cols);
+      assert(setting.types.size() == rows);
+      bit.bound_table_.assign(setting.pattern.begin(), setting.pattern.end());
+      bit.free_table0_ = free_table_from_types(setting.types);
+      break;
+    case DecompMode::kBto:
+      assert(setting.pattern.size() == cols);
+      bit.bound_table_.assign(setting.pattern.begin(), setting.pattern.end());
+      break;
+    case DecompMode::kNonDisjoint: {
+      if (!setting.partition.in_bound_set(setting.shared_bit)) {
+        throw std::invalid_argument("ND shared bit must be in the bound set");
+      }
+      assert(setting.pattern0.size() == cols / 2);
+      assert(setting.pattern1.size() == cols / 2);
+      assert(setting.types0.size() == rows);
+      assert(setting.types1.size() == rows);
+      // Combined bound table phi(B) = ~x_s phi_0 + x_s phi_1 : split each
+      // full-B column index into (x_s value, reduced index).
+      const std::uint32_t bound_mask = setting.partition.bound_mask();
+      const unsigned rank = util::popcount(
+          bound_mask & ((std::uint32_t{1} << setting.shared_bit) - 1));
+      const std::uint32_t low = (std::uint32_t{1} << rank) - 1;
+      bit.bound_table_.resize(cols);
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        const bool xs = (c >> rank) & 1u;
+        const std::uint32_t reduced = (c & low) | ((c >> (rank + 1)) << rank);
+        bit.bound_table_[c] =
+            xs ? setting.pattern1[reduced] : setting.pattern0[reduced];
+      }
+      bit.free_table0_ = free_table_from_types(setting.types0);
+      bit.free_table1_ = free_table_from_types(setting.types1);
+      break;
+    }
+  }
+  return bit;
+}
+
+std::size_t DecomposedBit::stored_entries() const noexcept {
+  return bound_table_.size() + free_table0_.size() + free_table1_.size();
+}
+
+bool DecomposedBit::eval(InputWord x) const noexcept {
+  const std::uint32_t col = partition_.col_of(x);
+  const bool phi = bound_table_[col] != 0;
+  switch (mode_) {
+    case DecompMode::kBto:
+      return phi;
+    case DecompMode::kNormal: {
+      const std::uint32_t row = partition_.row_of(x);
+      return free_table0_[(row << 1) | (phi ? 1u : 0u)] != 0;
+    }
+    case DecompMode::kNonDisjoint: {
+      const std::uint32_t row = partition_.row_of(x);
+      const bool xs = util::get_bit(x, shared_bit_);
+      const auto& table = xs ? free_table1_ : free_table0_;
+      return table[(row << 1) | (phi ? 1u : 0u)] != 0;
+    }
+  }
+  return false;
+}
+
+ApproxLut::ApproxLut(unsigned num_inputs, unsigned num_outputs,
+                     std::vector<DecomposedBit> bits)
+    : num_inputs_(num_inputs), bits_(std::move(bits)) {
+  if (bits_.size() != num_outputs) {
+    throw std::invalid_argument("need one decomposed bit per output");
+  }
+}
+
+ApproxLut ApproxLut::realize(unsigned num_inputs,
+                             const std::vector<Setting>& settings) {
+  std::vector<DecomposedBit> bits;
+  bits.reserve(settings.size());
+  for (const auto& setting : settings) {
+    if (setting.valid() &&
+        setting.partition.num_inputs() != num_inputs) {
+      throw std::invalid_argument(
+          "setting partition width does not match the LUT input width");
+    }
+    bits.push_back(DecomposedBit::realize(setting));
+  }
+  return ApproxLut(num_inputs, static_cast<unsigned>(settings.size()),
+                   std::move(bits));
+}
+
+OutputWord ApproxLut::eval(InputWord x) const noexcept {
+  OutputWord y = 0;
+  for (unsigned k = 0; k < bits_.size(); ++k) {
+    if (bits_[k].eval(x)) y |= OutputWord{1} << k;
+  }
+  return y;
+}
+
+std::vector<OutputWord> ApproxLut::values() const {
+  std::vector<OutputWord> table(std::size_t{1} << num_inputs_);
+  for (InputWord x = 0; x < table.size(); ++x) table[x] = eval(x);
+  return table;
+}
+
+MultiOutputFunction ApproxLut::to_function() const {
+  return MultiOutputFunction(num_inputs_, num_outputs(), values());
+}
+
+std::size_t ApproxLut::stored_entries() const noexcept {
+  std::size_t total = 0;
+  for (const auto& bit : bits_) total += bit.stored_entries();
+  return total;
+}
+
+}  // namespace dalut::core

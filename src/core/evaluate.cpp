@@ -1,0 +1,42 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dalut::core {
+
+double mean_error_distance(const MultiOutputFunction& g,
+                           const std::vector<OutputWord>& approx_values,
+                           const InputDistribution& dist) {
+  assert(approx_values.size() == g.domain_size());
+  double med = 0.0;
+  for (InputWord x = 0; x < g.domain_size(); ++x) {
+    const OutputWord a = g.value(x);
+    const OutputWord b = approx_values[x];
+    const double diff = a > b ? static_cast<double>(a - b)
+                              : static_cast<double>(b - a);
+    med += dist.probability(x) * diff;
+  }
+  return med;
+}
+
+ErrorReport error_report(const MultiOutputFunction& g,
+                         const std::vector<OutputWord>& approx_values,
+                         const InputDistribution& dist) {
+  assert(approx_values.size() == g.domain_size());
+  ErrorReport report;
+  for (InputWord x = 0; x < g.domain_size(); ++x) {
+    const OutputWord a = g.value(x);
+    const OutputWord b = approx_values[x];
+    const double diff = a > b ? static_cast<double>(a - b)
+                              : static_cast<double>(b - a);
+    const double p = dist.probability(x);
+    report.med += p * diff;
+    report.mse += p * diff * diff;
+    report.max_ed = std::max(report.max_ed, diff);
+    if (diff != 0.0) report.error_rate += p;
+  }
+  return report;
+}
+
+}  // namespace dalut::core

@@ -1,0 +1,27 @@
+// Error metrics between an accurate function and an approximation.
+#pragma once
+
+#include <vector>
+
+#include "core/input_distribution.hpp"
+#include "core/multi_output_function.hpp"
+
+namespace dalut::core {
+
+struct ErrorReport {
+  double med = 0.0;         ///< mean error distance (paper's metric)
+  double max_ed = 0.0;      ///< worst-case error distance
+  double error_rate = 0.0;  ///< probability of any output mismatch
+  double mse = 0.0;         ///< mean squared error distance
+};
+
+/// MED(G, Ghat) = sum_X p(X) |Bin(G(X)) - Bin(Ghat(X))|.
+double mean_error_distance(const MultiOutputFunction& g,
+                           const std::vector<OutputWord>& approx_values,
+                           const InputDistribution& dist);
+
+ErrorReport error_report(const MultiOutputFunction& g,
+                         const std::vector<OutputWord>& approx_values,
+                         const InputDistribution& dist);
+
+}  // namespace dalut::core

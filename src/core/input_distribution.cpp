@@ -1,0 +1,67 @@
+#include "core/input_distribution.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace dalut::core {
+
+InputDistribution::InputDistribution(unsigned num_inputs, bool uniform,
+                                     std::vector<double> probabilities)
+    : num_inputs_(num_inputs),
+      uniform_(uniform),
+      uniform_p_(1.0 / static_cast<double>(std::size_t{1} << num_inputs)),
+      probabilities_(std::move(probabilities)) {}
+
+InputDistribution InputDistribution::uniform(unsigned num_inputs) {
+  return InputDistribution(num_inputs, true, {});
+}
+
+InputDistribution InputDistribution::from_weights(
+    unsigned num_inputs, std::vector<double> weights) {
+  if (weights.size() != (std::size_t{1} << num_inputs)) {
+    throw std::invalid_argument("weight table size must be 2^n");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weights must be nonnegative");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("weights must not all be 0");
+  for (double& w : weights) w /= total;
+  return InputDistribution(num_inputs, false, std::move(weights));
+}
+
+double InputDistribution::marginal(unsigned bit, bool value) const {
+  assert(bit < num_inputs_);
+  if (uniform_) return 0.5;
+  double total = 0.0;
+  for (InputWord x = 0; x < domain_size(); ++x) {
+    if (util::get_bit(x, bit) == value) total += probabilities_[x];
+  }
+  return total;
+}
+
+InputDistribution InputDistribution::condition_on(unsigned bit,
+                                                  bool value) const {
+  assert(bit < num_inputs_);
+  if (uniform_) return uniform(num_inputs_ - 1);
+
+  const double denom = marginal(bit, value);
+  if (denom <= 0.0) {
+    throw std::invalid_argument("conditioning on a zero-probability event");
+  }
+  const std::uint64_t low_mask = (std::uint64_t{1} << bit) - 1;
+  std::vector<double> reduced(domain_size() / 2, 0.0);
+  for (InputWord x = 0; x < domain_size(); ++x) {
+    if (util::get_bit(x, bit) != value) continue;
+    // Remove `bit`: inputs above it shift down one position.
+    const InputWord reduced_x = static_cast<InputWord>(
+        (x & low_mask) | ((x >> (bit + 1)) << bit));
+    reduced[reduced_x] = probabilities_[x] / denom;
+  }
+  return InputDistribution(num_inputs_ - 1, false, std::move(reduced));
+}
+
+}  // namespace dalut::core

@@ -1,0 +1,54 @@
+// Input occurrence probabilities p_X used by the MED metric.
+//
+// The paper's experiments assume uniform inputs, but the non-disjoint
+// decomposition (Sec. IV-B1) internally conditions the distribution on the
+// shared bit, so the library supports arbitrary distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/truth_table.hpp"
+
+namespace dalut::core {
+
+class InputDistribution {
+ public:
+  /// Uniform over 2^n inputs (no table storage).
+  static InputDistribution uniform(unsigned num_inputs);
+
+  /// Explicit per-input weights; normalized so they sum to 1.
+  /// All weights must be >= 0 and not all zero.
+  static InputDistribution from_weights(unsigned num_inputs,
+                                        std::vector<double> weights);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  std::size_t domain_size() const noexcept {
+    return std::size_t{1} << num_inputs_;
+  }
+
+  double probability(InputWord x) const noexcept {
+    return uniform_ ? uniform_p_ : probabilities_[x];
+  }
+
+  bool is_uniform() const noexcept { return uniform_; }
+
+  /// P(x_{bit+1} = value): marginal of one input bit (0-based index).
+  double marginal(unsigned bit, bool value) const;
+
+  /// Distribution over the remaining n-1 inputs conditioned on input `bit`
+  /// having `value`; the conditioned bit is removed (inputs above it shift
+  /// down one position). Requires marginal(bit, value) > 0.
+  InputDistribution condition_on(unsigned bit, bool value) const;
+
+ private:
+  InputDistribution(unsigned num_inputs, bool uniform,
+                    std::vector<double> probabilities);
+
+  unsigned num_inputs_;
+  bool uniform_;
+  double uniform_p_;
+  std::vector<double> probabilities_;  // empty when uniform
+};
+
+}  // namespace dalut::core

@@ -1,0 +1,23 @@
+#include "core/mode_select.hpp"
+
+namespace dalut::core {
+
+Setting select_mode(const Setting& normal, const Setting& bto,
+                    const Setting& nd, const ModePolicy& policy) {
+  const double e = normal.error;
+  const bool bto_ok = policy.allow_bto && bto.valid();
+  const bool nd_ok = policy.allow_nd && nd.valid();
+
+  if (policy.allow_nd) {
+    const bool bto_close = bto_ok && bto.error < (1.0 + policy.delta) * e;
+    const bool nd_useless =
+        !nd_ok || nd.error > (1.0 - policy.delta_prime) * e;
+    if (bto_close && nd_useless) return bto;
+    if (nd_ok && nd.error < (1.0 - policy.delta) * e) return nd;
+    return normal;
+  }
+  if (bto_ok && bto.error < (1.0 + policy.delta) * e) return bto;
+  return normal;
+}
+
+}  // namespace dalut::core

@@ -1,0 +1,44 @@
+#include "core/multi_output_function.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dalut::core {
+
+MultiOutputFunction::MultiOutputFunction(unsigned num_inputs,
+                                         unsigned num_outputs,
+                                         std::vector<OutputWord> values)
+    : num_inputs_(num_inputs),
+      num_outputs_(num_outputs),
+      values_(std::move(values)) {
+  assert(num_inputs <= 26);
+  assert(num_outputs >= 1 && num_outputs <= 26);
+  if (values_.size() != domain_size()) {
+    throw std::invalid_argument("value table size must be 2^n");
+  }
+  const OutputWord mask = output_mask();
+  for (const auto v : values_) {
+    if ((v & ~mask) != 0) {
+      throw std::invalid_argument("output value exceeds m bits");
+    }
+  }
+}
+
+MultiOutputFunction MultiOutputFunction::from_eval(
+    unsigned num_inputs, unsigned num_outputs,
+    const std::function<OutputWord(InputWord)>& g) {
+  std::vector<OutputWord> values(std::size_t{1} << num_inputs);
+  for (InputWord x = 0; x < values.size(); ++x) values[x] = g(x);
+  return MultiOutputFunction(num_inputs, num_outputs, std::move(values));
+}
+
+TruthTable MultiOutputFunction::component(unsigned k) const {
+  assert(k < num_outputs_);
+  TruthTable table(num_inputs_);
+  for (InputWord x = 0; x < domain_size(); ++x) {
+    table.set(x, output_bit(x, k));
+  }
+  return table;
+}
+
+}  // namespace dalut::core

@@ -1,0 +1,53 @@
+// Dense representation of an n-input m-output Boolean function
+// Y = G(X) = (g_m, ..., g_1): one m-bit output word per input code.
+//
+// Bit indexing: output bit k is 0-based with weight 2^k; the paper's y_j
+// (1-based) is bit j-1 here. Bin(Y) of the paper is simply the stored word.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/truth_table.hpp"
+
+namespace dalut::core {
+
+using OutputWord = std::uint32_t;
+
+class MultiOutputFunction {
+ public:
+  MultiOutputFunction(unsigned num_inputs, unsigned num_outputs,
+                      std::vector<OutputWord> values);
+
+  static MultiOutputFunction from_eval(
+      unsigned num_inputs, unsigned num_outputs,
+      const std::function<OutputWord(InputWord)>& g);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  unsigned num_outputs() const noexcept { return num_outputs_; }
+  std::size_t domain_size() const noexcept {
+    return std::size_t{1} << num_inputs_;
+  }
+  OutputWord output_mask() const noexcept {
+    return static_cast<OutputWord>((std::uint64_t{1} << num_outputs_) - 1);
+  }
+
+  OutputWord value(InputWord x) const noexcept { return values_[x]; }
+  const std::vector<OutputWord>& values() const noexcept { return values_; }
+
+  /// Component function g_{k+1}: the 0-based k-th output bit.
+  bool output_bit(InputWord x, unsigned k) const noexcept {
+    return (values_[x] >> k) & 1u;
+  }
+  TruthTable component(unsigned k) const;
+
+  bool operator==(const MultiOutputFunction& other) const = default;
+
+ private:
+  unsigned num_inputs_;
+  unsigned num_outputs_;
+  std::vector<OutputWord> values_;
+};
+
+}  // namespace dalut::core

@@ -1,0 +1,103 @@
+#include "core/partition.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace dalut::core {
+
+Partition::Partition(unsigned num_inputs, std::uint32_t bound_mask)
+    : num_inputs_(num_inputs), bound_mask_(bound_mask) {
+  assert(num_inputs >= 2 && num_inputs <= 26);
+  if (bound_mask == 0 ||
+      (bound_mask & ~((std::uint32_t{1} << num_inputs) - 1)) != 0 ||
+      bound_mask == (std::uint32_t{1} << num_inputs) - 1) {
+    throw std::invalid_argument(
+        "bound set must be a proper nonempty subset of the inputs");
+  }
+}
+
+Partition Partition::random(unsigned num_inputs, unsigned bound_size,
+                            util::Rng& rng) {
+  assert(bound_size >= 1 && bound_size < num_inputs);
+  const auto picks = rng.sample_distinct(num_inputs, bound_size);
+  std::uint32_t mask = 0;
+  for (const unsigned p : picks) mask |= std::uint32_t{1} << p;
+  return Partition(num_inputs, mask);
+}
+
+unsigned Partition::bound_size() const noexcept {
+  return util::popcount(bound_mask_);
+}
+
+std::vector<unsigned> Partition::bound_inputs() const {
+  return util::bit_positions(bound_mask_);
+}
+
+std::vector<unsigned> Partition::free_inputs() const {
+  return util::bit_positions(free_mask());
+}
+
+std::uint32_t Partition::col_of(InputWord x) const noexcept {
+  return static_cast<std::uint32_t>(util::extract_bits(x, bound_mask_));
+}
+
+std::uint32_t Partition::row_of(InputWord x) const noexcept {
+  return static_cast<std::uint32_t>(util::extract_bits(x, free_mask()));
+}
+
+InputWord Partition::input_of(std::uint32_t row,
+                              std::uint32_t col) const noexcept {
+  return static_cast<InputWord>(util::deposit_bits(col, bound_mask_) |
+                                util::deposit_bits(row, free_mask()));
+}
+
+std::vector<Partition> Partition::all_neighbours() const {
+  std::vector<Partition> result;
+  const auto bound = bound_inputs();
+  const auto free = free_inputs();
+  result.reserve(bound.size() * free.size());
+  for (const unsigned b : bound) {
+    for (const unsigned a : free) {
+      const std::uint32_t mask =
+          (bound_mask_ & ~(std::uint32_t{1} << b)) | (std::uint32_t{1} << a);
+      result.emplace_back(num_inputs_, mask);
+    }
+  }
+  return result;
+}
+
+std::vector<Partition> Partition::random_neighbours(unsigned count,
+                                                    util::Rng& rng) const {
+  auto all = all_neighbours();
+  if (all.size() <= count) return all;
+  // Partial shuffle, then truncate.
+  for (unsigned i = 0; i < count; ++i) {
+    const auto j = i + static_cast<std::size_t>(rng.next_below(all.size() - i));
+    std::swap(all[i], all[j]);
+  }
+  all.erase(all.begin() + count, all.end());
+  return all;
+}
+
+std::string Partition::to_string() const {
+  std::ostringstream out;
+  out << "A={";
+  bool first = true;
+  for (const unsigned a : free_inputs()) {
+    out << (first ? "" : ",") << "x" << (a + 1);
+    first = false;
+  }
+  out << "} B={";
+  first = true;
+  for (const unsigned b : bound_inputs()) {
+    out << (first ? "" : ",") << "x" << (b + 1);
+    first = false;
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace dalut::core

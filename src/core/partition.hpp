@@ -1,0 +1,68 @@
+// Variable partitions omega = (A, B): free set A indexes the rows and bound
+// set B the columns of the 2D truth table (Sec. II-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace dalut::core {
+
+class Partition {
+ public:
+  /// `bound_mask` selects the bound-set inputs B; the rest form A.
+  Partition(unsigned num_inputs, std::uint32_t bound_mask);
+
+  /// Uniformly random partition with |B| = bound_size.
+  static Partition random(unsigned num_inputs, unsigned bound_size,
+                          util::Rng& rng);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  std::uint32_t bound_mask() const noexcept { return bound_mask_; }
+  std::uint32_t free_mask() const noexcept {
+    return ~bound_mask_ & ((std::uint32_t{1} << num_inputs_) - 1);
+  }
+  unsigned bound_size() const noexcept;
+  unsigned free_size() const noexcept { return num_inputs_ - bound_size(); }
+  std::size_t num_cols() const noexcept {
+    return std::size_t{1} << bound_size();
+  }
+  std::size_t num_rows() const noexcept {
+    return std::size_t{1} << free_size();
+  }
+
+  /// 0-based input indices in B / A, ascending.
+  std::vector<unsigned> bound_inputs() const;
+  std::vector<unsigned> free_inputs() const;
+
+  bool in_bound_set(unsigned input) const noexcept {
+    return (bound_mask_ >> input) & 1u;
+  }
+
+  /// Column index of input code x: the bound-set bits, packed.
+  std::uint32_t col_of(InputWord x) const noexcept;
+  /// Row index of input code x: the free-set bits, packed.
+  std::uint32_t row_of(InputWord x) const noexcept;
+  /// Inverse mapping: reassembles the input code from (row, col).
+  InputWord input_of(std::uint32_t row, std::uint32_t col) const noexcept;
+
+  /// All neighbours: partitions whose free set differs in exactly one
+  /// element (one free input swapped with one bound input), per Sec. III-C.
+  std::vector<Partition> all_neighbours() const;
+  /// `count` distinct random neighbours (fewer if fewer exist) - GenNeib.
+  std::vector<Partition> random_neighbours(unsigned count,
+                                           util::Rng& rng) const;
+
+  std::string to_string() const;
+
+  bool operator==(const Partition& other) const = default;
+
+ private:
+  unsigned num_inputs_;
+  std::uint32_t bound_mask_;
+};
+
+}  // namespace dalut::core

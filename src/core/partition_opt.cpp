@@ -1,0 +1,70 @@
+#include "core/partition_opt.hpp"
+
+#include <limits>
+
+namespace dalut::core {
+
+Setting optimize_normal(const Partition& partition, std::span<const double> c0,
+                        std::span<const double> c1,
+                        const OptForPartParams& params, util::Rng& rng) {
+  const auto matrix = CostMatrix::build(partition, c0, c1);
+  auto vt = opt_for_part(matrix, params, rng);
+
+  Setting setting;
+  setting.error = vt.error;
+  setting.partition = partition;
+  setting.mode = DecompMode::kNormal;
+  setting.pattern = std::move(vt.pattern);
+  setting.types = std::move(vt.types);
+  return setting;
+}
+
+Setting optimize_bto(const Partition& partition, std::span<const double> c0,
+                     std::span<const double> c1) {
+  const auto matrix = CostMatrix::build(partition, c0, c1);
+  auto vt = opt_for_part_bto(matrix);
+
+  Setting setting;
+  setting.error = vt.error;
+  setting.partition = partition;
+  setting.mode = DecompMode::kBto;
+  setting.pattern = std::move(vt.pattern);
+  setting.types = std::move(vt.types);
+  return setting;
+}
+
+Setting optimize_nondisjoint(const Partition& partition,
+                             std::span<const double> c0,
+                             std::span<const double> c1,
+                             const OptForPartParams& params, util::Rng& rng) {
+  Setting best;
+  best.error = std::numeric_limits<double>::infinity();
+
+  for (const unsigned shared : partition.bound_inputs()) {
+    // The cost arrays are already weighted by the joint probabilities, so
+    // summing the two conditional sub-problems' errors gives the total MED
+    // contribution directly (the conditional normalization of Eq. (2)
+    // rescales each sub-problem by a positive constant, which does not
+    // change its argmin).
+    const auto m0 = CostMatrix::build_conditioned(partition, shared, false,
+                                                  c0, c1);
+    const auto m1 = CostMatrix::build_conditioned(partition, shared, true,
+                                                  c0, c1);
+    auto vt0 = opt_for_part(m0, params, rng);
+    auto vt1 = opt_for_part(m1, params, rng);
+    const double error = vt0.error + vt1.error;
+    if (error < best.error) {
+      best.error = error;
+      best.partition = partition;
+      best.mode = DecompMode::kNonDisjoint;
+      best.shared_bit = shared;
+      best.pattern0 = std::move(vt0.pattern);
+      best.types0 = std::move(vt0.types);
+      best.pattern1 = std::move(vt1.pattern);
+      best.types1 = std::move(vt1.types);
+    }
+  }
+  return best;
+}
+
+}  // namespace dalut::core

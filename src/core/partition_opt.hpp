@@ -1,0 +1,31 @@
+// Per-partition setting optimization: thin wrappers that build the cost
+// matrix for a candidate partition and run the matching OptForPart variant,
+// returning a complete Setting. These are the units of work both DALTA's
+// random sampling and BS-SA's simulated annealing parallelize over.
+#pragma once
+
+#include <span>
+
+#include "core/opt_for_part.hpp"
+#include "core/setting.hpp"
+
+namespace dalut::core {
+
+/// Best normal-mode (disjoint) setting for `partition`.
+Setting optimize_normal(const Partition& partition, std::span<const double> c0,
+                        std::span<const double> c1,
+                        const OptForPartParams& params, util::Rng& rng);
+
+/// Best BTO setting (type vector forced to all-Pattern) for `partition`.
+Setting optimize_bto(const Partition& partition, std::span<const double> c0,
+                     std::span<const double> c1);
+
+/// Best non-disjoint setting for `partition`: enumerates every bound input
+/// as the shared bit x_s, solves the two conditional disjoint sub-problems
+/// (Sec. IV-B1 / Eq. (2)), and keeps the cheapest composition.
+Setting optimize_nondisjoint(const Partition& partition,
+                             std::span<const double> c0,
+                             std::span<const double> c1,
+                             const OptForPartParams& params, util::Rng& rng);
+
+}  // namespace dalut::core

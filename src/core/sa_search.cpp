@@ -1,0 +1,200 @@
+#include "core/sa_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+namespace dalut::core {
+
+namespace {
+
+/// Keeps `top` sorted ascending by error with at most `limit` entries and at
+/// most one entry per partition.
+void insert_top(std::vector<Setting>& top, Setting setting, unsigned limit) {
+  for (const auto& existing : top) {
+    if (existing.partition == setting.partition) return;
+  }
+  const auto pos = std::upper_bound(
+      top.begin(), top.end(), setting,
+      [](const Setting& a, const Setting& b) { return a.error < b.error; });
+  top.insert(pos, std::move(setting));
+  if (top.size() > limit) top.pop_back();
+}
+
+/// State shared by all chains: the visited set Phi, the running top-N, and
+/// the global best error E*.
+struct SharedState {
+  std::unordered_map<std::uint32_t, double> visited;  ///< Phi
+  std::vector<Setting> top;
+  std::vector<Setting> top_bto;
+  double best_error = std::numeric_limits<double>::infinity();  ///< E*
+};
+
+/// One SA walk. Chains are stepped round-robin so several walks share the
+/// partition budget the way the paper's 10 concurrent SA processes did.
+struct Chain {
+  std::optional<Partition> current;
+  double current_error = std::numeric_limits<double>::infinity();
+  double tau = 0.0;
+  unsigned stagnant = 0;
+  bool done = false;
+  util::Rng rng{0};
+};
+
+class SaSearch {
+ public:
+  SaSearch(unsigned num_inputs, unsigned bound_size,
+           std::span<const double> c0, std::span<const double> c1,
+           unsigned n_beam, const SaParams& params, util::ThreadPool* pool,
+           bool track_bto)
+      : num_inputs_(num_inputs),
+        bound_size_(bound_size),
+        c0_(c0),
+        c1_(c1),
+        n_beam_(n_beam),
+        params_(params),
+        pool_(pool),
+        track_bto_(track_bto) {}
+
+  SaSearchResult run(util::Rng& rng) {
+    std::vector<Chain> chains(std::max(1u, params_.chains));
+    for (auto& chain : chains) {
+      chain.rng = rng.fork();
+      chain.tau = params_.initial_temperature;
+    }
+
+    bool any_active = true;
+    while (any_active && state_.visited.size() < params_.partition_limit) {
+      any_active = false;
+      for (auto& chain : chains) {
+        if (chain.done) continue;
+        step(chain);
+        if (!chain.done) any_active = true;
+        if (state_.visited.size() >= params_.partition_limit) break;
+      }
+    }
+
+    SaSearchResult result;
+    result.top = std::move(state_.top);
+    result.top_bto = std::move(state_.top_bto);
+    result.partitions_visited = state_.visited.size();
+    return result;
+  }
+
+ private:
+  /// Evaluates not-yet-visited partitions (parallel when a pool is given)
+  /// and merges the results into the shared state.
+  void evaluate_batch(const std::vector<Partition>& batch, util::Rng& rng) {
+    const OptForPartParams opt_params{params_.init_patterns, 64};
+    std::vector<Setting> results(batch.size());
+    std::vector<Setting> bto_results(batch.size());
+    std::vector<util::Rng> rngs;
+    rngs.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) rngs.push_back(rng.fork());
+
+    auto work = [&](std::size_t i) {
+      results[i] = optimize_normal(batch[i], c0_, c1_, opt_params, rngs[i]);
+      if (track_bto_) bto_results[i] = optimize_bto(batch[i], c0_, c1_);
+    };
+    if (pool_ != nullptr && batch.size() > 1) {
+      pool_->parallel_for(0, batch.size(), work);
+    } else {
+      for (std::size_t i = 0; i < batch.size(); ++i) work(i);
+    }
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      state_.visited.emplace(batch[i].bound_mask(), results[i].error);
+      state_.best_error = std::min(state_.best_error, results[i].error);
+      insert_top(state_.top, std::move(results[i]), n_beam_);
+      if (track_bto_) {
+        insert_top(state_.top_bto, std::move(bto_results[i]), n_beam_);
+      }
+    }
+  }
+
+  /// One SA iteration (Algorithm 2 lines 5-19) for one chain.
+  void step(Chain& chain) {
+    if (!chain.current.has_value()) {
+      // Lines 1-3: random initial partition.
+      chain.current = Partition::random(num_inputs_, bound_size_, chain.rng);
+      if (!state_.visited.contains(chain.current->bound_mask())) {
+        evaluate_batch({*chain.current}, chain.rng);
+      }
+      chain.current_error = state_.visited.at(chain.current->bound_mask());
+      return;
+    }
+
+    const auto neighbours =
+        chain.current->random_neighbours(params_.num_neighbours, chain.rng);
+    if (neighbours.empty()) {
+      chain.done = true;
+      return;
+    }
+
+    std::vector<Partition> fresh;
+    for (const auto& nb : neighbours) {
+      if (!state_.visited.contains(nb.bound_mask())) fresh.push_back(nb);
+    }
+    const bool phi_changed = !fresh.empty();
+    if (phi_changed) evaluate_batch(fresh, chain.rng);
+
+    // Best neighbour (all errors now cached in Phi).
+    const Partition* best_nb = nullptr;
+    double best_nb_error = std::numeric_limits<double>::infinity();
+    for (const auto& nb : neighbours) {
+      const double e = state_.visited.at(nb.bound_mask());
+      if (e < best_nb_error) {
+        best_nb_error = e;
+        best_nb = &nb;
+      }
+    }
+
+    // Lines 16-17: hill step, or probabilistic uphill step scaled by the
+    // normalized error difference.
+    if (best_nb_error <= chain.current_error) {
+      chain.current = *best_nb;
+      chain.current_error = best_nb_error;
+    } else {
+      const double denom = std::max(chain.tau * state_.best_error, 1e-300);
+      const double accept =
+          std::exp((chain.current_error - best_nb_error) / denom);
+      if (chain.rng.next_double() < accept) {
+        chain.current = *best_nb;
+        chain.current_error = best_nb_error;
+      }
+    }
+    chain.tau *= params_.cooling;
+
+    if (phi_changed) {
+      chain.stagnant = 0;
+    } else if (++chain.stagnant >= params_.max_stagnant) {
+      chain.done = true;  // Line 19
+    }
+  }
+
+  unsigned num_inputs_;
+  unsigned bound_size_;
+  std::span<const double> c0_;
+  std::span<const double> c1_;
+  unsigned n_beam_;
+  SaParams params_;
+  util::ThreadPool* pool_;
+  bool track_bto_;
+  SharedState state_;
+};
+
+}  // namespace
+
+SaSearchResult find_best_settings(unsigned num_inputs, unsigned bound_size,
+                                  std::span<const double> c0,
+                                  std::span<const double> c1, unsigned n_beam,
+                                  const SaParams& params, util::Rng& rng,
+                                  util::ThreadPool* pool, bool track_bto) {
+  SaSearch search(num_inputs, bound_size, c0, c1, n_beam, params, pool,
+                  track_bto);
+  return search.run(rng);
+}
+
+}  // namespace dalut::core

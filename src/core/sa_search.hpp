@@ -1,0 +1,53 @@
+// Simulated-annealing FindBestSettings (paper Algorithm 2).
+//
+// Walks the partition-neighbourhood graph: each step evaluates N_nb
+// neighbours of the current partition with OptForPart, moves to the best
+// neighbour if it improves, or with probability exp((E_w - E*_nb)/(tau E*))
+// otherwise; tau cools by alpha per step. A shared visited-set Phi caches
+// per-partition errors, bounds the search at P partitions, and stops the
+// walk after 3 stagnant iterations. Returns the top N_beam settings seen.
+//
+// As in the paper's implementation, several SA chains can share one Phi
+// (they ran 10 chains across 44 threads); chains and intra-step neighbour
+// evaluation parallelize over the optional thread pool.
+#pragma once
+
+#include <span>
+
+#include "core/partition_opt.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dalut::core {
+
+struct SaParams {
+  unsigned partition_limit = 500;    ///< P: max distinct partitions visited
+  unsigned num_neighbours = 5;       ///< N_nb
+  double initial_temperature = 0.2;  ///< tau_0
+  double cooling = 0.9;              ///< alpha
+  unsigned init_patterns = 30;       ///< Z, forwarded to OptForPart
+  unsigned max_stagnant = 3;         ///< stop after this many stale steps
+  /// Simultaneous SA walks sharing Phi, stepped round-robin (the paper's
+  /// implementation runs 10). More chains = more restarts within the same
+  /// P budget: better stability, less depth per walk.
+  unsigned chains = 10;
+};
+
+struct SaSearchResult {
+  /// Top settings, ascending error; at most N_beam entries, one per
+  /// distinct partition.
+  std::vector<Setting> top;
+  /// Best BTO settings per visited partition (ascending error), populated
+  /// when `track_bto`; used for mode selection without a second search.
+  std::vector<Setting> top_bto;
+  std::size_t partitions_visited = 0;
+};
+
+/// FindBestSettings over the cost arrays of one output bit.
+/// `num_inputs`/`bound_size` define the partition space. `pool` may be null.
+SaSearchResult find_best_settings(unsigned num_inputs, unsigned bound_size,
+                                  std::span<const double> c0,
+                                  std::span<const double> c1, unsigned n_beam,
+                                  const SaParams& params, util::Rng& rng,
+                                  util::ThreadPool* pool, bool track_bto);
+
+}  // namespace dalut::core

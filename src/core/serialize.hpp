@@ -1,0 +1,43 @@
+// Text serialization of decomposition settings.
+//
+// An optimized configuration (the per-bit settings of an approximate LUT) is
+// the artifact a deployment flow programs into the reconfigurable hardware;
+// this module round-trips it through a line-oriented text format so
+// optimization and realization can run in separate processes:
+//
+//   dalut-config v1
+//   inputs 16 outputs 16
+//   bit 15 mode normal bound 0x01f3 error 12.5
+//   pattern 0110...            # 2^b chars
+//   types 1324...              # 2^(n-b) chars, paper's type numbering
+//   bit 14 mode nd bound 0x03e1 shared 5 error 3.25
+//   pattern0 01...
+//   types0 13...
+//   pattern1 ...
+//   types1 ...
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/setting.hpp"
+
+namespace dalut::core {
+
+struct SerializedConfig {
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  std::vector<Setting> settings;  ///< index = output bit
+};
+
+void write_config(std::ostream& out, const SerializedConfig& config);
+std::string config_to_string(const SerializedConfig& config);
+
+/// Parses a configuration; throws std::invalid_argument with a line-anchored
+/// message on malformed input.
+SerializedConfig read_config(std::istream& in);
+SerializedConfig config_from_string(const std::string& text);
+
+}  // namespace dalut::core

@@ -1,0 +1,17 @@
+#include "core/setting.hpp"
+
+namespace dalut::core {
+
+std::string to_string(DecompMode mode) {
+  switch (mode) {
+    case DecompMode::kNormal:
+      return "normal";
+    case DecompMode::kBto:
+      return "BTO";
+    case DecompMode::kNonDisjoint:
+      return "ND";
+  }
+  return "?";
+}
+
+}  // namespace dalut::core

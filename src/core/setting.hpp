@@ -1,0 +1,56 @@
+// Decomposition settings: s = (E, omega, V, T) per Sec. III-A, extended with
+// the operating mode and the non-disjoint fields of Sec. IV.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+
+namespace dalut::core {
+
+/// Row types of the 2D truth table (Theorem 1), keeping the paper's 1..4
+/// numbering: AllZero=1, AllOne=2, Pattern=3 (row == V), Complement=4.
+enum class RowType : std::uint8_t {
+  kAllZero = 1,
+  kAllOne = 2,
+  kPattern = 3,
+  kComplement = 4,
+};
+
+/// Operating mode of one approximate single-output LUT (Sec. IV).
+enum class DecompMode : std::uint8_t {
+  kNormal = 0,       ///< disjoint decomposition, bound + free table
+  kBto = 1,          ///< bound-table-only: T == all Pattern, free table off
+  kNonDisjoint = 2,  ///< one shared bit, bound + two free tables
+};
+
+std::string to_string(DecompMode mode);
+
+/// A complete decomposition setting for one output bit.
+struct Setting {
+  double error = std::numeric_limits<double>::infinity();  ///< E (MED)
+  Partition partition{2, 0b01};                            ///< omega
+  DecompMode mode = DecompMode::kNormal;
+
+  // Normal / BTO: V over the 2^b columns and T over the 2^(n-b) rows.
+  // (BTO keeps T materialized as all-Pattern so realization is uniform.)
+  std::vector<std::uint8_t> pattern;  ///< V, one bit per column
+  std::vector<RowType> types;         ///< T, one type per row
+
+  // Non-disjoint only: shared input x_s (0-based index, member of B) and the
+  // two conditional sub-decompositions over B \ {x_s}.
+  unsigned shared_bit = 0;
+  std::vector<std::uint8_t> pattern0;  ///< V_0 (x_s = 0), 2^(b-1) entries
+  std::vector<std::uint8_t> pattern1;  ///< V_1 (x_s = 1)
+  std::vector<RowType> types0;         ///< T_0, 2^(n-b) entries
+  std::vector<RowType> types1;         ///< T_1
+
+  bool valid() const noexcept {
+    return error != std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace dalut::core

@@ -1,0 +1,107 @@
+#include "core/table_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dalut::core {
+
+namespace {
+
+constexpr const char* kMagic = "dalut-table v1";
+
+/// Strips comments and returns the whitespace-tokenized remainder of `in`.
+std::string strip_comments(std::istream& in) {
+  std::string text, line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+}  // namespace
+
+void write_function(std::ostream& out, const MultiOutputFunction& g,
+                    unsigned words_per_line) {
+  out << kMagic << "\n";
+  out << "inputs " << g.num_inputs() << " outputs " << g.num_outputs()
+      << "\n";
+  const int digits = static_cast<int>((g.num_outputs() + 3) / 4);
+  char buffer[16];
+  for (InputWord x = 0; x < g.domain_size(); ++x) {
+    std::snprintf(buffer, sizeof buffer, "%0*x", digits, g.value(x));
+    out << buffer;
+    out << (((x + 1) % words_per_line == 0) ? '\n' : ' ');
+  }
+  if (g.domain_size() % words_per_line != 0) out << "\n";
+}
+
+std::string function_to_string(const MultiOutputFunction& g) {
+  std::ostringstream out;
+  write_function(out, g);
+  return out.str();
+}
+
+MultiOutputFunction read_function(std::istream& in) {
+  std::istringstream text(strip_comments(in));
+
+  // Header: magic is two tokens.
+  std::string word1, word2;
+  if (!(text >> word1 >> word2) || word1 + " " + word2 != kMagic) {
+    throw std::invalid_argument("not a dalut-table v1 file");
+  }
+  std::string key;
+  unsigned num_inputs = 0, num_outputs = 0;
+  if (!(text >> key >> num_inputs) || key != "inputs" ||
+      !(text >> key >> num_outputs) || key != "outputs") {
+    throw std::invalid_argument("expected 'inputs <n> outputs <m>' header");
+  }
+  if (num_inputs < 2 || num_inputs > 26 || num_outputs < 1 ||
+      num_outputs > 26) {
+    throw std::invalid_argument("implausible inputs/outputs header");
+  }
+
+  const std::size_t domain = std::size_t{1} << num_inputs;
+  const OutputWord mask =
+      static_cast<OutputWord>((std::uint64_t{1} << num_outputs) - 1);
+  std::vector<OutputWord> values;
+  values.reserve(domain);
+  std::string token;
+  while (text >> token) {
+    std::size_t consumed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(token, &consumed, 16);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad hex word '" + token + "'");
+    }
+    if (consumed != token.size()) {
+      throw std::invalid_argument("bad hex word '" + token + "'");
+    }
+    if ((value & ~static_cast<unsigned long>(mask)) != 0) {
+      throw std::invalid_argument("value '" + token +
+                                  "' exceeds the output width");
+    }
+    if (values.size() == domain) {
+      throw std::invalid_argument("too many table entries");
+    }
+    values.push_back(static_cast<OutputWord>(value));
+  }
+  if (values.size() != domain) {
+    throw std::invalid_argument(
+        "table has " + std::to_string(values.size()) + " entries, expected " +
+        std::to_string(domain));
+  }
+  return MultiOutputFunction(num_inputs, num_outputs, std::move(values));
+}
+
+MultiOutputFunction function_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_function(in);
+}
+
+}  // namespace dalut::core

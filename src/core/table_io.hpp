@@ -1,0 +1,30 @@
+// Truth-table file IO: lets the optimizer run on user-supplied functions.
+//
+// Format ("dalut-table v1"): a header followed by one hex output word per
+// input code, in input-code order. Compact, diffable, and trivially
+// producible from any language:
+//
+//   dalut-table v1
+//   inputs 8 outputs 8
+//   00 03 07 0a ...        # any amount of whitespace/newlines between words
+//
+// '#' starts a comment anywhere on a line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/multi_output_function.hpp"
+
+namespace dalut::core {
+
+void write_function(std::ostream& out, const MultiOutputFunction& g,
+                    unsigned words_per_line = 16);
+std::string function_to_string(const MultiOutputFunction& g);
+
+/// Parses a table; throws std::invalid_argument on malformed input
+/// (bad header, wrong word count, value exceeding the output width).
+MultiOutputFunction read_function(std::istream& in);
+MultiOutputFunction function_from_string(const std::string& text);
+
+}  // namespace dalut::core

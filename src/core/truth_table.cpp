@@ -1,0 +1,55 @@
+#include "core/truth_table.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace dalut::core {
+
+TruthTable::TruthTable(unsigned num_inputs)
+    : num_inputs_(num_inputs),
+      words_((std::size_t{1} << num_inputs) / 64 + 1, 0) {
+  assert(num_inputs <= 26 && "truth table would exceed 8 MiB");
+}
+
+TruthTable TruthTable::from_eval(unsigned num_inputs,
+                                 const std::function<bool(InputWord)>& f) {
+  TruthTable table(num_inputs);
+  for (InputWord x = 0; x < table.size(); ++x) table.set(x, f(x));
+  return table;
+}
+
+TruthTable TruthTable::from_bits(unsigned num_inputs,
+                                 const std::string& bits) {
+  TruthTable table(num_inputs);
+  if (bits.size() != table.size()) {
+    throw std::invalid_argument("truth table bit string has wrong length");
+  }
+  for (InputWord x = 0; x < table.size(); ++x) {
+    const char c = bits[x];
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("truth table bit string must be 0/1");
+    }
+    table.set(x, c == '1');
+  }
+  return table;
+}
+
+std::size_t TruthTable::count_ones() const noexcept {
+  std::size_t total = 0;
+  for (const auto word : words_) total += std::popcount(word);
+  // The tail beyond 2^n bits is always zero by construction.
+  return total;
+}
+
+std::size_t TruthTable::hamming_distance(const TruthTable& other) const {
+  assert(num_inputs_ == other.num_inputs_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] ^ other.words_[i]);
+  }
+  return total;
+}
+
+}  // namespace dalut::core

@@ -1,0 +1,54 @@
+// Packed single-output truth table for an n-input Boolean function.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dalut::core {
+
+/// An n-bit input assignment encoded as an integer: bit i (0-based, LSB)
+/// holds input x_{i+1} in the paper's 1-based notation.
+using InputWord = std::uint32_t;
+
+class TruthTable {
+ public:
+  /// All-zero function of `num_inputs` variables.
+  explicit TruthTable(unsigned num_inputs);
+
+  static TruthTable from_eval(unsigned num_inputs,
+                              const std::function<bool(InputWord)>& f);
+  /// Builds from a bit string over input codes 0,1,2,...: "0110" means
+  /// f(0)=0, f(1)=1, f(2)=1, f(3)=0. Handy for tests and paper examples.
+  static TruthTable from_bits(unsigned num_inputs, const std::string& bits);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  std::size_t size() const noexcept { return std::size_t{1} << num_inputs_; }
+
+  bool get(InputWord x) const noexcept {
+    return (words_[x >> 6] >> (x & 63)) & 1u;
+  }
+  void set(InputWord x, bool value) noexcept {
+    const std::uint64_t bit = std::uint64_t{1} << (x & 63);
+    if (value) {
+      words_[x >> 6] |= bit;
+    } else {
+      words_[x >> 6] &= ~bit;
+    }
+  }
+
+  /// Number of minterms (inputs mapped to 1).
+  std::size_t count_ones() const noexcept;
+
+  /// Number of inputs on which the two tables differ.
+  std::size_t hamming_distance(const TruthTable& other) const;
+
+  bool operator==(const TruthTable& other) const = default;
+
+ private:
+  unsigned num_inputs_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace dalut::core

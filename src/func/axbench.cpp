@@ -1,0 +1,118 @@
+#include "func/axbench.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <cmath>
+#include <numbers>
+
+namespace dalut::func {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+struct OperandSplit {
+  unsigned half;
+  std::uint32_t mask;
+};
+
+OperandSplit split(unsigned width) {
+  if (width % 2 != 0 || width < 4) {
+    throw std::invalid_argument(
+        "two-operand benchmarks need an even width >= 4");
+  }
+  const unsigned half = width / 2;
+  return {half, (1u << half) - 1};
+}
+
+/// Quantizes y (clamped to [lo, hi]) onto `bits`-bit codes.
+std::uint32_t quantize(double y, double lo, double hi, unsigned bits) {
+  const double t = std::clamp((y - lo) / (hi - lo), 0.0, 1.0);
+  return static_cast<std::uint32_t>(
+      std::lround(t * static_cast<double>((1u << bits) - 1)));
+}
+
+}  // namespace
+
+FunctionSpec make_brent_kung(unsigned width) {
+  const auto [half, mask] = split(width);
+  FunctionSpec spec;
+  spec.name = "brentkung";
+  spec.num_inputs = width;
+  spec.num_outputs = half + 1;
+  spec.continuous = false;
+  spec.domain = "two unsigned operands";
+  spec.range = "sum with carry";
+  spec.eval = [half = half, mask = mask](std::uint32_t code) {
+    const std::uint32_t a = code & mask;
+    const std::uint32_t b = (code >> half) & mask;
+    return a + b;  // (half+1)-bit result
+  };
+  return spec;
+}
+
+FunctionSpec make_forwardk2j(unsigned width) {
+  const auto [half, mask] = split(width);
+  FunctionSpec spec;
+  spec.name = "forwardk2j";
+  spec.num_inputs = width;
+  spec.num_outputs = width;
+  spec.continuous = false;
+  spec.domain = "theta1, theta2 in [0, pi/2]";
+  spec.range = "effector x in [-1, 1]";
+  spec.eval = [half = half, mask = mask, width](std::uint32_t code) {
+    const double levels = static_cast<double>(mask);
+    const double theta1 =
+        (kPi / 2) * static_cast<double>(code & mask) / levels;
+    const double theta2 =
+        (kPi / 2) * static_cast<double>((code >> half) & mask) / levels;
+    const double x = kLinkLength1 * std::cos(theta1) +
+                     kLinkLength2 * std::cos(theta1 + theta2);
+    return quantize(x, -1.0, 1.0, width);
+  };
+  return spec;
+}
+
+FunctionSpec make_inversek2j(unsigned width) {
+  const auto [half, mask] = split(width);
+  FunctionSpec spec;
+  spec.name = "inversek2j";
+  spec.num_inputs = width;
+  spec.num_outputs = width;
+  spec.continuous = false;
+  spec.domain = "effector (x, y) in [0, 1]^2";
+  spec.range = "theta2 in [0, pi] (0 where unreachable)";
+  spec.eval = [half = half, mask = mask, width](std::uint32_t code) {
+    const double levels = static_cast<double>(mask);
+    const double x = static_cast<double>(code & mask) / levels;
+    const double y = static_cast<double>((code >> half) & mask) / levels;
+    const double c = (x * x + y * y - kLinkLength1 * kLinkLength1 -
+                      kLinkLength2 * kLinkLength2) /
+                     (2 * kLinkLength1 * kLinkLength2);
+    // Unreachable points (|c| > 1) saturate, which makes the output
+    // discontinuous across the workspace boundary - the reason this
+    // benchmark defeats Taylor-based approximate LUTs.
+    const double theta2 = std::acos(std::clamp(c, -1.0, 1.0));
+    return quantize(theta2, 0.0, kPi, width);
+  };
+  return spec;
+}
+
+FunctionSpec make_multiplier(unsigned width) {
+  const auto [half, mask] = split(width);
+  FunctionSpec spec;
+  spec.name = "multiplier";
+  spec.num_inputs = width;
+  spec.num_outputs = width;
+  spec.continuous = false;
+  spec.domain = "two unsigned operands";
+  spec.range = "product";
+  spec.eval = [half = half, mask = mask](std::uint32_t code) {
+    const std::uint32_t a = code & mask;
+    const std::uint32_t b = (code >> half) & mask;
+    return a * b;
+  };
+  return spec;
+}
+
+}  // namespace dalut::func

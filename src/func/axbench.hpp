@@ -1,0 +1,27 @@
+// The four non-continuous benchmarks of paper Table I, reimplemented from
+// their AxBench definitions. Each stitches two (width/2)-bit operands into a
+// `width`-bit input word: operand a = low half, operand b = high half.
+//
+//  * Brent-Kung : (width/2)-bit + (width/2)-bit adder, (width/2 + 1) outputs.
+//  * Forwardk2j : 2-joint forward kinematics, x-coordinate of the effector.
+//  * Inversek2j : 2-joint inverse kinematics, elbow angle theta2.
+//  * Multiplier : exact (width/2) x (width/2) unsigned multiplier.
+//
+// With width = 16 these match the paper: 16 inputs, and 9/16/16/16 outputs.
+#pragma once
+
+#include "func/function_spec.hpp"
+
+namespace dalut::func {
+
+/// Arm-segment lengths used by the kinematics benchmarks (AxBench uses a
+/// two-link arm; we fix unit-sum links so the workspace is [0, 1]-normalized).
+inline constexpr double kLinkLength1 = 0.5;
+inline constexpr double kLinkLength2 = 0.5;
+
+FunctionSpec make_brent_kung(unsigned width = 16);
+FunctionSpec make_forwardk2j(unsigned width = 16);
+FunctionSpec make_inversek2j(unsigned width = 16);
+FunctionSpec make_multiplier(unsigned width = 16);
+
+}  // namespace dalut::func

@@ -1,0 +1,51 @@
+#include "func/continuous.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dalut::func {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+FunctionSpec make_cos(unsigned width) {
+  return quantized_real_function("cos", width, width, 0.0, kPi / 2, 0.0, 1.0,
+                                 [](double x) { return std::cos(x); });
+}
+
+FunctionSpec make_tan(unsigned width) {
+  // tan(2*pi/5) = 3.0776...; Table I rounds the range to [0, 3.08].
+  return quantized_real_function("tan", width, width, 0.0, 2 * kPi / 5, 0.0,
+                                 std::tan(2 * kPi / 5),
+                                 [](double x) { return std::tan(x); });
+}
+
+FunctionSpec make_exp(unsigned width) {
+  // Table I quantizes the output over [0, 20.09] (not [1, 20.09]).
+  return quantized_real_function("exp", width, width, 0.0, 3.0, 0.0,
+                                 std::exp(3.0),
+                                 [](double x) { return std::exp(x); });
+}
+
+FunctionSpec make_ln(unsigned width) {
+  return quantized_real_function("ln", width, width, 1.0, 10.0, 0.0,
+                                 std::log(10.0),
+                                 [](double x) { return std::log(x); });
+}
+
+FunctionSpec make_erf(unsigned width) {
+  return quantized_real_function("erf", width, width, 0.0, 3.0, 0.0, 1.0,
+                                 [](double x) { return std::erf(x); });
+}
+
+FunctionSpec make_denoise(unsigned width) {
+  // Peak value x*exp(-x^2/3.57) at x = sqrt(3.57/2) is ~0.8103, matching
+  // Table I's reported range [0, 0.81].
+  const double peak = std::sqrt(3.57 / 2.0) * std::exp(-0.5);
+  return quantized_real_function(
+      "denoise", width, width, 0.0, 3.0, 0.0, peak,
+      [](double x) { return x * std::exp(-x * x / 3.57); });
+}
+
+}  // namespace dalut::func

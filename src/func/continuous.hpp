@@ -1,0 +1,23 @@
+// The six continuous benchmarks of paper Table I (originating from the
+// ApproxLUT paper): cos, tan, exp, ln, erf, denoise. Domains and ranges
+// follow Table I; inputs and outputs are quantized to `width` bits each
+// (16 in the paper; smaller widths supported for scaled-down experiments).
+#pragma once
+
+#include "func/function_spec.hpp"
+
+namespace dalut::func {
+
+FunctionSpec make_cos(unsigned width = 16);      ///< cos(x),  x in [0, pi/2]
+FunctionSpec make_tan(unsigned width = 16);      ///< tan(x),  x in [0, 2*pi/5]
+FunctionSpec make_exp(unsigned width = 16);      ///< exp(x),  x in [0, 3]
+FunctionSpec make_ln(unsigned width = 16);       ///< ln(x),   x in [1, 10]
+FunctionSpec make_erf(unsigned width = 16);      ///< erf(x),  x in [0, 3]
+/// Image-denoising kernel, x in [0, 3], range [0, 0.81]. The exact analytic
+/// form used by ApproxLUT is not published; we use the Gaussian-weighted
+/// kernel g(x) = x * exp(-x^2 / 3.57), which matches Table I's domain/range
+/// ([0,3] -> [0, ~0.81]) and the unimodal, non-linear shape of a
+/// range-filter denoising kernel (see DESIGN.md substitution notes).
+FunctionSpec make_denoise(unsigned width = 16);
+
+}  // namespace dalut::func

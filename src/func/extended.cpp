@@ -1,0 +1,46 @@
+#include "func/extended.hpp"
+
+#include <cmath>
+
+namespace dalut::func {
+
+FunctionSpec make_sqrt(unsigned width) {
+  return quantized_real_function("sqrt", width, width, 0.0, 4.0, 0.0, 2.0,
+                                 [](double x) { return std::sqrt(x); });
+}
+
+FunctionSpec make_reciprocal(unsigned width) {
+  return quantized_real_function("reciprocal", width, width, 1.0, 8.0, 0.0,
+                                 1.0, [](double x) { return 1.0 / x; });
+}
+
+FunctionSpec make_sigmoid(unsigned width) {
+  return quantized_real_function(
+      "sigmoid", width, width, -6.0, 6.0, 0.0, 1.0,
+      [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+FunctionSpec make_gaussian(unsigned width) {
+  return quantized_real_function(
+      "gaussian", width, width, -4.0, 4.0, 0.0, 1.0,
+      [](double x) { return std::exp(-0.5 * x * x); });
+}
+
+FunctionSpec make_atan(unsigned width) {
+  return quantized_real_function("atan", width, width, 0.0, 8.0, 0.0,
+                                 std::atan(8.0),
+                                 [](double x) { return std::atan(x); });
+}
+
+FunctionSpec make_log2(unsigned width) {
+  return quantized_real_function("log2", width, width, 1.0, 16.0, 0.0, 4.0,
+                                 [](double x) { return std::log2(x); });
+}
+
+std::vector<FunctionSpec> extended_suite(unsigned width) {
+  return {make_sqrt(width),     make_reciprocal(width),
+          make_sigmoid(width),  make_gaussian(width),
+          make_atan(width),     make_log2(width)};
+}
+
+}  // namespace dalut::func

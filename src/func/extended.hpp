@@ -1,0 +1,23 @@
+// Extended function suite: common hardware-accelerated kernels beyond the
+// paper's Table I, using the same quantization conventions. Useful for
+// users evaluating the library on their own workloads and exercised by the
+// bound-size and distribution studies.
+#pragma once
+
+#include <vector>
+
+#include "func/function_spec.hpp"
+
+namespace dalut::func {
+
+FunctionSpec make_sqrt(unsigned width = 16);        ///< sqrt(x),  x in [0, 4]
+FunctionSpec make_reciprocal(unsigned width = 16);  ///< 1/x,      x in [1, 8]
+FunctionSpec make_sigmoid(unsigned width = 16);     ///< logistic, x in [-6, 6]
+FunctionSpec make_gaussian(unsigned width = 16);    ///< e^(-x^2/2), [-4, 4]
+FunctionSpec make_atan(unsigned width = 16);        ///< atan(x),  x in [0, 8]
+FunctionSpec make_log2(unsigned width = 16);        ///< log2(x),  x in [1, 16]
+
+/// All six, in the order above.
+std::vector<FunctionSpec> extended_suite(unsigned width = 16);
+
+}  // namespace dalut::func

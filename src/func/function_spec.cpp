@@ -1,0 +1,40 @@
+#include "func/function_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dalut::func {
+
+namespace {
+std::string interval(double lo, double hi) {
+  std::ostringstream out;
+  out << "[" << lo << ", " << hi << "]";
+  return out.str();
+}
+}  // namespace
+
+FunctionSpec quantized_real_function(std::string name, unsigned n, unsigned m,
+                                     double lo, double hi, double rlo,
+                                     double rhi,
+                                     std::function<double(double)> f) {
+  FunctionSpec spec;
+  spec.name = std::move(name);
+  spec.num_inputs = n;
+  spec.num_outputs = m;
+  spec.continuous = true;
+  spec.domain = interval(lo, hi);
+  spec.range = interval(rlo, rhi);
+  const double in_levels = static_cast<double>((1u << n) - 1);
+  const double out_levels = static_cast<double>((1u << m) - 1);
+  spec.eval = [=, f = std::move(f)](std::uint32_t code) -> std::uint32_t {
+    const double x = lo + (hi - lo) * static_cast<double>(code) / in_levels;
+    const double y = f(x);
+    const double t = (y - rlo) / (rhi - rlo);
+    const double q = std::clamp(t, 0.0, 1.0) * out_levels;
+    return static_cast<std::uint32_t>(std::lround(q));
+  };
+  return spec;
+}
+
+}  // namespace dalut::func

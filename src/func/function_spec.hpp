@@ -1,0 +1,35 @@
+// Benchmark function specifications (paper Table I).
+//
+// A FunctionSpec describes an n-input m-output Boolean function as a mapping
+// from input code to output code, plus metadata used by the experiment
+// harnesses. Continuous functions quantize a real function over a domain;
+// non-continuous ones stitch two fixed-width operands into the input word.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dalut::func {
+
+struct FunctionSpec {
+  std::string name;
+  unsigned num_inputs = 0;   ///< n: input bits
+  unsigned num_outputs = 0;  ///< m: output bits
+  bool continuous = false;
+  std::string domain;  ///< human-readable domain description
+  std::string range;   ///< human-readable range description
+  /// Maps an n-bit input code to an m-bit output code.
+  std::function<std::uint32_t(std::uint32_t)> eval;
+};
+
+/// Quantizes real input/output: input code i in [0, 2^n) maps linearly onto
+/// [lo, hi]; the real result f(x) is quantized linearly onto [rlo, rhi] with
+/// 2^m levels (clamped). This is the standard fixed-point LUT discretization
+/// the paper (and ApproxLUT before it) uses for the continuous benchmarks.
+FunctionSpec quantized_real_function(std::string name, unsigned n, unsigned m,
+                                     double lo, double hi, double rlo,
+                                     double rhi,
+                                     std::function<double(double)> f);
+
+}  // namespace dalut::func

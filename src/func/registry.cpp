@@ -1,0 +1,60 @@
+#include "func/registry.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "func/axbench.hpp"
+#include "func/continuous.hpp"
+
+namespace dalut::func {
+
+namespace {
+
+using Factory = FunctionSpec (*)(unsigned width);
+
+struct Entry {
+  const char* name;
+  Factory make;
+  bool needs_even_width;
+};
+
+constexpr std::array<Entry, 10> kEntries{{
+    {"cos", make_cos, false},
+    {"tan", make_tan, false},
+    {"exp", make_exp, false},
+    {"ln", make_ln, false},
+    {"erf", make_erf, false},
+    {"denoise", make_denoise, false},
+    {"brentkung", make_brent_kung, true},
+    {"forwardk2j", make_forwardk2j, true},
+    {"inversek2j", make_inversek2j, true},
+    {"multiplier", make_multiplier, true},
+}};
+
+}  // namespace
+
+std::vector<FunctionSpec> benchmark_suite(unsigned width) {
+  if (width % 2 != 0 || width < 4) {
+    throw std::invalid_argument(
+        "the full suite needs an even width >= 4 (two stitched operands)");
+  }
+  std::vector<FunctionSpec> suite;
+  suite.reserve(kEntries.size());
+  for (const auto& entry : kEntries) suite.push_back(entry.make(width));
+  return suite;
+}
+
+std::optional<FunctionSpec> benchmark_by_name(const std::string& name,
+                                              unsigned width) {
+  for (const auto& entry : kEntries) {
+    if (name != entry.name) continue;
+    if (entry.needs_even_width && (width % 2 != 0 || width < 4)) {
+      throw std::invalid_argument("benchmark '" + name +
+                                  "' needs an even width >= 4");
+    }
+    return entry.make(width);
+  }
+  return std::nullopt;
+}
+
+}  // namespace dalut::func

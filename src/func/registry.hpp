@@ -1,0 +1,24 @@
+// Registry assembling the paper's full benchmark suite (Table I).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "func/function_spec.hpp"
+
+namespace dalut::func {
+
+/// The ten benchmarks of Table I in paper order: cos, tan, exp, ln, erf,
+/// denoise, brentkung, forwardk2j, inversek2j, multiplier. `width` is the
+/// input bit-width (16 reproduces the paper; smaller even widths give scaled
+/// versions for fast runs and tests). Throws std::invalid_argument for odd
+/// widths (the non-continuous functions stitch two equal operands).
+std::vector<FunctionSpec> benchmark_suite(unsigned width = 16);
+
+/// Looks a benchmark up by name (as listed above); empty if unknown.
+/// Continuous benchmarks accept any width >= 2; the two-operand ones throw
+/// for odd widths.
+std::optional<FunctionSpec> benchmark_by_name(const std::string& name,
+                                              unsigned width = 16);
+
+}  // namespace dalut::func

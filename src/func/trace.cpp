@@ -1,0 +1,71 @@
+#include "func/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace dalut::func {
+
+std::vector<std::uint32_t> generate_trace(TraceKind kind, std::size_t count,
+                                          unsigned num_inputs,
+                                          util::Rng& rng) {
+  const std::uint64_t domain = std::uint64_t{1} << num_inputs;
+  const std::uint32_t mask = static_cast<std::uint32_t>(domain - 1);
+  std::vector<std::uint32_t> trace(count);
+
+  switch (kind) {
+    case TraceKind::kUniform:
+      for (auto& x : trace) {
+        x = static_cast<std::uint32_t>(rng.next_below(domain));
+      }
+      break;
+    case TraceKind::kGaussian: {
+      const double mu = static_cast<double>(domain) / 2.0;
+      const double sigma = static_cast<double>(domain) / 8.0;
+      for (auto& x : trace) {
+        // Box-Muller; clamp into the domain.
+        const double u1 = std::max(rng.next_double(), 1e-12);
+        const double u2 = rng.next_double();
+        const double z =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307 * u2);
+        const double value = std::clamp(mu + sigma * z, 0.0,
+                                        static_cast<double>(domain - 1));
+        x = static_cast<std::uint32_t>(value);
+      }
+      break;
+    }
+    case TraceKind::kSequential: {
+      const auto start = static_cast<std::uint32_t>(rng.next_below(domain));
+      for (std::size_t i = 0; i < count; ++i) {
+        trace[i] = (start + static_cast<std::uint32_t>(i)) & mask;
+      }
+      break;
+    }
+    case TraceKind::kRandomWalk: {
+      std::uint32_t current =
+          static_cast<std::uint32_t>(rng.next_below(domain));
+      for (auto& x : trace) {
+        // Flip one or two random bits per step.
+        current ^= std::uint32_t{1} << rng.next_below(num_inputs);
+        if (rng.next_bool(0.3)) {
+          current ^= std::uint32_t{1} << rng.next_below(num_inputs);
+        }
+        x = current & mask;
+      }
+      break;
+    }
+  }
+  return trace;
+}
+
+double trace_activity(const std::vector<std::uint32_t>& trace) {
+  if (trace.size() < 2) return 0.0;
+  std::uint64_t toggles = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    toggles += std::popcount(trace[i] ^ trace[i - 1]);
+  }
+  return static_cast<double>(toggles) /
+         static_cast<double>(trace.size() - 1);
+}
+
+}  // namespace dalut::func

@@ -1,0 +1,32 @@
+// Input-trace generation for energy measurement.
+//
+// The simulator's data-dependent energy term reacts to how inputs toggle
+// between consecutive reads; real workloads differ from uniform-random
+// addressing (the paper's 1024-read measurement). These generators cover
+// the common shapes: uniform, value-clustered (Gaussian), sequential
+// sweeps, and low-activity random walks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dalut::func {
+
+enum class TraceKind {
+  kUniform,     ///< independent uniform addresses (paper's measurement)
+  kGaussian,    ///< clustered around mid-range (sensor-like)
+  kSequential,  ///< monotone ramp (streaming/sweep access)
+  kRandomWalk,  ///< each read flips a few random bits (low activity)
+};
+
+/// `count` input codes over `num_inputs` bits.
+std::vector<std::uint32_t> generate_trace(TraceKind kind, std::size_t count,
+                                          unsigned num_inputs,
+                                          util::Rng& rng);
+
+/// Mean input-bit toggles between consecutive trace entries.
+double trace_activity(const std::vector<std::uint32_t>& trace);
+
+}  // namespace dalut::func

@@ -1,0 +1,180 @@
+#include "hw/architectures.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dalut::hw {
+
+namespace {
+
+std::vector<std::uint32_t> widen(const std::vector<std::uint8_t>& bits) {
+  return {bits.begin(), bits.end()};
+}
+
+/// Pads table contents with zeros to `entries` (a BTO bit leaves its free
+/// table unprogrammed; the hardware array still exists).
+std::vector<std::uint32_t> pad_to(std::vector<std::uint32_t> v,
+                                  std::size_t entries) {
+  v.resize(entries, 0);
+  return v;
+}
+
+}  // namespace
+
+std::string to_string(ArchKind kind) {
+  switch (kind) {
+    case ArchKind::kDalta:
+      return "DALTA";
+    case ArchKind::kBtoNormal:
+      return "BTO-Normal";
+    case ArchKind::kBtoNormalNd:
+      return "BTO-Normal-ND";
+  }
+  return "?";
+}
+
+ApproxLutUnit::ApproxLutUnit(ArchKind kind, core::DecomposedBit bit,
+                             unsigned num_inputs, const Technology& tech)
+    : kind_(kind),
+      bit_(std::move(bit)),
+      num_inputs_(num_inputs),
+      tech_(tech),
+      routing_(num_inputs, tech),
+      bound_(bit_.partition().bound_size(), 1, tech) {
+  const unsigned free_addr_bits =
+      num_inputs - bit_.partition().bound_size() + 1;
+  const std::size_t free_entries = std::size_t{1} << free_addr_bits;
+
+  using core::DecompMode;
+  const DecompMode mode = bit_.mode();
+  switch (kind) {
+    case ArchKind::kDalta:
+      if (mode != DecompMode::kNormal) {
+        throw std::invalid_argument("DALTA supports only the normal mode");
+      }
+      free0_.emplace_back(free_addr_bits, 1, tech);
+      break;
+    case ArchKind::kBtoNormal:
+      if (mode == DecompMode::kNonDisjoint) {
+        throw std::invalid_argument("BTO-Normal does not support ND");
+      }
+      free0_.emplace_back(free_addr_bits, 1, tech);
+      glue_mux_count_ = 1;   // phi / F select by `mode`
+      clock_gate_count_ = 1; // free table
+      break;
+    case ArchKind::kBtoNormalNd:
+      free0_.emplace_back(free_addr_bits, 1, tech);
+      free1_.emplace_back(free_addr_bits, 1, tech);
+      glue_mux_count_ = 3;   // x_s select + two mode muxes (Fig. 4)
+      clock_gate_count_ = 2; // both free tables
+      break;
+  }
+
+  bound_.program(pad_to(widen(bit_.bound_table()), bound_.entries()));
+  if (!free0_.empty()) {
+    free0_.front().program(
+        pad_to(widen(bit_.free_table0()), free_entries));
+  }
+  if (!free1_.empty()) {
+    free1_.front().program(
+        pad_to(widen(bit_.free_table1()), free_entries));
+  }
+}
+
+bool ApproxLutUnit::free0_enabled() const noexcept {
+  if (free0_.empty()) return false;
+  if (kind_ == ArchKind::kDalta) return true;  // no gate in this architecture
+  return mode() != core::DecompMode::kBto;
+}
+
+bool ApproxLutUnit::free1_enabled() const noexcept {
+  return !free1_.empty() && mode() == core::DecompMode::kNonDisjoint;
+}
+
+double ApproxLutUnit::area() const {
+  double total = routing_.area() + bound_.area();
+  if (!free0_.empty()) total += free0_.front().area();
+  if (!free1_.empty()) total += free1_.front().area();
+  total += glue_mux_count_ * tech_.mux2_area;
+  total += clock_gate_count_ * tech_.icg_area;
+  return total;
+}
+
+double ApproxLutUnit::read_energy() const {
+  double total = routing_.read_energy() + bound_.read_energy(true);
+  if (!free0_.empty()) {
+    total += free0_.front().read_energy(free0_enabled());
+    if (clock_gate_count_ >= 1 && free0_enabled()) total += tech_.icg_energy;
+  }
+  if (!free1_.empty()) {
+    total += free1_.front().read_energy(free1_enabled());
+    if (clock_gate_count_ >= 2 && free1_enabled()) total += tech_.icg_energy;
+  }
+  // Glue muxes toggle with ~50% activity on random reads.
+  total += glue_mux_count_ * 0.5 * (tech_.mux2_sw_energy + tech_.wire_energy);
+  return total;
+}
+
+double ApproxLutUnit::delay() const {
+  // Critical path: routing -> bound table -> (free table) -> glue muxes.
+  double path = routing_.delay() + bound_.delay();
+  double free_delay = 0.0;
+  if (!free0_.empty() && free0_enabled()) {
+    free_delay = free0_.front().delay();
+  }
+  if (!free1_.empty() && free1_enabled()) {
+    free_delay = std::max(free_delay, free1_.front().delay());
+  }
+  path += free_delay;
+  path += glue_mux_count_ * tech_.mux2_delay;
+  return path;
+}
+
+double ApproxLutUnit::leakage() const {
+  double total = routing_.leakage() + bound_.leakage();
+  if (!free0_.empty()) total += free0_.front().leakage();
+  if (!free1_.empty()) total += free1_.front().leakage();
+  total += glue_mux_count_ * tech_.mux2_leakage;
+  total += clock_gate_count_ * tech_.icg_leakage;
+  return total;
+}
+
+CostSummary ApproxLutUnit::cost() const {
+  return CostSummary{area(), read_energy(), delay(), leakage()};
+}
+
+ApproxLutSystem::ApproxLutSystem(ArchKind kind, const core::ApproxLut& lut,
+                                 const Technology& tech)
+    : kind_(kind), num_inputs_(lut.num_inputs()) {
+  units_.reserve(lut.num_outputs());
+  for (unsigned k = 0; k < lut.num_outputs(); ++k) {
+    units_.emplace_back(kind, lut.bit(k), num_inputs_, tech);
+  }
+}
+
+core::OutputWord ApproxLutSystem::read(core::InputWord x) const noexcept {
+  core::OutputWord y = 0;
+  for (unsigned k = 0; k < units_.size(); ++k) {
+    if (units_[k].read(x)) y |= core::OutputWord{1} << k;
+  }
+  return y;
+}
+
+CostSummary ApproxLutSystem::cost() const {
+  CostSummary total;
+  for (const auto& unit : units_) total += unit.cost();
+  return total;
+}
+
+MonolithicLut::MonolithicLut(unsigned addr_bits, unsigned width,
+                             std::vector<std::uint32_t> contents,
+                             const Technology& tech, unsigned addr_shift,
+                             unsigned out_shift)
+    : ram_(addr_bits, width, tech),
+      addr_shift_(addr_shift),
+      out_shift_(out_shift) {
+  ram_.program(std::move(contents));
+}
+
+}  // namespace dalut::hw

@@ -1,0 +1,124 @@
+// Hardware models of the approximate-LUT architectures.
+//
+//  * kDalta       - Fig. 1(b): routing box + bound table + free table.
+//  * kBtoNormal   - Fig. 2(b): adds a clock gate on the free table and an
+//                   output mux, enabling the power-saving BTO mode.
+//  * kBtoNormalNd - Fig. 4: adds a second free table and the x_s / mode
+//                   muxes, enabling the accuracy-improving ND mode.
+//
+// Each unit implements ONE output bit; a system instantiates one unit per
+// output bit plus nothing shared (each bit has its own routing box, as in
+// the paper). Units expose both the functional read and the cost model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "hw/lut_ram.hpp"
+#include "hw/routing_box.hpp"
+
+namespace dalut::hw {
+
+enum class ArchKind {
+  kDalta,
+  kBtoNormal,
+  kBtoNormalNd,
+};
+
+std::string to_string(ArchKind kind);
+
+class ApproxLutUnit {
+ public:
+  /// Wraps a realized decomposition into the given architecture. Throws if
+  /// the bit's operating mode is not supported by the architecture
+  /// (DALTA: normal only; BTO-Normal: normal/BTO; BTO-Normal-ND: all).
+  ApproxLutUnit(ArchKind kind, core::DecomposedBit bit, unsigned num_inputs,
+                const Technology& tech);
+
+  ArchKind kind() const noexcept { return kind_; }
+  core::DecompMode mode() const noexcept { return bit_.mode(); }
+  const core::DecomposedBit& decomposition() const noexcept { return bit_; }
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+
+  bool read(core::InputWord x) const noexcept { return bit_.eval(x); }
+
+  const LutRam& bound_table() const noexcept { return bound_; }
+  const LutRam* free_table0() const noexcept {
+    return free0_.empty() ? nullptr : &free0_.front();
+  }
+  const LutRam* free_table1() const noexcept {
+    return free1_.empty() ? nullptr : &free1_.front();
+  }
+  const RoutingBox& routing() const noexcept { return routing_; }
+
+  bool free0_enabled() const noexcept;
+  bool free1_enabled() const noexcept;
+
+  double area() const;
+  double read_energy() const;  ///< per read in the configured mode
+  double delay() const;
+  double leakage() const;
+  CostSummary cost() const;
+
+ private:
+  ArchKind kind_;
+  core::DecomposedBit bit_;
+  unsigned num_inputs_;
+  Technology tech_;
+  RoutingBox routing_;
+  LutRam bound_;
+  std::vector<LutRam> free0_;  ///< 0 or 1 element (poor man's optional)
+  std::vector<LutRam> free1_;
+  unsigned glue_mux_count_ = 0;
+  unsigned clock_gate_count_ = 0;
+};
+
+/// One unit per output bit: the paper's full approximate LUT for an m-bit
+/// function.
+class ApproxLutSystem {
+ public:
+  ApproxLutSystem(ArchKind kind, const core::ApproxLut& lut,
+                  const Technology& tech);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  unsigned num_outputs() const noexcept {
+    return static_cast<unsigned>(units_.size());
+  }
+  const std::vector<ApproxLutUnit>& units() const noexcept { return units_; }
+  ArchKind kind() const noexcept { return kind_; }
+
+  core::OutputWord read(core::InputWord x) const noexcept;
+  /// Sum of areas/energies/leakages; max of delays.
+  CostSummary cost() const;
+
+ private:
+  ArchKind kind_;
+  unsigned num_inputs_;
+  std::vector<ApproxLutUnit> units_;
+};
+
+/// A plain 2^a x w LUT: the RoundIn / RoundOut baselines and exact LUTs.
+/// Reads drop `addr_shift` input LSBs and left-shift the stored word by
+/// `out_shift` (RoundIn uses addr_shift = w; RoundOut uses out_shift = q).
+class MonolithicLut {
+ public:
+  MonolithicLut(unsigned addr_bits, unsigned width,
+                std::vector<std::uint32_t> contents, const Technology& tech,
+                unsigned addr_shift = 0, unsigned out_shift = 0);
+
+  core::OutputWord read(core::InputWord x) const noexcept {
+    return ram_.read(x >> addr_shift_) << out_shift_;
+  }
+  const LutRam& ram() const noexcept { return ram_; }
+  unsigned addr_shift() const noexcept { return addr_shift_; }
+  unsigned out_shift() const noexcept { return out_shift_; }
+  CostSummary cost() const { return ram_.cost(/*enabled=*/true); }
+
+ private:
+  LutRam ram_;
+  unsigned addr_shift_;
+  unsigned out_shift_;
+};
+
+}  // namespace dalut::hw

@@ -1,0 +1,154 @@
+#include "hw/multi_shared_unit.hpp"
+
+#include <sstream>
+
+namespace dalut::hw {
+
+namespace {
+
+std::vector<std::uint32_t> widen(const std::vector<std::uint8_t>& bits) {
+  return {bits.begin(), bits.end()};
+}
+
+std::string bit_vector_literal(const std::vector<std::uint8_t>& bits) {
+  std::string body;
+  body.reserve(bits.size());
+  for (std::size_t i = bits.size(); i-- > 0;) {
+    body.push_back(bits[i] ? '1' : '0');
+  }
+  return std::to_string(bits.size()) + "'b" + body;
+}
+
+std::string concat_select(const std::vector<unsigned>& positions) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = positions.size(); i-- > 0;) {
+    out << "x[" << positions[i] << "]";
+    if (i != 0) out << ", ";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+MultiSharedUnit::MultiSharedUnit(core::MultiSharedBit bit,
+                                 unsigned num_inputs, const Technology& tech)
+    : bit_(std::move(bit)),
+      num_inputs_(num_inputs),
+      tech_(tech),
+      routing_(num_inputs, tech),
+      bound_(bit_.partition().bound_size(), 1, tech) {
+  const unsigned free_addr_bits =
+      num_inputs - bit_.partition().bound_size() + 1;
+  bound_.program(widen(bit_.bound_table()));
+  free_tables_.reserve(bit_.num_free_tables());
+  for (std::size_t j = 0; j < bit_.num_free_tables(); ++j) {
+    free_tables_.emplace_back(free_addr_bits, 1, tech);
+    free_tables_.back().program(widen(bit_.free_table(j)));
+  }
+}
+
+double MultiSharedUnit::area() const {
+  double total = routing_.area() + bound_.area();
+  for (const auto& table : free_tables_) total += table.area();
+  // (2^|C| - 1)-MUX2 selection tree on the free-table outputs.
+  total += static_cast<double>(free_tables_.size() - 1) * tech_.mux2_area;
+  return total;
+}
+
+double MultiSharedUnit::read_energy() const {
+  double total = routing_.read_energy() + bound_.read_energy(true);
+  for (const auto& table : free_tables_) total += table.read_energy(true);
+  total += static_cast<double>(free_tables_.size() - 1) * 0.5 *
+           (tech_.mux2_sw_energy + tech_.wire_energy);
+  return total;
+}
+
+double MultiSharedUnit::delay() const {
+  double free_delay = 0.0;
+  if (!free_tables_.empty()) free_delay = free_tables_.front().delay();
+  return routing_.delay() + bound_.delay() + free_delay +
+         static_cast<double>(bit_.shared_count()) * tech_.mux2_delay;
+}
+
+double MultiSharedUnit::leakage() const {
+  double total = routing_.leakage() + bound_.leakage();
+  for (const auto& table : free_tables_) total += table.leakage();
+  total +=
+      static_cast<double>(free_tables_.size() - 1) * tech_.mux2_leakage;
+  return total;
+}
+
+CostSummary MultiSharedUnit::cost() const {
+  return CostSummary{area(), read_energy(), delay(), leakage()};
+}
+
+std::string emit_multi_shared_verilog(const MultiSharedUnit& unit,
+                                      const std::string& module_name) {
+  const auto& bit = unit.decomposition();
+  const auto& partition = bit.partition();
+  const unsigned n = unit.num_inputs();
+  const unsigned b = partition.bound_size();
+  const unsigned rows_bits = n - b;
+  const unsigned s = bit.shared_count();
+
+  std::ostringstream v;
+  v << "// generalized non-disjoint approximate LUT, |C| = " << s << "\n"
+    << "module " << module_name << " (\n"
+    << "  input  wire clk,\n"
+    << "  input  wire [" << (n - 1) << ":0] x,\n"
+    << "  output reg  y\n"
+    << ");\n"
+    << "  wire [" << (b - 1) << ":0] bound_addr = "
+    << concat_select(partition.bound_inputs()) << ";\n";
+  if (rows_bits > 0) {
+    v << "  wire [" << (rows_bits - 1) << ":0] free_row = "
+      << concat_select(partition.free_inputs()) << ";\n";
+  }
+  v << "  localparam [" << (partition.num_cols() - 1)
+    << ":0] BOUND_INIT = " << bit_vector_literal(bit.bound_table()) << ";\n"
+    << "  wire phi = BOUND_INIT[bound_addr];\n"
+    << "  wire [" << rows_bits << ":0] free_addr = {free_row, phi};\n";
+
+  for (std::size_t j = 0; j < bit.num_free_tables(); ++j) {
+    v << "  localparam [" << (bit.free_table(j).size() - 1) << ":0] FREE"
+      << j << "_INIT = " << bit_vector_literal(bit.free_table(j)) << ";\n";
+  }
+
+  std::string selected = "FREE0_INIT[free_addr]";
+  if (s > 0) {
+    // Shared-bit select vector, then a case-style mux over the free ROMs.
+    std::vector<unsigned> shared_positions;
+    for (std::size_t j = 0; j < bit.num_free_tables(); ++j) {
+      v << "  wire f" << j << " = FREE" << j << "_INIT[free_addr];\n";
+    }
+    const auto& shared_bits = bit.shared_bits();
+    std::ostringstream sel;
+    sel << "{";
+    for (std::size_t i = shared_bits.size(); i-- > 0;) {
+      sel << "x[" << shared_bits[i] << "]";
+      if (i != 0) sel << ", ";
+    }
+    sel << "}";
+    v << "  wire [" << (s - 1) << ":0] shared_sel = " << sel.str() << ";\n"
+      << "  reg fsel;\n"
+      << "  always @(*) begin\n"
+      << "    case (shared_sel)\n";
+    for (std::size_t j = 0; j < bit.num_free_tables(); ++j) {
+      v << "      " << s << "'d" << j << ": fsel = f" << j << ";\n";
+    }
+    v << "      default: fsel = f0;\n"
+      << "    endcase\n"
+      << "  end\n";
+    selected = "fsel";
+  }
+
+  v << "  always @(posedge clk) begin\n"
+    << "    y <= " << selected << ";\n"
+    << "  end\n"
+    << "endmodule\n";
+  return v.str();
+}
+
+}  // namespace dalut::hw

@@ -1,0 +1,48 @@
+// Hardware model for the generalized non-disjoint decomposition
+// (|C| shared bits, 2^|C| free tables) - the architecture the paper's
+// "|C| = 1 so the hardware cost is not increased too much" remark trades
+// away. Completes the core::MultiSharedBit extension with area / energy /
+// delay modelling and Verilog emission, mirroring ApproxLutUnit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/multi_shared.hpp"
+#include "hw/lut_ram.hpp"
+#include "hw/routing_box.hpp"
+
+namespace dalut::hw {
+
+class MultiSharedUnit {
+ public:
+  MultiSharedUnit(core::MultiSharedBit bit, unsigned num_inputs,
+                  const Technology& tech);
+
+  const core::MultiSharedBit& decomposition() const noexcept { return bit_; }
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+  unsigned shared_count() const noexcept { return bit_.shared_count(); }
+
+  bool read(core::InputWord x) const noexcept { return bit_.eval(x); }
+
+  double area() const;
+  double read_energy() const;
+  double delay() const;
+  double leakage() const;
+  CostSummary cost() const;
+
+ private:
+  core::MultiSharedBit bit_;
+  unsigned num_inputs_;
+  Technology tech_;
+  RoutingBox routing_;
+  LutRam bound_;
+  std::vector<LutRam> free_tables_;
+};
+
+/// Verilog for one generalized-ND output bit: bound table, 2^|C| free-table
+/// ROMs, and a shared-bit-indexed selection.
+std::string emit_multi_shared_verilog(const MultiSharedUnit& unit,
+                                      const std::string& module_name);
+
+}  // namespace dalut::hw

@@ -1,0 +1,76 @@
+#include "hw/report.hpp"
+
+#include <sstream>
+
+#include "util/table_printer.hpp"
+
+namespace dalut::hw {
+
+std::vector<ComponentCost> unit_breakdown(const ApproxLutUnit& unit) {
+  std::vector<ComponentCost> components;
+  components.push_back(
+      {"routing box", unit.routing().cost(), true});
+  components.push_back(
+      {"bound table (2^" + std::to_string(unit.bound_table().addr_bits()) +
+           " x 1)",
+       unit.bound_table().cost(true), true});
+  if (const LutRam* free0 = unit.free_table0()) {
+    components.push_back(
+        {"free table 0 (2^" + std::to_string(free0->addr_bits()) + " x 1)",
+         free0->cost(unit.free0_enabled()), unit.free0_enabled()});
+  }
+  if (const LutRam* free1 = unit.free_table1()) {
+    components.push_back(
+        {"free table 1 (2^" + std::to_string(free1->addr_bits()) + " x 1)",
+         free1->cost(unit.free1_enabled()), unit.free1_enabled()});
+  }
+  return components;
+}
+
+std::string format_report(const ApproxLutSystem& system) {
+  std::ostringstream out;
+  out << "=== " << to_string(system.kind()) << " cost report: "
+      << system.num_inputs() << " -> " << system.num_outputs()
+      << " bits ===\n";
+
+  util::TablePrinter bits({"bit", "mode", "partition", "area(um^2)",
+                           "energy(fJ/read)", "delay(ns)", "leakage(nW)"});
+  for (unsigned k = 0; k < system.num_outputs(); ++k) {
+    const auto& unit = system.units()[k];
+    bits.add_row({std::to_string(k), core::to_string(unit.mode()),
+                  unit.decomposition().partition().to_string(),
+                  util::TablePrinter::fmt(unit.area(), 0),
+                  util::TablePrinter::fmt(unit.read_energy(), 0),
+                  util::TablePrinter::fmt(unit.delay(), 3),
+                  util::TablePrinter::fmt(unit.leakage(), 1)});
+  }
+  const auto total = system.cost();
+  bits.add_separator();
+  bits.add_row({"TOTAL", "", "", util::TablePrinter::fmt(total.area, 0),
+                util::TablePrinter::fmt(total.read_energy, 0),
+                util::TablePrinter::fmt(total.delay, 3),
+                util::TablePrinter::fmt(total.leakage, 1)});
+  out << bits.to_string();
+
+  // Component breakdown of the most expensive bit as a representative.
+  unsigned worst = 0;
+  for (unsigned k = 1; k < system.num_outputs(); ++k) {
+    if (system.units()[k].read_energy() >
+        system.units()[worst].read_energy()) {
+      worst = k;
+    }
+  }
+  out << "\ncomponent breakdown of bit " << worst << ":\n";
+  util::TablePrinter parts(
+      {"component", "state", "area(um^2)", "energy(fJ/read)", "leakage(nW)"});
+  for (const auto& part : unit_breakdown(system.units()[worst])) {
+    parts.add_row({part.name, part.enabled ? "on" : "gated",
+                   util::TablePrinter::fmt(part.cost.area, 0),
+                   util::TablePrinter::fmt(part.cost.read_energy, 0),
+                   util::TablePrinter::fmt(part.cost.leakage, 1)});
+  }
+  out << parts.to_string();
+  return out.str();
+}
+
+}  // namespace dalut::hw

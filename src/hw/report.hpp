@@ -1,0 +1,25 @@
+// Cost-report formatting: per-component and per-bit breakdowns of an
+// architecture's area / energy / delay / leakage, in the style of a
+// synthesis report. Used by the CLI tool and the examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/architectures.hpp"
+
+namespace dalut::hw {
+
+struct ComponentCost {
+  std::string name;
+  CostSummary cost;
+  bool enabled = true;  ///< false = clock-gated off in the current mode
+};
+
+/// Per-component breakdown of one approximate single-output LUT.
+std::vector<ComponentCost> unit_breakdown(const ApproxLutUnit& unit);
+
+/// Formatted per-bit + total report of a whole system.
+std::string format_report(const ApproxLutSystem& system);
+
+}  // namespace dalut::hw

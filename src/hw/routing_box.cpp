@@ -1,0 +1,49 @@
+#include "hw/routing_box.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dalut::hw {
+
+namespace {
+unsigned ceil_log2(unsigned v) {
+  unsigned bits = 0;
+  while ((1u << bits) < v) ++bits;
+  return bits;
+}
+}  // namespace
+
+RoutingBox::RoutingBox(unsigned num_inputs, const Technology& tech)
+    : num_inputs_(num_inputs), tech_(tech) {
+  assert(num_inputs >= 2);
+}
+
+double RoutingBox::area() const {
+  // One (n-1)-MUX2 selection tree per output lane.
+  const double muxes = static_cast<double>(num_inputs_) *
+                       static_cast<double>(num_inputs_ - 1) * tech_.mux2_area;
+  return muxes;
+}
+
+double RoutingBox::read_energy() const {
+  // Each lane's data traverses ceil(log2 n) active mux levels; with random
+  // inputs half the lanes toggle per read.
+  const double levels = ceil_log2(num_inputs_);
+  return 0.5 * static_cast<double>(num_inputs_) * levels *
+         (tech_.mux2_sw_energy + tech_.wire_energy);
+}
+
+double RoutingBox::delay() const {
+  return static_cast<double>(ceil_log2(num_inputs_)) * tech_.mux2_delay;
+}
+
+double RoutingBox::leakage() const {
+  return static_cast<double>(num_inputs_) *
+         static_cast<double>(num_inputs_ - 1) * tech_.mux2_leakage;
+}
+
+CostSummary RoutingBox::cost() const {
+  return CostSummary{area(), read_energy(), delay(), leakage()};
+}
+
+}  // namespace dalut::hw

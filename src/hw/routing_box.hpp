@@ -1,0 +1,34 @@
+// Routing box model: the configurable input shuffle of Fig. 1(b).
+//
+// Implemented as one n-to-1 selection mux per output lane (a mux tree of
+// n-1 MUX2 cells, ceil(log2 n) levels); the select lines are configuration-
+// static, so runtime energy comes from data toggles propagating through the
+// selected paths.
+#pragma once
+
+#include <vector>
+
+#include "core/partition.hpp"
+#include "hw/tech.hpp"
+
+namespace dalut::hw {
+
+class RoutingBox {
+ public:
+  /// A routing box shuffling `num_inputs` lanes.
+  RoutingBox(unsigned num_inputs, const Technology& tech);
+
+  unsigned num_inputs() const noexcept { return num_inputs_; }
+
+  double area() const;
+  double read_energy() const;  ///< per read, random-data activity
+  double delay() const;
+  double leakage() const;
+  CostSummary cost() const;
+
+ private:
+  unsigned num_inputs_;
+  Technology tech_;
+};
+
+}  // namespace dalut::hw

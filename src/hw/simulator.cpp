@@ -1,0 +1,64 @@
+#include "hw/simulator.hpp"
+
+#include <bit>
+
+namespace dalut::hw {
+
+SimTarget make_target(const ApproxLutSystem& system) {
+  SimTarget target;
+  target.read = [&system](core::InputWord x) { return system.read(x); };
+  target.static_read_energy = system.cost().read_energy;
+  target.num_outputs = system.num_outputs();
+  return target;
+}
+
+SimTarget make_target(const MonolithicLut& lut, unsigned num_outputs) {
+  SimTarget target;
+  target.read = [&lut](core::InputWord x) { return lut.read(x); };
+  target.static_read_energy = lut.cost().read_energy;
+  target.num_outputs = num_outputs;
+  return target;
+}
+
+SimulationReport simulate(const SimTarget& target,
+                          std::span<const core::InputWord> sequence,
+                          const core::MultiOutputFunction* reference,
+                          const Technology& tech) {
+  SimulationReport report;
+  core::OutputWord previous = 0;
+  bool first = true;
+  for (const auto x : sequence) {
+    const core::OutputWord y = target.read(x);
+    ++report.reads;
+    report.total_energy += target.static_read_energy;
+    if (!first) {
+      const unsigned toggles = std::popcount(previous ^ y);
+      report.output_toggles += toggles;
+      report.total_energy += toggles * tech.wire_energy;
+    }
+    if (reference != nullptr && reference->value(x) != y) {
+      ++report.mismatches;
+    }
+    previous = y;
+    first = false;
+  }
+  if (report.reads > 0) {
+    report.avg_read_energy =
+        report.total_energy / static_cast<double>(report.reads);
+  }
+  return report;
+}
+
+SimulationReport simulate_random(const SimTarget& target, std::size_t count,
+                                 unsigned num_inputs,
+                                 const core::MultiOutputFunction* reference,
+                                 const Technology& tech, util::Rng& rng) {
+  std::vector<core::InputWord> sequence(count);
+  const std::uint64_t domain = std::uint64_t{1} << num_inputs;
+  for (auto& x : sequence) {
+    x = static_cast<core::InputWord>(rng.next_below(domain));
+  }
+  return simulate(target, sequence, reference, tech);
+}
+
+}  // namespace dalut::hw

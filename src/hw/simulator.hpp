@@ -1,0 +1,52 @@
+// Functional + energy simulator: the library's stand-in for the paper's
+// Synopsys VCS (functional verification) and PrimeTime (power measurement,
+// "energy for 1024 read operations") steps.
+//
+// The simulator drives a read sequence through an architecture model,
+// accumulating the model's per-read energy plus a data-dependent wire term
+// from measured output toggles, and (optionally) checks every read against
+// a reference function.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/multi_output_function.hpp"
+#include "hw/architectures.hpp"
+#include "util/rng.hpp"
+
+namespace dalut::hw {
+
+struct SimulationReport {
+  std::size_t reads = 0;
+  double total_energy = 0.0;      ///< fJ over the whole sequence
+  double avg_read_energy = 0.0;   ///< fJ per read
+  std::size_t output_toggles = 0; ///< measured output-bus bit flips
+  std::size_t mismatches = 0;     ///< reads differing from the reference
+};
+
+/// Any block exposing read(x) and a static per-read energy can be simulated.
+struct SimTarget {
+  std::function<core::OutputWord(core::InputWord)> read;
+  double static_read_energy = 0.0;  ///< fJ, mode-dependent model energy
+  unsigned num_outputs = 0;
+};
+
+/// The returned target references `system`/`lut`: it must not outlive them.
+SimTarget make_target(const ApproxLutSystem& system);
+SimTarget make_target(const MonolithicLut& lut, unsigned num_outputs);
+
+/// Runs `sequence` through the target. `reference` may be null (skip the
+/// functional check). `tech` provides the wire-toggle energy coefficient.
+SimulationReport simulate(const SimTarget& target,
+                          std::span<const core::InputWord> sequence,
+                          const core::MultiOutputFunction* reference,
+                          const Technology& tech);
+
+/// Convenience: `count` uniform random reads (the paper averages 1024).
+SimulationReport simulate_random(const SimTarget& target, std::size_t count,
+                                 unsigned num_inputs,
+                                 const core::MultiOutputFunction* reference,
+                                 const Technology& tech, util::Rng& rng);
+
+}  // namespace dalut::hw

@@ -1,0 +1,73 @@
+// Technology model: per-cell area / energy / delay / leakage constants.
+//
+// This module replaces the paper's Synopsys DC + Nangate 45nm + PrimeTime
+// flow with an analytical standard-cell model. The default numbers
+// approximate published Nangate 45nm open-cell-library typical-corner
+// figures (1.1 V, 25C): they are not calibrated to a specific signoff, but
+// the architectural comparisons the paper draws (Fig. 5, Fig. 6) depend on
+// *relative* costs - how many DFFs are clocked, how many mux levels a read
+// traverses, which tables a mode gates off - which this model captures.
+//
+// Units: area um^2, energy fJ, delay ns, leakage nW.
+#pragma once
+
+namespace dalut::hw {
+
+struct Technology {
+  // --- D flip-flop (DFF_X1-class): the LUT storage cell. ---
+  double dff_area = 4.52;
+  /// Internal energy burned per clock edge while the flop is clocked, even
+  /// with stable data - the quantity clock gating (BTO mode) saves.
+  double dff_clk_energy = 1.10;
+  double dff_clk_to_q = 0.085;
+  double dff_leakage = 0.060e3 * 1e-3;  // 60 nW
+
+  // --- 2:1 mux (MUX2_X1): read-tree and glue muxes. ---
+  double mux2_area = 2.66;
+  double mux2_sw_energy = 0.35;  ///< per output toggle
+  double mux2_delay = 0.065;
+  double mux2_leakage = 0.030e3 * 1e-3;  // 30 nW
+
+  // --- Buffer (BUF_X2-class): address fan-out drivers. ---
+  double buf_area = 1.06;
+  double buf_energy = 0.15;
+  double buf_delay = 0.030;
+  double buf_leakage = 0.012e3 * 1e-3;  // 12 nW
+
+  // --- Integrated clock-gating cell (one per gated table). ---
+  double icg_area = 6.10;
+  double icg_energy = 0.80;  ///< per cycle while the gated clock runs
+  double icg_leakage = 0.045e3 * 1e-3;  // 45 nW
+
+  // --- Config-side decoder cell amortized per LUT entry (write path;
+  //     contributes area and leakage only - reads never toggle it). ---
+  double decoder_area_per_entry = 1.33;
+  double decoder_leakage_per_entry = 0.010e3 * 1e-3;  // 10 nW
+
+  /// Average interconnect energy per toggled wire, lumped.
+  double wire_energy = 0.20;
+
+  /// Fraction of read-mux outputs expected to toggle on a random address
+  /// change (each internal node sees an independent 50% flip chance).
+  double mux_tree_activity = 0.5;
+
+  static Technology nangate45() { return Technology{}; }
+};
+
+/// Aggregated cost of a hardware block.
+struct CostSummary {
+  double area = 0.0;         ///< um^2
+  double read_energy = 0.0;  ///< fJ per read, in the block's current mode
+  double delay = 0.0;        ///< ns, critical path through the block
+  double leakage = 0.0;      ///< nW
+
+  CostSummary& operator+=(const CostSummary& other) {
+    area += other.area;
+    read_energy += other.read_energy;
+    delay = delay > other.delay ? delay : other.delay;  // parallel blocks
+    leakage += other.leakage;
+    return *this;
+  }
+};
+
+}  // namespace dalut::hw

@@ -1,0 +1,97 @@
+#include "hw/tech_io.hpp"
+
+#include <functional>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dalut::hw {
+
+namespace {
+
+/// Field registry: name -> member pointer, one place to keep IO in sync
+/// with the Technology struct.
+const std::map<std::string, double Technology::*>& field_registry() {
+  static const std::map<std::string, double Technology::*> fields = {
+      {"dff_area", &Technology::dff_area},
+      {"dff_clk_energy", &Technology::dff_clk_energy},
+      {"dff_clk_to_q", &Technology::dff_clk_to_q},
+      {"dff_leakage", &Technology::dff_leakage},
+      {"mux2_area", &Technology::mux2_area},
+      {"mux2_sw_energy", &Technology::mux2_sw_energy},
+      {"mux2_delay", &Technology::mux2_delay},
+      {"mux2_leakage", &Technology::mux2_leakage},
+      {"buf_area", &Technology::buf_area},
+      {"buf_energy", &Technology::buf_energy},
+      {"buf_delay", &Technology::buf_delay},
+      {"buf_leakage", &Technology::buf_leakage},
+      {"icg_area", &Technology::icg_area},
+      {"icg_energy", &Technology::icg_energy},
+      {"icg_leakage", &Technology::icg_leakage},
+      {"decoder_area_per_entry", &Technology::decoder_area_per_entry},
+      {"decoder_leakage_per_entry", &Technology::decoder_leakage_per_entry},
+      {"wire_energy", &Technology::wire_energy},
+      {"mux_tree_activity", &Technology::mux_tree_activity},
+  };
+  return fields;
+}
+
+}  // namespace
+
+void write_technology(std::ostream& out, const Technology& tech) {
+  out << "# dalut technology file (area um^2, energy fJ, delay ns, leakage "
+         "nW)\n";
+  for (const auto& [name, member] : field_registry()) {
+    out << name << " = " << tech.*member << "\n";
+  }
+}
+
+std::string technology_to_string(const Technology& tech) {
+  std::ostringstream out;
+  write_technology(out, tech);
+  return out.str();
+}
+
+Technology read_technology(std::istream& in) {
+  Technology tech;  // defaults for any key not present
+  const auto& fields = field_registry();
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+
+    std::istringstream stream(line);
+    std::string key, equals;
+    double value = 0.0;
+    if (!(stream >> key)) continue;  // blank line
+    if (!(stream >> equals >> value) || equals != "=") {
+      throw std::invalid_argument("tech file line " +
+                                  std::to_string(line_no) +
+                                  ": expected 'key = value'");
+    }
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+      throw std::invalid_argument("tech file line " +
+                                  std::to_string(line_no) +
+                                  ": unknown key '" + key + "'");
+    }
+    if (value < 0.0) {
+      throw std::invalid_argument("tech file line " +
+                                  std::to_string(line_no) +
+                                  ": negative value");
+    }
+    tech.*(it->second) = value;
+  }
+  return tech;
+}
+
+Technology technology_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_technology(in);
+}
+
+}  // namespace dalut::hw

@@ -1,0 +1,27 @@
+// Technology file IO: a key = value format so users can swap in their own
+// standard-cell numbers (a poor man's Liberty subset matching the fields
+// the cost model actually uses).
+//
+//   # dalut technology file
+//   dff_area = 4.52
+//   dff_clk_energy = 1.10
+//   ...
+//
+// Unknown keys raise an error (they indicate a typo that would silently
+// fall back to a default otherwise); missing keys keep their defaults.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hw/tech.hpp"
+
+namespace dalut::hw {
+
+void write_technology(std::ostream& out, const Technology& tech);
+std::string technology_to_string(const Technology& tech);
+
+Technology read_technology(std::istream& in);
+Technology technology_from_string(const std::string& text);
+
+}  // namespace dalut::hw

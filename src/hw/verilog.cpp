@@ -1,0 +1,236 @@
+#include "hw/verilog.hpp"
+
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace dalut::hw {
+
+namespace {
+
+/// Verilog sized binary literal from a bit table (index 0 = LSB).
+std::string bit_vector_literal(const std::vector<std::uint8_t>& bits) {
+  std::string body;
+  body.reserve(bits.size());
+  for (std::size_t i = bits.size(); i-- > 0;) {
+    body.push_back(bits[i] ? '1' : '0');
+  }
+  return std::to_string(bits.size()) + "'b" + body;
+}
+
+std::vector<std::uint8_t> padded(const std::vector<std::uint8_t>& bits,
+                                 std::size_t entries) {
+  std::vector<std::uint8_t> result(bits);
+  result.resize(entries, 0);
+  return result;
+}
+
+/// Concatenation selecting the given input positions, MSB first:
+/// {x[p_last], ..., x[p_first]}.
+std::string concat_select(const std::vector<unsigned>& positions) {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = positions.size(); i-- > 0;) {
+    out << "x[" << positions[i] << "]";
+    if (i != 0) out << ", ";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string emit_unit_verilog(const ApproxLutUnit& unit,
+                              const std::string& module_name) {
+  const auto& bit = unit.decomposition();
+  const auto& partition = bit.partition();
+  const unsigned n = unit.num_inputs();
+  const unsigned b = partition.bound_size();
+  const unsigned rows_bits = n - b;
+  const std::size_t free_entries = std::size_t{1} << (rows_bits + 1);
+
+  std::ostringstream v;
+  v << "// " << to_string(unit.kind()) << " approximate single-output LUT\n"
+    << "// mode: " << core::to_string(bit.mode()) << ", partition "
+    << partition.to_string() << "\n"
+    << "module " << module_name << " (\n"
+    << "  input  wire clk,\n"
+    << "  input  wire [" << (n - 1) << ":0] x,\n"
+    << "  output reg  y\n"
+    << ");\n";
+
+  // Routing box: static permutation into bound address and free row.
+  v << "  // routing box (configuration-static shuffle)\n"
+    << "  wire [" << (b - 1) << ":0] bound_addr = "
+    << concat_select(partition.bound_inputs()) << ";\n";
+  if (rows_bits > 0) {
+    v << "  wire [" << (rows_bits - 1) << ":0] free_row = "
+      << concat_select(partition.free_inputs()) << ";\n";
+  }
+
+  // Bound table.
+  v << "  // bound table (" << partition.num_cols() << " x 1)\n"
+    << "  localparam [" << (partition.num_cols() - 1)
+    << ":0] BOUND_INIT = "
+    << bit_vector_literal(padded(bit.bound_table(), partition.num_cols()))
+    << ";\n"
+    << "  wire phi = BOUND_INIT[bound_addr];\n";
+
+  std::string result_expr = "phi";
+  switch (bit.mode()) {
+    case core::DecompMode::kBto:
+      v << "  // BTO mode: free table clock-gated off; y = phi\n";
+      break;
+    case core::DecompMode::kNormal: {
+      v << "  // free table (" << free_entries << " x 1)\n"
+        << "  localparam [" << (free_entries - 1) << ":0] FREE0_INIT = "
+        << bit_vector_literal(padded(bit.free_table0(), free_entries))
+        << ";\n"
+        << "  wire [" << rows_bits << ":0] free_addr = {free_row, phi};\n"
+        << "  wire f0 = FREE0_INIT[free_addr];\n";
+      result_expr = "f0";
+      break;
+    }
+    case core::DecompMode::kNonDisjoint: {
+      v << "  // free tables 0/1 (" << free_entries << " x 1 each), shared"
+        << " bit x_s = x[" << bit.shared_bit() << "]\n"
+        << "  localparam [" << (free_entries - 1) << ":0] FREE0_INIT = "
+        << bit_vector_literal(padded(bit.free_table0(), free_entries))
+        << ";\n"
+        << "  localparam [" << (free_entries - 1) << ":0] FREE1_INIT = "
+        << bit_vector_literal(padded(bit.free_table1(), free_entries))
+        << ";\n"
+        << "  wire [" << rows_bits << ":0] free_addr = {free_row, phi};\n"
+        << "  wire f0 = FREE0_INIT[free_addr];\n"
+        << "  wire f1 = FREE1_INIT[free_addr];\n"
+        << "  wire xs = x[" << bit.shared_bit() << "];\n"
+        << "  wire fsel = xs ? f1 : f0;\n";
+      result_expr = "fsel";
+      break;
+    }
+  }
+
+  v << "  always @(posedge clk) begin\n"
+    << "    y <= " << result_expr << ";\n"
+    << "  end\n"
+    << "endmodule\n";
+  return v.str();
+}
+
+std::string emit_system_verilog(const ApproxLutSystem& system,
+                                const std::string& module_name) {
+  std::ostringstream v;
+  const unsigned n = system.num_inputs();
+  const unsigned m = system.num_outputs();
+
+  for (unsigned k = 0; k < m; ++k) {
+    v << emit_unit_verilog(system.units()[k],
+                           module_name + "_bit" + std::to_string(k))
+      << "\n";
+  }
+
+  v << "// " << to_string(system.kind()) << " approximate LUT: " << n
+    << " inputs, " << m << " outputs\n"
+    << "module " << module_name << " (\n"
+    << "  input  wire clk,\n"
+    << "  input  wire [" << (n - 1) << ":0] x,\n"
+    << "  output wire [" << (m - 1) << ":0] y\n"
+    << ");\n";
+  for (unsigned k = 0; k < m; ++k) {
+    v << "  " << module_name << "_bit" << k << " u_bit" << k
+      << " (.clk(clk), .x(x), .y(y[" << k << "]));\n";
+  }
+  v << "endmodule\n";
+  return v.str();
+}
+
+std::string emit_monolithic_verilog(const MonolithicLut& lut,
+                                    unsigned num_inputs, unsigned num_outputs,
+                                    const std::string& module_name) {
+  const auto& ram = lut.ram();
+  std::ostringstream v;
+  v << "// monolithic LUT: " << ram.entries() << " x " << ram.width()
+    << " bits\n"
+    << "module " << module_name << " (\n"
+    << "  input  wire clk,\n"
+    << "  input  wire [" << (num_inputs - 1) << ":0] x,\n"
+    << "  output reg  [" << (num_outputs - 1) << ":0] y\n"
+    << ");\n"
+    << "  wire [" << (ram.addr_bits() - 1) << ":0] addr = x["
+    << (num_inputs - 1) << ":" << lut.addr_shift() << "];\n";
+
+  // One localparam bit vector per stored output bit.
+  for (unsigned w = 0; w < ram.width(); ++w) {
+    std::vector<std::uint8_t> bits(ram.entries());
+    for (std::size_t i = 0; i < ram.entries(); ++i) {
+      bits[i] = static_cast<std::uint8_t>(
+          (ram.read(static_cast<std::uint32_t>(i)) >> w) & 1u);
+    }
+    v << "  localparam [" << (ram.entries() - 1) << ":0] ROM" << w << " = "
+      << bit_vector_literal(bits) << ";\n";
+  }
+
+  v << "  always @(posedge clk) begin\n";
+  for (unsigned w = 0; w < ram.width(); ++w) {
+    v << "    y[" << (w + lut.out_shift()) << "] <= ROM" << w << "[addr];\n";
+  }
+  if (lut.out_shift() > 0) {
+    v << "    y[" << (lut.out_shift() - 1) << ":0] <= "
+      << lut.out_shift() << "'b0;\n";
+  }
+  v << "  end\n"
+    << "endmodule\n";
+  return v.str();
+}
+
+std::string emit_system_testbench(const ApproxLutSystem& system,
+                                  const std::string& module_name,
+                                  std::size_t vector_count,
+                                  std::uint64_t seed) {
+  const unsigned n = system.num_inputs();
+  const unsigned m = system.num_outputs();
+  util::Rng rng(seed);
+
+  std::ostringstream v;
+  v << "// self-checking testbench for " << module_name << "\n"
+    << "`timescale 1ns/1ps\n"
+    << "module " << module_name << "_tb;\n"
+    << "  reg clk = 0;\n"
+    << "  reg [" << (n - 1) << ":0] x;\n"
+    << "  wire [" << (m - 1) << ":0] y;\n"
+    << "  integer errors = 0;\n"
+    << "  " << module_name << " dut (.clk(clk), .x(x), .y(y));\n"
+    << "  always #5 clk = ~clk;\n\n"
+    << "  task check(input [" << (n - 1) << ":0] stim, input ["
+    << (m - 1) << ":0] expected);\n"
+    << "    begin\n"
+    << "      x = stim;\n"
+    << "      @(posedge clk); #1;\n"
+    << "      if (y !== expected) begin\n"
+    << "        $display(\"MISMATCH x=%h y=%h expected=%h\", stim, y, "
+       "expected);\n"
+    << "        errors = errors + 1;\n"
+    << "      end\n"
+    << "    end\n"
+    << "  endtask\n\n"
+    << "  initial begin\n";
+
+  const std::uint64_t domain = std::uint64_t{1} << n;
+  for (std::size_t i = 0; i < vector_count; ++i) {
+    const auto stim = static_cast<core::InputWord>(rng.next_below(domain));
+    const auto expected = system.read(stim);
+    v << "    check(" << n << "'h" << std::hex << stim << ", " << m << "'h"
+      << expected << std::dec << ");\n";
+  }
+
+  v << "    if (errors == 0) $display(\"PASS: " << vector_count
+    << " vectors\");\n"
+    << "    else $display(\"FAIL: %0d mismatches\", errors);\n"
+    << "    $finish;\n"
+    << "  end\n"
+    << "endmodule\n";
+  return v.str();
+}
+
+}  // namespace dalut::hw

@@ -1,0 +1,40 @@
+// Synthesizable Verilog emission for the architecture models.
+//
+// The emitted RTL mirrors the cost model structure one-to-one: a static
+// routing permutation, ROM-initialized bound/free tables, the x_s and mode
+// muxes, and a registered output. Table contents are emitted as localparam
+// bit vectors indexed by the table address, so the RTL computes exactly the
+// same function as DecomposedBit::eval / ApproxLutSystem::read.
+#pragma once
+
+#include <string>
+
+#include "hw/architectures.hpp"
+
+namespace dalut::hw {
+
+/// One output bit: module <name>(clk, x[n-1:0]) -> y.
+std::string emit_unit_verilog(const ApproxLutUnit& unit,
+                              const std::string& module_name);
+
+/// Full m-bit system: a top module instantiating one unit per output bit.
+/// Unit modules are named <module_name>_bit<k>.
+std::string emit_system_verilog(const ApproxLutSystem& system,
+                                const std::string& module_name);
+
+/// RoundIn / RoundOut style monolithic LUT.
+std::string emit_monolithic_verilog(const MonolithicLut& lut,
+                                    unsigned num_inputs, unsigned num_outputs,
+                                    const std::string& module_name);
+
+/// Self-checking testbench for a system module emitted by
+/// emit_system_verilog: drives `vector_count` pseudo-random input vectors
+/// (xorshift in the TB itself, so the stimulus is reproducible in any
+/// simulator), compares each registered output against the expected value
+/// baked in from the functional model, and finishes with a PASS/FAIL line.
+std::string emit_system_testbench(const ApproxLutSystem& system,
+                                  const std::string& module_name,
+                                  std::size_t vector_count,
+                                  std::uint64_t seed);
+
+}  // namespace dalut::hw

@@ -1,0 +1,20 @@
+#include "util/bits.hpp"
+
+namespace dalut::util {
+
+std::vector<unsigned> bit_positions(std::uint64_t mask) {
+  std::vector<unsigned> positions;
+  positions.reserve(popcount(mask));
+  for (unsigned i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1u) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::uint64_t mask_from_positions(const std::vector<unsigned>& positions) {
+  std::uint64_t mask = 0;
+  for (const unsigned p : positions) mask |= std::uint64_t{1} << p;
+  return mask;
+}
+
+}  // namespace dalut::util

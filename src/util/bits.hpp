@@ -1,0 +1,66 @@
+// Bit-manipulation helpers used throughout the library.
+//
+// Truth tables index inputs as X = (x_n, ..., x_1); bit i of the integer
+// encoding of X (0-based, LSB = x_1) holds the value of input x_{i+1}.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace dalut::util {
+
+/// Returns bit `pos` (0-based from LSB) of `word`.
+constexpr bool get_bit(std::uint64_t word, unsigned pos) noexcept {
+  return (word >> pos) & 1u;
+}
+
+/// Returns `word` with bit `pos` set to `value`.
+constexpr std::uint64_t set_bit(std::uint64_t word, unsigned pos,
+                                bool value) noexcept {
+  return value ? (word | (std::uint64_t{1} << pos))
+               : (word & ~(std::uint64_t{1} << pos));
+}
+
+/// Number of set bits.
+constexpr unsigned popcount(std::uint64_t word) noexcept {
+  return static_cast<unsigned>(std::popcount(word));
+}
+
+/// Software PEXT: gathers the bits of `word` selected by `mask` (from LSB
+/// upward) into a dense low-order result. Equivalent to x86 `pext`.
+constexpr std::uint64_t extract_bits(std::uint64_t word,
+                                     std::uint64_t mask) noexcept {
+  std::uint64_t result = 0;
+  unsigned out = 0;
+  while (mask != 0) {
+    const std::uint64_t low = mask & (~mask + 1);  // lowest set bit
+    if (word & low) result |= std::uint64_t{1} << out;
+    ++out;
+    mask ^= low;
+  }
+  return result;
+}
+
+/// Software PDEP: scatters the low-order bits of `word` into the positions
+/// selected by `mask`. Equivalent to x86 `pdep`.
+constexpr std::uint64_t deposit_bits(std::uint64_t word,
+                                     std::uint64_t mask) noexcept {
+  std::uint64_t result = 0;
+  unsigned in = 0;
+  while (mask != 0) {
+    const std::uint64_t low = mask & (~mask + 1);
+    if (word & (std::uint64_t{1} << in)) result |= low;
+    ++in;
+    mask ^= low;
+  }
+  return result;
+}
+
+/// Positions (0-based, ascending) of the set bits of `mask`.
+std::vector<unsigned> bit_positions(std::uint64_t mask);
+
+/// Builds a mask with the given bit positions set.
+std::uint64_t mask_from_positions(const std::vector<unsigned>& positions);
+
+}  // namespace dalut::util

@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dalut::util {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {
+  add_flag("help", "Show this help message");
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  options_[name] = Option{"false", help, /*is_flag=*/true};
+}
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  options_[name] = Option{default_value, help, /*is_flag=*/false};
+}
+
+bool CliParser::parse(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+      print_usage();
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "error: unknown option '--%s'\n", arg.c_str());
+      print_usage();
+      std::exit(2);
+    }
+    if (it->second.is_flag) {
+      values_[arg] = has_value ? value : "true";
+    } else if (has_value) {
+      values_[arg] = value;
+    } else {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: option '--%s' needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      values_[arg] = argv[++i];
+    }
+  }
+  if (flag("help")) {
+    print_usage();
+    return false;
+  }
+  return true;
+}
+
+bool CliParser::flag(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  return it->second == "true" || it->second == "1";
+}
+
+std::string CliParser::str(const std::string& name) const {
+  const auto value = values_.find(name);
+  if (value != values_.end()) return value->second;
+  const auto option = options_.find(name);
+  if (option == options_.end()) {
+    throw std::invalid_argument("unregistered option: " + name);
+  }
+  return option->second.default_value;
+}
+
+std::int64_t CliParser::integer(const std::string& name) const {
+  return std::stoll(str(name));
+}
+
+double CliParser::real(const std::string& name) const {
+  return std::stod(str(name));
+}
+
+void CliParser::print_usage() const {
+  std::printf("%s\n\nusage: %s [options]\n\noptions:\n", description_.c_str(),
+              program_name_.c_str());
+  for (const auto& [name, option] : options_) {
+    if (option.is_flag) {
+      std::printf("  --%-24s %s\n", name.c_str(), option.help.c_str());
+    } else {
+      std::printf("  --%-24s %s (default: %s)\n", (name + " <v>").c_str(),
+                  option.help.c_str(), option.default_value.c_str());
+    }
+  }
+}
+
+}  // namespace dalut::util

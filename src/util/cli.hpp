@@ -1,0 +1,49 @@
+// Tiny command-line argument parser for the bench/example executables.
+//
+// Supports `--flag`, `--key value`, and `--key=value` forms. Unknown
+// arguments abort with a usage message listing the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dalut::util {
+
+class CliParser {
+ public:
+  CliParser(std::string program_description);
+
+  /// Registers an option with a default, returned by the typed getters when
+  /// the option is absent on the command line.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parses argv; on `--help` prints usage and returns false (caller should
+  /// exit 0). Aborts with a message on unknown options.
+  bool parse(int argc, char** argv);
+
+  bool flag(const std::string& name) const;
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+
+  std::string description_;
+  std::string program_name_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dalut::util

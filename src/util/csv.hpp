@@ -1,0 +1,26 @@
+// Minimal CSV writer: the figure-regeneration harnesses export their series
+// for plotting. Fields containing commas/quotes/newlines are quoted and
+// escaped per RFC 4180.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dalut::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  static std::string field(double value, int precision = 6);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace dalut::util

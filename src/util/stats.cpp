@@ -1,0 +1,68 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dalut::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stdev() const noexcept { return std::sqrt(variance()); }
+
+double geomean(std::span<const double> values, double floor_value) {
+  assert(!values.empty());
+  double log_sum = 0.0;
+  for (const double v : values) {
+    log_sum += std::log(std::max(v, floor_value));
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  assert(!values.empty());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double min_of(std::span<const double> values) {
+  assert(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_of(std::span<const double> values) {
+  assert(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+double stdev(std::span<const double> values) {
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  return stats.stdev();
+}
+
+double median(std::vector<double> values) {
+  assert(!values.empty());
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return (n % 2 == 1) ? values[n / 2]
+                      : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+}  // namespace dalut::util

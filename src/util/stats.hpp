@@ -1,0 +1,46 @@
+// Streaming and batch statistics used by the experiment harnesses
+// (Table II reports min/avg/stdev over repeated runs; Fig. 5 reports
+// geometric means over benchmarks).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dalut::util {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stdev() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean; entries must be > 0 (zeros are clamped to `floor_value`
+/// so that an exactly-zero MED, e.g. a lossless decomposition, does not
+/// collapse the whole mean — same convention as approximate-computing papers
+/// that report nonzero geomeans over near-exact rows).
+double geomean(std::span<const double> values, double floor_value = 1e-12);
+
+double mean(std::span<const double> values);
+double min_of(std::span<const double> values);
+double max_of(std::span<const double> values);
+double stdev(std::span<const double> values);
+double median(std::vector<double> values);  // by value: needs to sort
+
+}  // namespace dalut::util

@@ -1,0 +1,61 @@
+#include "util/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dalut::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TablePrinter::add_separator() { pending_separator_ = true; }
+
+std::string TablePrinter::fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto line = [&] {
+    std::string s = "+";
+    for (const auto w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') +
+           " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream out;
+  out << line() << format_row(headers_) << line();
+  for (const auto& row : rows_) {
+    if (row.separator_before) out << line();
+    out << format_row(row.cells);
+  }
+  out << line();
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace dalut::util

@@ -1,0 +1,35 @@
+// Aligned ASCII table output: the experiment binaries print paper-style
+// result tables (Table II rows, Fig. 5 normalized metrics, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dalut::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal separator before the next row (used before GEOMEAN rows).
+  void add_separator();
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string fmt(double value, int precision = 2);
+
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace dalut::util

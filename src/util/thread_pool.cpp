@@ -1,0 +1,87 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace dalut::util {
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  if (worker_count == 0) {
+    worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  for (std::size_t i = 1; i < worker_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  if (workers_.empty() || total == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Dynamic chunking over an atomic counter: workers and the caller pull
+  // indices until the range is exhausted.
+  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(total);
+  auto done_mutex = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+
+  auto drain = [next, remaining, done_mutex, done_cv, end, &body]() {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1);
+      if (i >= end) break;
+      body(i);
+      if (remaining->fetch_sub(1) == 1) {
+        std::lock_guard lock(*done_mutex);
+        done_cv->notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      tasks_.push(drain);
+    }
+  }
+  work_ready_.notify_all();
+
+  drain();  // caller participates
+
+  std::unique_lock lock(*done_mutex);
+  done_cv->wait(lock, [remaining] { return remaining->load() == 0; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace dalut::util

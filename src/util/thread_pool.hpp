@@ -1,0 +1,50 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The paper parallelizes OptForPart calls across 44 threads; the library
+// does the same across however many cores are available. With one worker the
+// pool degenerates to inline execution, keeping single-core runs cheap and
+// deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dalut::util {
+
+class ThreadPool {
+ public:
+  /// `worker_count == 0` selects hardware_concurrency(). A pool with one
+  /// worker executes tasks inline in `parallel_for` (no thread overhead).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const noexcept { return workers_.size() + 1; }
+
+  /// Runs body(i) for i in [begin, end), splitting the range over the
+  /// workers plus the calling thread. Blocks until all iterations finish.
+  /// `body` must be safe to call concurrently for distinct i.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (sized to hardware concurrency).
+ThreadPool& global_pool();
+
+}  // namespace dalut::util

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "baseline/round_in.hpp"
+#include "baseline/round_out.hpp"
+#include "core/evaluate.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::baseline {
+namespace {
+
+core::MultiOutputFunction benchmark(const std::string& name, unsigned width) {
+  const auto spec = *func::benchmark_by_name(name, width);
+  return core::MultiOutputFunction::from_eval(spec.num_inputs,
+                                              spec.num_outputs, spec.eval);
+}
+
+TEST(RoundOut, TruncatesLowBits) {
+  const auto g = core::MultiOutputFunction::from_eval(
+      3, 4, [](core::InputWord x) { return (x * 2 + 1) & 0xF; });
+  const RoundOut r(g, 2);
+  EXPECT_EQ(r.stored_bits(), 2u);
+  EXPECT_EQ(r.table_entries(), 8u);
+  for (core::InputWord x = 0; x < 8; ++x) {
+    EXPECT_EQ(r.eval(x), g.value(x) & ~0b11u);
+  }
+}
+
+TEST(RoundOut, MedOfUniformValuesMatchesTruncationTheory) {
+  // For the identity map the q dropped LSBs are uniform, so the truncation
+  // MED is exactly (2^q - 1) / 2.
+  const auto g = core::MultiOutputFunction::from_eval(
+      6, 6, [](core::InputWord x) { return x; });
+  const auto dist = core::InputDistribution::uniform(6);
+  for (unsigned q = 1; q <= 4; ++q) {
+    const RoundOut r(g, q);
+    const double med = core::mean_error_distance(g, r.values(), dist);
+    EXPECT_DOUBLE_EQ(med, ((1u << q) - 1) / 2.0);
+  }
+}
+
+TEST(RoundOut, ChooseQExceedsFloor) {
+  const auto g = benchmark("cos", 8);
+  const auto dist = core::InputDistribution::uniform(8);
+  const double floor_med = 1.7;
+  const unsigned q = RoundOut::choose_q(g, dist, floor_med);
+  const RoundOut r(g, q);
+  EXPECT_GT(core::mean_error_distance(g, r.values(), dist), floor_med);
+  if (q > 1) {
+    const RoundOut smaller(g, q - 1);
+    EXPECT_LE(core::mean_error_distance(g, smaller.values(), dist),
+              floor_med);
+  }
+}
+
+TEST(RoundIn, BlocksShareMedianOutput) {
+  const auto g = benchmark("cos", 8);
+  const RoundIn r(g, 3);
+  EXPECT_EQ(r.table_entries(), 32u);
+  for (core::InputWord x = 0; x < 256; ++x) {
+    EXPECT_EQ(r.eval(x), r.eval(x & ~0b111u)) << x;
+  }
+}
+
+TEST(RoundIn, MedianIsOptimalConstantPerBlockForMed) {
+  // Within each block, the median minimizes the mean absolute deviation, so
+  // no other constant-per-block approximation can beat RoundIn's MED.
+  const auto g = benchmark("inversek2j", 8);
+  const auto dist = core::InputDistribution::uniform(8);
+  const RoundIn median_based(g, 2);
+  const double median_med =
+      core::mean_error_distance(g, median_based.values(), dist);
+
+  // Compare against the block-mean alternative.
+  std::vector<core::OutputWord> mean_values(256);
+  for (core::InputWord base = 0; base < 256; base += 4) {
+    double sum = 0.0;
+    for (unsigned i = 0; i < 4; ++i) sum += g.value(base + i);
+    const auto mean = static_cast<core::OutputWord>(sum / 4.0 + 0.5);
+    for (unsigned i = 0; i < 4; ++i) mean_values[base + i] = mean;
+  }
+  EXPECT_LE(median_med,
+            core::mean_error_distance(g, mean_values, dist) + 1e-12);
+}
+
+TEST(RoundIn, SmoothFunctionSmallBlocksSmallError) {
+  const auto g = benchmark("erf", 8);
+  const auto dist = core::InputDistribution::uniform(8);
+  const RoundIn one_bit(g, 1);
+  const RoundIn four_bits(g, 4);
+  const double med1 = core::mean_error_distance(g, one_bit.values(), dist);
+  const double med4 = core::mean_error_distance(g, four_bits.values(), dist);
+  EXPECT_LT(med1, med4);  // coarser rounding hurts more
+}
+
+TEST(RoundIn, ValuesTableConsistent) {
+  const auto g = benchmark("multiplier", 8);
+  const RoundIn r(g, 2);
+  const auto values = r.values();
+  for (core::InputWord x = 0; x < 256; ++x) {
+    EXPECT_EQ(values[x], r.eval(x));
+  }
+}
+
+}  // namespace
+}  // namespace dalut::baseline

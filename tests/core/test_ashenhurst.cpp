@@ -1,0 +1,132 @@
+#include "core/ashenhurst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dalut::core {
+namespace {
+
+/// Builds a function from an explicit (V, T) pair under a partition, the way
+/// Theorem 1 composes one: cell(r, c) is 0 / 1 / V[c] / ~V[c] by T[r].
+TruthTable compose(const Partition& p, const std::vector<std::uint8_t>& v,
+                   const std::vector<RowType>& t) {
+  return TruthTable::from_eval(p.num_inputs(), [&](InputWord x) {
+    const auto r = p.row_of(x);
+    const auto c = p.col_of(x);
+    switch (t[r]) {
+      case RowType::kAllZero:
+        return false;
+      case RowType::kAllOne:
+        return true;
+      case RowType::kPattern:
+        return v[c] != 0;
+      case RowType::kComplement:
+        return v[c] == 0;
+    }
+    return false;
+  });
+}
+
+TEST(Ashenhurst, PaperStyleExampleDecomposes) {
+  // Sec. II-A example shape: A = {x1,x2}, B = {x3,x4}, V = XOR pattern
+  // (0,1,1,0), row types (Pattern, Complement, AllOne, AllZero).
+  const Partition p(4, 0b1100);
+  const std::vector<std::uint8_t> v{0, 1, 1, 0};
+  const std::vector<RowType> t{RowType::kPattern, RowType::kComplement,
+                               RowType::kAllOne, RowType::kAllZero};
+  const auto f = compose(p, v, t);
+
+  const auto decomposition = exact_decomposition(f, p);
+  ASSERT_TRUE(decomposition.has_value());
+  // phi recovered as XOR of the bound inputs (up to complement; with the
+  // first non-constant row being type Pattern, it is exactly V).
+  const auto phi = decomposition->phi();
+  EXPECT_TRUE(phi.get(0b01));
+  EXPECT_TRUE(phi.get(0b10));
+  EXPECT_FALSE(phi.get(0b00));
+  EXPECT_FALSE(phi.get(0b11));
+  // Recomposition reproduces f everywhere.
+  for (InputWord x = 0; x < 16; ++x) {
+    EXPECT_EQ(decomposition->eval(x), f.get(x)) << x;
+  }
+}
+
+TEST(Ashenhurst, RejectsNonDecomposableRows) {
+  const Partition p(4, 0b1100);
+  // Row 0 defines V = (0,1,1,0); row 1 = (0,0,0,1) is neither V, ~V, nor
+  // constant.
+  auto f = compose(p, {0, 1, 1, 0},
+                   {RowType::kPattern, RowType::kComplement, RowType::kAllOne,
+                    RowType::kAllZero});
+  // Corrupt one cell of the complement row: (r=1, c=0) flips 1 -> 0.
+  f.set(p.input_of(1, 0), false);
+  EXPECT_FALSE(exact_decomposition(f, p).has_value());
+}
+
+TEST(Ashenhurst, ConstantFunctionAlwaysDecomposes) {
+  const Partition p(4, 0b0011);
+  const auto zero = TruthTable(4);
+  const auto d = exact_decomposition(zero, p);
+  ASSERT_TRUE(d.has_value());
+  for (InputWord x = 0; x < 16; ++x) EXPECT_FALSE(d->eval(x));
+}
+
+TEST(Ashenhurst, FunctionOfBoundSetOnlyIsBto) {
+  // f = x1 XOR x2 with B = {x1, x2}: all rows are type Pattern.
+  const Partition p(4, 0b0011);
+  const auto f = TruthTable::from_eval(
+      4, [](InputWord x) { return ((x ^ (x >> 1)) & 1) != 0; });
+  const auto d = exact_decomposition(f, p);
+  ASSERT_TRUE(d.has_value());
+  for (const auto type : d->types) EXPECT_EQ(type, RowType::kPattern);
+}
+
+class AshenhurstRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AshenhurstRoundTrip, RandomComposedFunctionsRoundTrip) {
+  util::Rng rng(GetParam());
+  const unsigned n = 3 + static_cast<unsigned>(rng.next_below(4));  // 3..6
+  const unsigned b = 1 + static_cast<unsigned>(rng.next_below(n - 1));
+  const auto p = Partition::random(n, b, rng);
+
+  std::vector<std::uint8_t> v(p.num_cols());
+  for (auto& bit : v) bit = rng.next_bool() ? 1 : 0;
+  std::vector<RowType> t(p.num_rows());
+  for (auto& type : t) {
+    type = static_cast<RowType>(1 + rng.next_below(4));
+  }
+  const auto f = compose(p, v, t);
+
+  const auto d = exact_decomposition(f, p);
+  ASSERT_TRUE(d.has_value());
+  for (InputWord x = 0; x < f.size(); ++x) {
+    EXPECT_EQ(d->eval(x), f.get(x));
+  }
+  // F/phi recomposition agrees too.
+  const auto phi = d->phi();
+  const auto big_f = d->compose_f();
+  for (InputWord x = 0; x < f.size(); ++x) {
+    const bool phi_bit = phi.get(p.col_of(x));
+    const auto f_input = (p.row_of(x) << 1) | (phi_bit ? 1u : 0u);
+    EXPECT_EQ(big_f.get(f_input), f.get(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AshenhurstRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(Ashenhurst, HasExactDecompositionFindsComposed) {
+  util::Rng rng(77);
+  const Partition p(5, 0b00110);
+  std::vector<std::uint8_t> v(p.num_cols());
+  for (auto& bit : v) bit = rng.next_bool() ? 1 : 0;
+  std::vector<RowType> t(p.num_rows(), RowType::kPattern);
+  t[1] = RowType::kComplement;
+  t[3] = RowType::kAllOne;
+  const auto f = compose(p, v, t);
+  EXPECT_TRUE(has_exact_decomposition(f, 2));
+}
+
+}  // namespace
+}  // namespace dalut::core

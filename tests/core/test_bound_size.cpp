@@ -1,0 +1,85 @@
+#include "core/bound_size.hpp"
+
+#include <gtest/gtest.h>
+
+#include "func/registry.hpp"
+
+namespace dalut::core {
+namespace {
+
+BoundSweepParams fast_sweep() {
+  BoundSweepParams params;
+  params.probe.rounds = 2;
+  params.probe.beam_width = 2;
+  params.probe.sa.partition_limit = 12;
+  params.probe.sa.init_patterns = 6;
+  params.probe.seed = 3;
+  return params;
+}
+
+MultiOutputFunction cosine(unsigned width) {
+  const auto spec = *func::benchmark_by_name("cos", width);
+  return MultiOutputFunction::from_eval(spec.num_inputs, spec.num_outputs,
+                                        spec.eval);
+}
+
+TEST(BoundSize, SweepCoversRequestedRange) {
+  const auto g = cosine(8);
+  const auto dist = InputDistribution::uniform(8);
+  auto params = fast_sweep();
+  params.min_bound = 3;
+  params.max_bound = 6;
+  const auto probes = sweep_bound_sizes(g, dist, params);
+  ASSERT_EQ(probes.size(), 4u);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(probes[i].bound_size, 3u + i);
+    EXPECT_GT(probes[i].med, 0.0);
+    EXPECT_EQ(probes[i].entries_per_bit,
+              (1u << probes[i].bound_size) +
+                  (1u << (8 - probes[i].bound_size + 1)));
+  }
+}
+
+TEST(BoundSize, DefaultRangeIsTwoToNMinusTwo) {
+  const auto g = cosine(7);
+  const auto dist = InputDistribution::uniform(7);
+  const auto probes = sweep_bound_sizes(g, dist, fast_sweep());
+  ASSERT_EQ(probes.size(), 4u);  // b in {2, 3, 4, 5}
+  EXPECT_EQ(probes.front().bound_size, 2u);
+  EXPECT_EQ(probes.back().bound_size, 5u);
+}
+
+TEST(BoundSize, ChooseMeetsBudgetWithSmallestStorage) {
+  const auto g = cosine(8);
+  const auto dist = InputDistribution::uniform(8);
+  auto params = fast_sweep();
+  params.min_bound = 3;
+  params.max_bound = 6;
+  const auto probes = sweep_bound_sizes(g, dist, params);
+  // Pick a budget met by at least one probe.
+  double budget = 0.0;
+  for (const auto& probe : probes) budget = std::max(budget, probe.med);
+  const auto chosen = choose_bound_size(g, dist, budget, params);
+  EXPECT_LE(chosen.med, budget);
+  for (const auto& probe : probes) {
+    if (probe.med <= budget) {
+      EXPECT_LE(chosen.entries_per_bit, probe.entries_per_bit);
+    }
+  }
+}
+
+TEST(BoundSize, ImpossibleBudgetFallsBackToMostAccurate) {
+  const auto g = cosine(8);
+  const auto dist = InputDistribution::uniform(8);
+  auto params = fast_sweep();
+  params.min_bound = 3;
+  params.max_bound = 6;
+  const auto probes = sweep_bound_sizes(g, dist, params);
+  double best_med = 1e300;
+  for (const auto& probe : probes) best_med = std::min(best_med, probe.med);
+  const auto chosen = choose_bound_size(g, dist, best_med / 1e6, params);
+  EXPECT_NEAR(chosen.med, best_med, 1e-9);
+}
+
+}  // namespace
+}  // namespace dalut::core

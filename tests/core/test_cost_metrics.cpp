@@ -1,0 +1,146 @@
+// Tests for the generalized optimization objective (MED / MSE / error rate)
+// and the first-round LSB-model ablation knob.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bssa.hpp"
+#include "core/dalta.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::core {
+namespace {
+
+MultiOutputFunction benchmark(const std::string& name, unsigned width) {
+  const auto spec = *func::benchmark_by_name(name, width);
+  return MultiOutputFunction::from_eval(spec.num_inputs, spec.num_outputs,
+                                        spec.eval);
+}
+
+TEST(CostMetrics, MseCostsAreSquaredMedCosts) {
+  util::Rng rng(1);
+  const auto g = MultiOutputFunction::from_eval(4, 4, [&](InputWord) {
+    return static_cast<OutputWord>(rng.next_below(16));
+  });
+  auto approx = g.values();
+  for (auto& v : approx) v ^= 0b0101;
+  const auto dist = InputDistribution::uniform(4);
+  for (unsigned k = 0; k < 4; ++k) {
+    const auto med = build_bit_costs(g, approx, k, LsbModel::kCurrentApprox,
+                                     dist, CostMetric::kMed);
+    const auto mse = build_bit_costs(g, approx, k, LsbModel::kCurrentApprox,
+                                     dist, CostMetric::kMse);
+    for (InputWord x = 0; x < 16; ++x) {
+      const double p = dist.probability(x);
+      EXPECT_NEAR(mse.c0[x] * p, med.c0[x] * med.c0[x], 1e-12);
+      EXPECT_NEAR(mse.c1[x] * p, med.c1[x] * med.c1[x], 1e-12);
+    }
+  }
+}
+
+TEST(CostMetrics, ErrorRateCostsAreIndicators) {
+  util::Rng rng(2);
+  const auto g = MultiOutputFunction::from_eval(5, 3, [&](InputWord) {
+    return static_cast<OutputWord>(rng.next_below(8));
+  });
+  auto approx = g.values();
+  approx[7] ^= 0b100;
+  const auto dist = InputDistribution::uniform(5);
+  const auto er = build_bit_costs(g, approx, 1, LsbModel::kCurrentApprox,
+                                  dist, CostMetric::kErrorRate);
+  for (InputWord x = 0; x < 32; ++x) {
+    const double p = dist.probability(x);
+    EXPECT_TRUE(er.c0[x] == 0.0 || std::abs(er.c0[x] - p) < 1e-15);
+    EXPECT_TRUE(er.c1[x] == 0.0 || std::abs(er.c1[x] - p) < 1e-15);
+    // Exactly one choice can be zero-cost only if the rest of the word
+    // already matches; both zero is impossible (the bit differs).
+    EXPECT_GT(er.c0[x] + er.c1[x], 0.0);
+  }
+}
+
+TEST(CostMetrics, MseObjectiveReducesMseVsMedObjective) {
+  // Optimizing MSE should produce an MSE at least as good as what the
+  // MED-optimized run achieves (same seeds, same budget).
+  const auto g = benchmark("exp", 8);
+  const auto dist = InputDistribution::uniform(8);
+  double med_run_mse = 0.0;
+  double mse_run_mse = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    BssaParams params;
+    params.bound_size = 4;
+    params.rounds = 2;
+    params.beam_width = 2;
+    params.sa.partition_limit = 15;
+    params.sa.init_patterns = 8;
+    params.seed = seed;
+    params.metric = CostMetric::kMed;
+    med_run_mse += run_bssa(g, dist, params).report.mse;
+    params.metric = CostMetric::kMse;
+    mse_run_mse += run_bssa(g, dist, params).report.mse;
+  }
+  EXPECT_LE(mse_run_mse, med_run_mse * 1.10);
+}
+
+TEST(CostMetrics, ErrorRateObjectiveReducesErrorRate) {
+  const auto g = benchmark("brentkung", 8);
+  const auto dist = InputDistribution::uniform(8);
+  double med_run_er = 0.0;
+  double er_run_er = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    DaltaParams params;
+    params.bound_size = 4;
+    params.rounds = 2;
+    params.partition_limit = 20;
+    params.init_patterns = 8;
+    params.seed = seed;
+    params.metric = CostMetric::kMed;
+    med_run_er += run_dalta(g, dist, params).report.error_rate;
+    params.metric = CostMetric::kErrorRate;
+    er_run_er += run_dalta(g, dist, params).report.error_rate;
+  }
+  EXPECT_LE(er_run_er, med_run_er * 1.10);
+}
+
+TEST(CostMetrics, ReportFieldsConsistentWithMed) {
+  const auto g = benchmark("cos", 8);
+  const auto dist = InputDistribution::uniform(8);
+  BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 2;
+  params.sa.partition_limit = 12;
+  params.sa.init_patterns = 6;
+  params.seed = 5;
+  const auto result = run_bssa(g, dist, params);
+  EXPECT_DOUBLE_EQ(result.med, result.report.med);
+  EXPECT_GE(result.report.mse, result.med);  // Jensen: E[d^2] >= (E[d])^2
+  EXPECT_GE(result.report.max_ed, result.med);
+  EXPECT_GE(result.report.error_rate, 0.0);
+  EXPECT_LE(result.report.error_rate, 1.0);
+}
+
+TEST(FirstRoundModel, AccurateFillKnobChangesFirstRound) {
+  const auto g = benchmark("denoise", 8);
+  const auto dist = InputDistribution::uniform(8);
+  BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 1;  // isolate the first round
+  params.beam_width = 2;
+  params.sa.partition_limit = 15;
+  params.sa.init_patterns = 8;
+  params.seed = 9;
+  const auto predictive = run_bssa(g, dist, params);
+  params.first_round_model = LsbModel::kAccurateFill;
+  const auto accurate = run_bssa(g, dist, params);
+  // Both are valid runs; the knob must actually change the search.
+  EXPECT_TRUE(predictive.settings.front().valid());
+  EXPECT_TRUE(accurate.settings.front().valid());
+  bool differs = predictive.med != accurate.med;
+  for (unsigned k = 0; !differs && k < g.num_outputs(); ++k) {
+    differs = !(predictive.settings[k].partition ==
+                accurate.settings[k].partition);
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace dalut::core

@@ -1,0 +1,213 @@
+#include "core/decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "util/rng.hpp"
+
+namespace dalut::core {
+namespace {
+
+Setting make_normal_setting(const Partition& p,
+                            std::vector<std::uint8_t> pattern,
+                            std::vector<RowType> types) {
+  Setting s;
+  s.error = 0.0;
+  s.partition = p;
+  s.mode = DecompMode::kNormal;
+  s.pattern = std::move(pattern);
+  s.types = std::move(types);
+  return s;
+}
+
+TEST(DecomposedBit, NormalModeEvalMatchesSemantics) {
+  const Partition p(4, 0b0101);  // B = {x1, x3}
+  const std::vector<std::uint8_t> v{1, 0, 0, 1};  // XNOR of bound bits
+  const std::vector<RowType> t{RowType::kPattern, RowType::kComplement,
+                               RowType::kAllOne, RowType::kAllZero};
+  const auto bit = DecomposedBit::realize(make_normal_setting(p, v, t));
+
+  for (InputWord x = 0; x < 16; ++x) {
+    const bool phi = v[p.col_of(x)] != 0;
+    bool expected = false;
+    switch (t[p.row_of(x)]) {
+      case RowType::kAllZero: expected = false; break;
+      case RowType::kAllOne: expected = true; break;
+      case RowType::kPattern: expected = phi; break;
+      case RowType::kComplement: expected = !phi; break;
+    }
+    EXPECT_EQ(bit.eval(x), expected) << x;
+  }
+}
+
+TEST(DecomposedBit, BtoModeIgnoresFreeSet) {
+  const Partition p(5, 0b00011);
+  Setting s;
+  s.error = 0.0;
+  s.partition = p;
+  s.mode = DecompMode::kBto;
+  s.pattern = {0, 1, 1, 0};
+  const auto bit = DecomposedBit::realize(s);
+  for (InputWord x = 0; x < 32; ++x) {
+    EXPECT_EQ(bit.eval(x), s.pattern[p.col_of(x)] != 0);
+  }
+  // BTO stores only the bound table.
+  EXPECT_EQ(bit.stored_entries(), 4u);
+  EXPECT_TRUE(bit.free_table0().empty());
+}
+
+TEST(DecomposedBit, StoredEntriesMatchPaperFormulas) {
+  // Paper: normal mode stores 2^b + 2^(n-b+1) entries.
+  const unsigned n = 8, b = 5;
+  util::Rng rng(3);
+  const auto p = Partition::random(n, b, rng);
+  Setting s;
+  s.error = 0.0;
+  s.partition = p;
+  s.mode = DecompMode::kNormal;
+  s.pattern.assign(1u << b, 0);
+  s.types.assign(1u << (n - b), RowType::kPattern);
+  const auto bit = DecomposedBit::realize(s);
+  EXPECT_EQ(bit.stored_entries(), (1u << b) + (1u << (n - b + 1)));
+}
+
+TEST(DecomposedBit, NonDisjointPaperExampleThree) {
+  // Sec. IV-B1, Example 3: t on five inputs, A = {x4, x5},
+  // B = {x1, x2, x3}, shared bit x_2.
+  // phi_0(x1,x3) = ~x1~x3 + x1x3 (XNOR), F_0 = phi at rows (x4x5) in
+  // {00, 10}, 1 at row 11, 0 at row 01 is encoded via the type vectors
+  // below; phi_1(x1,x3) = ~x1~x3 + ~x1x3 = ~x1.
+  const Partition p(5, 0b00111);
+  Setting s;
+  s.error = 0.0;
+  s.partition = p;
+  s.mode = DecompMode::kNonDisjoint;
+  s.shared_bit = 1;  // x2 (0-based index 1)
+  // Reduced bound set {x1, x3}: column index packs (x3, x1) with x1 as LSB.
+  // phi_0 = XNOR(x1, x3): cols 00->1, 01->0, 10->0, 11->1.
+  s.pattern0 = {1, 0, 0, 1};
+  // phi_1 = ~x1: cols 00->1, 01->0, 10->1, 11->0.
+  s.pattern1 = {1, 0, 1, 0};
+  // Rows pack (x5, x4) with x4 as LSB.
+  // F_0(phi, x4, x5) = phi~x4~x5 + phi x4~x5 + x4x5:
+  //   row 00 -> phi (Pattern), row 01 (x4=1,x5=0) -> phi, row 10 -> 0,
+  //   row 11 -> 1.
+  s.types0 = {RowType::kPattern, RowType::kPattern, RowType::kAllZero,
+              RowType::kAllOne};
+  // F_1(phi, x4, x5) = ~x4~x5 + phi~x4 x5 + phi x4~x5:
+  //   row 00 -> 1, row 01 -> phi, row 10 -> phi, row 11 -> 0.
+  s.types1 = {RowType::kAllOne, RowType::kPattern, RowType::kPattern,
+              RowType::kAllZero};
+
+  const auto bit = DecomposedBit::realize(s);
+
+  // Independent reference: evaluate F(phi(B), A, x2) from the formulas.
+  for (InputWord x = 0; x < 32; ++x) {
+    const bool x1 = x & 1, x2 = (x >> 1) & 1, x3 = (x >> 2) & 1;
+    const bool x4 = (x >> 3) & 1, x5 = (x >> 4) & 1;
+    const bool phi0 = x1 == x3;
+    const bool phi1 = !x1;
+    const bool f0 = (phi0 && !x4 && !x5) || (phi0 && x4 && !x5) || (x4 && x5);
+    const bool f1 =
+        (!x4 && !x5) || (phi1 && !x4 && x5) || (phi1 && x4 && !x5);
+    const bool expected = x2 ? f1 : f0;
+    EXPECT_EQ(bit.eval(x), expected) << "x=" << x;
+  }
+
+  // ND stores a full bound table plus two free tables.
+  EXPECT_EQ(bit.stored_entries(), 8u + 2u * 8u);
+}
+
+TEST(DecomposedBit, NdSharedBitMustBeBound) {
+  Setting s;
+  s.error = 0.0;
+  s.partition = Partition(4, 0b0011);
+  s.mode = DecompMode::kNonDisjoint;
+  s.shared_bit = 3;  // in A - invalid
+  s.pattern0 = {0, 0};
+  s.pattern1 = {0, 0};
+  s.types0.assign(4, RowType::kPattern);
+  s.types1.assign(4, RowType::kPattern);
+  EXPECT_THROW(DecomposedBit::realize(s), std::invalid_argument);
+}
+
+TEST(DecomposedBit, InvalidSettingRejected) {
+  Setting s;  // error stays infinity
+  EXPECT_THROW(DecomposedBit::realize(s), std::invalid_argument);
+}
+
+TEST(ApproxLut, EvalAssemblesBits) {
+  const Partition p(4, 0b0011);
+  std::vector<Setting> settings;
+  for (unsigned k = 0; k < 3; ++k) {
+    Setting s;
+    s.error = 0.0;
+    s.partition = p;
+    s.mode = DecompMode::kBto;
+    s.pattern = {static_cast<std::uint8_t>(k == 0), 1, 0,
+                 static_cast<std::uint8_t>(k == 2)};
+    settings.push_back(std::move(s));
+  }
+  const auto lut = ApproxLut::realize(4, settings);
+  EXPECT_EQ(lut.num_outputs(), 3u);
+  for (InputWord x = 0; x < 16; ++x) {
+    OutputWord expected = 0;
+    for (unsigned k = 0; k < 3; ++k) {
+      if (settings[k].pattern[p.col_of(x)]) expected |= 1u << k;
+    }
+    EXPECT_EQ(lut.eval(x), expected);
+  }
+  const auto values = lut.values();
+  for (InputWord x = 0; x < 16; ++x) EXPECT_EQ(values[x], lut.eval(x));
+}
+
+TEST(ApproxLut, RealizeRejectsMismatchedWidth) {
+  Setting s;
+  s.error = 0.0;
+  s.partition = Partition(4, 0b0011);
+  s.mode = DecompMode::kBto;
+  s.pattern = {0, 1, 1, 0};
+  // Settings are over 4 inputs, LUT claims 6.
+  EXPECT_THROW(ApproxLut::realize(6, {s}), std::invalid_argument);
+  EXPECT_NO_THROW(ApproxLut::realize(4, {s}));
+}
+
+TEST(Evaluate, MedOfIdenticalIsZero) {
+  util::Rng rng(9);
+  const auto g = MultiOutputFunction::from_eval(4, 4, [&](InputWord) {
+    return static_cast<OutputWord>(rng.next_below(16));
+  });
+  const auto dist = InputDistribution::uniform(4);
+  EXPECT_DOUBLE_EQ(mean_error_distance(g, g.values(), dist), 0.0);
+}
+
+TEST(Evaluate, MedHandComputed) {
+  const auto g =
+      MultiOutputFunction::from_eval(2, 3, [](InputWord x) { return x; });
+  std::vector<OutputWord> approx{0, 2, 2, 7};  // errors 0, 1, 0, 4
+  const auto dist = InputDistribution::uniform(2);
+  EXPECT_DOUBLE_EQ(mean_error_distance(g, approx, dist), (1.0 + 4.0) / 4.0);
+}
+
+TEST(Evaluate, ReportFields) {
+  const auto g =
+      MultiOutputFunction::from_eval(2, 3, [](InputWord x) { return x; });
+  std::vector<OutputWord> approx{0, 2, 2, 7};
+  const auto dist = InputDistribution::uniform(2);
+  const auto report = error_report(g, approx, dist);
+  EXPECT_DOUBLE_EQ(report.med, 1.25);
+  EXPECT_DOUBLE_EQ(report.max_ed, 4.0);
+  EXPECT_DOUBLE_EQ(report.error_rate, 0.5);
+  EXPECT_DOUBLE_EQ(report.mse, (1.0 + 16.0) / 4.0);
+}
+
+TEST(Evaluate, WeightedDistribution) {
+  const auto g =
+      MultiOutputFunction::from_eval(1, 2, [](InputWord x) { return x; });
+  std::vector<OutputWord> approx{1, 1};  // error 1 at input 0 only
+  const auto dist = InputDistribution::from_weights(1, {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(mean_error_distance(g, approx, dist), 0.75);
+}
+
+}  // namespace
+}  // namespace dalut::core

@@ -1,0 +1,84 @@
+#include "core/input_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dalut::core {
+namespace {
+
+TEST(InputDistribution, UniformProbabilities) {
+  const auto d = InputDistribution::uniform(4);
+  EXPECT_TRUE(d.is_uniform());
+  for (InputWord x = 0; x < 16; ++x) {
+    EXPECT_DOUBLE_EQ(d.probability(x), 1.0 / 16.0);
+  }
+  EXPECT_DOUBLE_EQ(d.marginal(2, false), 0.5);
+}
+
+TEST(InputDistribution, WeightsNormalized) {
+  const auto d =
+      InputDistribution::from_weights(2, {1.0, 1.0, 2.0, 0.0});
+  EXPECT_FALSE(d.is_uniform());
+  EXPECT_DOUBLE_EQ(d.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.probability(2), 0.5);
+  EXPECT_DOUBLE_EQ(d.probability(3), 0.0);
+}
+
+TEST(InputDistribution, WeightValidation) {
+  EXPECT_THROW(InputDistribution::from_weights(2, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(InputDistribution::from_weights(2, {1.0, -1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(InputDistribution::from_weights(2, {0.0, 0.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(InputDistribution, MarginalOfExplicitWeights) {
+  // p(x1,x0): 00->0.1, 01->0.2, 10->0.3, 11->0.4.
+  const auto d = InputDistribution::from_weights(2, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(d.marginal(0, true), 0.6, 1e-12);   // x0=1: 0.2+0.4
+  EXPECT_NEAR(d.marginal(1, true), 0.7, 1e-12);   // x1=1: 0.3+0.4
+  EXPECT_NEAR(d.marginal(1, false), 0.3, 1e-12);
+}
+
+TEST(InputDistribution, ConditionOnUniformStaysUniform) {
+  const auto d = InputDistribution::uniform(5);
+  const auto c = d.condition_on(3, true);
+  EXPECT_EQ(c.num_inputs(), 4u);
+  EXPECT_TRUE(c.is_uniform());
+}
+
+TEST(InputDistribution, ConditionRemovesBitAndRenormalizes) {
+  // 3 inputs; weight = input code for easy checking.
+  std::vector<double> w(8);
+  for (int i = 0; i < 8; ++i) w[i] = i;
+  const auto d = InputDistribution::from_weights(3, w);
+  const auto c = d.condition_on(1, true);  // keep x1=1: codes 2,3,6,7
+  EXPECT_EQ(c.num_inputs(), 2u);
+  // Reduced code: (x2, x0). 2->(0,0), 3->(0,1), 6->(1,0), 7->(1,1).
+  const double total = 2.0 + 3.0 + 6.0 + 7.0;
+  EXPECT_NEAR(c.probability(0b00), 2.0 / total, 1e-12);
+  EXPECT_NEAR(c.probability(0b01), 3.0 / total, 1e-12);
+  EXPECT_NEAR(c.probability(0b10), 6.0 / total, 1e-12);
+  EXPECT_NEAR(c.probability(0b11), 7.0 / total, 1e-12);
+}
+
+TEST(InputDistribution, ConditionOnZeroEventThrows) {
+  const auto d = InputDistribution::from_weights(2, {1.0, 0.0, 1.0, 0.0});
+  EXPECT_THROW(d.condition_on(0, true), std::invalid_argument);
+}
+
+TEST(InputDistribution, ConditionalsSumToOne) {
+  std::vector<double> w{0.1, 0.3, 0.2, 0.05, 0.05, 0.1, 0.15, 0.05};
+  const auto d = InputDistribution::from_weights(3, w);
+  for (unsigned bit = 0; bit < 3; ++bit) {
+    for (bool value : {false, true}) {
+      const auto c = d.condition_on(bit, value);
+      double sum = 0.0;
+      for (InputWord x = 0; x < 4; ++x) sum += c.probability(x);
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dalut::core

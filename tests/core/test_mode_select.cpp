@@ -1,0 +1,93 @@
+#include "core/mode_select.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dalut::core {
+namespace {
+
+Setting with_error(DecompMode mode, double error) {
+  Setting s;
+  s.mode = mode;
+  s.error = error;
+  s.partition = Partition(4, 0b0011);
+  return s;
+}
+
+const Setting kInvalid{};  // error = infinity -> mode unavailable
+
+TEST(ModeSelect, NormalOnlyAlwaysNormal) {
+  const auto normal = with_error(DecompMode::kNormal, 10.0);
+  const auto bto = with_error(DecompMode::kBto, 1.0);
+  const auto nd = with_error(DecompMode::kNonDisjoint, 0.1);
+  const auto chosen =
+      select_mode(normal, bto, nd, ModePolicy::normal_only());
+  EXPECT_EQ(chosen.mode, DecompMode::kNormal);
+}
+
+TEST(ModeSelect, BtoNormalPicksBtoWhenClose) {
+  // E_BTO < (1 + delta) E with delta = 0.01.
+  const auto normal = with_error(DecompMode::kNormal, 100.0);
+  const auto close_bto = with_error(DecompMode::kBto, 100.5);
+  const auto far_bto = with_error(DecompMode::kBto, 102.0);
+  const auto policy = ModePolicy::bto_normal(0.01);
+  EXPECT_EQ(select_mode(normal, close_bto, kInvalid, policy).mode,
+            DecompMode::kBto);
+  EXPECT_EQ(select_mode(normal, far_bto, kInvalid, policy).mode,
+            DecompMode::kNormal);
+}
+
+TEST(ModeSelect, BtoNormalIgnoresInvalidBto) {
+  const auto normal = with_error(DecompMode::kNormal, 5.0);
+  EXPECT_EQ(
+      select_mode(normal, kInvalid, kInvalid, ModePolicy::bto_normal()).mode,
+      DecompMode::kNormal);
+}
+
+TEST(ModeSelect, FullPolicyBtoWhenNdUseless) {
+  // Paper rule: BTO if E_BTO < (1+d)E and E_ND > (1-d')E.
+  const auto policy = ModePolicy::bto_normal_nd(0.01, 0.1);
+  const auto normal = with_error(DecompMode::kNormal, 100.0);
+  const auto bto = with_error(DecompMode::kBto, 100.5);
+  const auto nd_useless = with_error(DecompMode::kNonDisjoint, 95.0);
+  EXPECT_EQ(select_mode(normal, bto, nd_useless, policy).mode,
+            DecompMode::kBto);
+}
+
+TEST(ModeSelect, FullPolicyNdWhenClearlyBetter) {
+  const auto policy = ModePolicy::bto_normal_nd(0.01, 0.1);
+  const auto normal = with_error(DecompMode::kNormal, 100.0);
+  const auto bto = with_error(DecompMode::kBto, 100.5);
+  // E_ND < (1-d')E blocks BTO; E_ND < (1-d)E selects ND.
+  const auto nd_strong = with_error(DecompMode::kNonDisjoint, 80.0);
+  EXPECT_EQ(select_mode(normal, bto, nd_strong, policy).mode,
+            DecompMode::kNonDisjoint);
+}
+
+TEST(ModeSelect, FullPolicyNormalWhenNeitherRuleFires) {
+  const auto policy = ModePolicy::bto_normal_nd(0.05, 0.2);
+  const auto normal = with_error(DecompMode::kNormal, 100.0);
+  // BTO too costly in error (150 >= 105); ND not good enough (96 >= 95).
+  const auto bto = with_error(DecompMode::kBto, 150.0);
+  const auto nd_band = with_error(DecompMode::kNonDisjoint, 96.0);
+  EXPECT_EQ(select_mode(normal, bto, nd_band, policy).mode,
+            DecompMode::kNormal);
+}
+
+TEST(ModeSelect, FullPolicyBtoWhenNdMissing) {
+  const auto policy = ModePolicy::bto_normal_nd(0.01, 0.1);
+  const auto normal = with_error(DecompMode::kNormal, 100.0);
+  const auto bto = with_error(DecompMode::kBto, 100.2);
+  EXPECT_EQ(select_mode(normal, bto, kInvalid, policy).mode,
+            DecompMode::kBto);
+}
+
+TEST(ModeSelect, NdJustUnderThresholdSelected) {
+  const auto policy = ModePolicy::bto_normal_nd(0.05, 0.2);
+  const auto normal = with_error(DecompMode::kNormal, 100.0);
+  const auto nd = with_error(DecompMode::kNonDisjoint, 94.9);  // < 95 = (1-d)E
+  EXPECT_EQ(select_mode(normal, kInvalid, nd, policy).mode,
+            DecompMode::kNonDisjoint);
+}
+
+}  // namespace
+}  // namespace dalut::core

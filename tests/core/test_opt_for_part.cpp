@@ -1,0 +1,162 @@
+#include "core/opt_for_part.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace dalut::core {
+namespace {
+
+CostMatrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  CostMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.cost0.resize(rows * cols);
+  m.cost1.resize(rows * cols);
+  for (std::size_t i = 0; i < rows * cols; ++i) {
+    m.cost0[i] = rng.next_double();
+    m.cost1[i] = rng.next_double();
+  }
+  return m;
+}
+
+/// Exhaustive optimum over every (V, T) pair - exponential, tiny sizes only.
+double brute_force_best(const CostMatrix& m) {
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::uint8_t> v(m.cols);
+  std::vector<RowType> t(m.rows);
+  const std::size_t v_space = std::size_t{1} << m.cols;
+  std::size_t t_space = 1;
+  for (std::size_t r = 0; r < m.rows; ++r) t_space *= 4;
+  for (std::size_t vi = 0; vi < v_space; ++vi) {
+    for (std::size_t c = 0; c < m.cols; ++c) v[c] = (vi >> c) & 1;
+    for (std::size_t ti = 0; ti < t_space; ++ti) {
+      std::size_t code = ti;
+      for (std::size_t r = 0; r < m.rows; ++r) {
+        t[r] = static_cast<RowType>(1 + code % 4);
+        code /= 4;
+      }
+      best = std::min(best, evaluate_vt(m, v, t));
+    }
+  }
+  return best;
+}
+
+TEST(OptForPart, ZeroCostMatrixGivesZero) {
+  CostMatrix m;
+  m.rows = m.cols = 4;
+  m.cost0.assign(16, 0.0);
+  m.cost1.assign(16, 1.0);
+  util::Rng rng(1);
+  const auto result = opt_for_part(m, {4, 64}, rng);
+  EXPECT_DOUBLE_EQ(result.error, 0.0);
+  // Everything should be assignable as all-zero rows.
+  EXPECT_DOUBLE_EQ(evaluate_vt(m, result.pattern, result.types), 0.0);
+}
+
+TEST(OptForPart, ResultErrorMatchesEvaluateVt) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto m = random_matrix(8, 8, rng);
+    const auto result = opt_for_part(m, {8, 64}, rng);
+    EXPECT_NEAR(result.error, evaluate_vt(m, result.pattern, result.types),
+                1e-12);
+  }
+}
+
+class OptForPartBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptForPartBruteForce, FindsGlobalOptimumOnTinyMatrices) {
+  util::Rng rng(GetParam());
+  // 3 rows x 3 cols: 2^3 * 4^3 = 512 (V, T) pairs; alternation with enough
+  // restarts should hit the global optimum.
+  const auto m = random_matrix(3, 3, rng);
+  const double brute = brute_force_best(m);
+  const auto result = opt_for_part(m, {32, 64}, rng);
+  EXPECT_NEAR(result.error, brute, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptForPartBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(OptForPart, MoreRestartsNeverWorse) {
+  util::Rng rng(3);
+  const auto m = random_matrix(8, 16, rng);
+  util::Rng rng_few(42);
+  util::Rng rng_many(42);
+  const auto few = opt_for_part(m, {1, 64}, rng_few);
+  const auto many = opt_for_part(m, {16, 64}, rng_many);
+  EXPECT_LE(many.error, few.error + 1e-12);
+}
+
+TEST(OptForPartBto, AllPatternRestrictedOptimum) {
+  util::Rng rng(4);
+  const auto m = random_matrix(4, 8, rng);
+  const auto bto = opt_for_part_bto(m);
+  for (const auto type : bto.types) EXPECT_EQ(type, RowType::kPattern);
+  EXPECT_NEAR(bto.error, evaluate_vt(m, bto.pattern, bto.types), 1e-12);
+  // The BTO optimum is exact for the restricted problem: per-column best.
+  double expected = 0.0;
+  for (std::size_t c = 0; c < m.cols; ++c) {
+    double s0 = 0.0;
+    double s1 = 0.0;
+    for (std::size_t r = 0; r < m.rows; ++r) {
+      s0 += m.at0(r, c);
+      s1 += m.at1(r, c);
+    }
+    expected += std::min(s0, s1);
+  }
+  EXPECT_NEAR(bto.error, expected, 1e-12);
+}
+
+TEST(OptForPartBto, NeverBetterThanUnrestricted) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto m = random_matrix(4, 4, rng);
+    const auto bto = opt_for_part_bto(m);
+    const auto full = opt_for_part(m, {16, 64}, rng);
+    EXPECT_LE(full.error, bto.error + 1e-12);
+  }
+}
+
+TEST(OptForPart, SingleRowMatrix) {
+  // One row: the best single type decides everything.
+  util::Rng rng(7);
+  const auto m = random_matrix(1, 8, rng);
+  const auto result = opt_for_part(m, {16, 64}, rng);
+  // With one row, type Pattern can realize ANY row content via V, so the
+  // optimum is the per-column minimum.
+  double expected = 0.0;
+  for (std::size_t c = 0; c < 8; ++c) {
+    expected += std::min(m.at0(0, c), m.at1(0, c));
+  }
+  EXPECT_NEAR(result.error, expected, 1e-12);
+}
+
+TEST(OptForPart, SingleColumnMatrix) {
+  // One column: V has one bit; each row picks its best of {0, 1}.
+  util::Rng rng(8);
+  const auto m = random_matrix(8, 1, rng);
+  const auto result = opt_for_part(m, {16, 64}, rng);
+  double expected = 0.0;
+  for (std::size_t r = 0; r < 8; ++r) {
+    expected += std::min(m.at0(r, 0), m.at1(r, 0));
+  }
+  EXPECT_NEAR(result.error, expected, 1e-12);
+}
+
+TEST(OptForPart, DeterministicForSeed) {
+  util::Rng rng(6);
+  const auto m = random_matrix(8, 8, rng);
+  util::Rng a(99), b(99);
+  const auto ra = opt_for_part(m, {8, 64}, a);
+  const auto rb = opt_for_part(m, {8, 64}, b);
+  EXPECT_EQ(ra.error, rb.error);
+  EXPECT_EQ(ra.pattern, rb.pattern);
+  EXPECT_EQ(ra.types, rb.types);
+}
+
+}  // namespace
+}  // namespace dalut::core

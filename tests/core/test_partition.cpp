@@ -1,0 +1,105 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+namespace dalut::core {
+namespace {
+
+TEST(Partition, MasksAndSizes) {
+  const Partition p(4, 0b0011);
+  EXPECT_EQ(p.bound_size(), 2u);
+  EXPECT_EQ(p.free_size(), 2u);
+  EXPECT_EQ(p.free_mask(), 0b1100u);
+  EXPECT_EQ(p.num_rows(), 4u);
+  EXPECT_EQ(p.num_cols(), 4u);
+  EXPECT_EQ(p.bound_inputs(), (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(p.free_inputs(), (std::vector<unsigned>{2, 3}));
+}
+
+TEST(Partition, RejectsDegenerateSets) {
+  EXPECT_THROW(Partition(4, 0b0000), std::invalid_argument);   // empty B
+  EXPECT_THROW(Partition(4, 0b1111), std::invalid_argument);   // empty A
+  EXPECT_THROW(Partition(4, 0b10000), std::invalid_argument);  // out of range
+}
+
+TEST(Partition, RowColInputRoundTrip) {
+  const Partition p(6, 0b010110);
+  for (InputWord x = 0; x < 64; ++x) {
+    const auto row = p.row_of(x);
+    const auto col = p.col_of(x);
+    EXPECT_LT(row, p.num_rows());
+    EXPECT_LT(col, p.num_cols());
+    EXPECT_EQ(p.input_of(row, col), x);
+  }
+}
+
+TEST(Partition, InputOfBijective) {
+  const Partition p(5, 0b00101);
+  std::set<InputWord> seen;
+  for (std::uint32_t r = 0; r < p.num_rows(); ++r) {
+    for (std::uint32_t c = 0; c < p.num_cols(); ++c) {
+      seen.insert(p.input_of(r, c));
+    }
+  }
+  EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Partition, PaperExampleOne) {
+  // Fig. 1(a): A = {x1, x2}, B = {x3, x4} on 4 inputs.
+  const Partition p(4, 0b1100);
+  EXPECT_EQ(p.to_string(), "A={x1,x2} B={x3,x4}");
+  EXPECT_TRUE(p.in_bound_set(2));
+  EXPECT_TRUE(p.in_bound_set(3));
+  EXPECT_FALSE(p.in_bound_set(0));
+}
+
+TEST(Partition, RandomHasRequestedBoundSize) {
+  util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = Partition::random(10, 6, rng);
+    EXPECT_EQ(p.bound_size(), 6u);
+    EXPECT_EQ(p.num_inputs(), 10u);
+  }
+}
+
+TEST(Partition, AllNeighboursAreOneSwapAway) {
+  const Partition p(6, 0b000111);
+  const auto neighbours = p.all_neighbours();
+  // |B| * |A| = 3 * 3 = 9 swaps.
+  EXPECT_EQ(neighbours.size(), 9u);
+  for (const auto& nb : neighbours) {
+    EXPECT_EQ(nb.bound_size(), p.bound_size());
+    // Free sets differ in exactly one element <=> XOR of bound masks has
+    // exactly two bits (one left B, one entered B).
+    EXPECT_EQ(std::popcount(nb.bound_mask() ^ p.bound_mask()), 2);
+  }
+  // All distinct.
+  std::set<std::uint32_t> masks;
+  for (const auto& nb : neighbours) masks.insert(nb.bound_mask());
+  EXPECT_EQ(masks.size(), neighbours.size());
+}
+
+TEST(Partition, RandomNeighboursDistinctSubset) {
+  const Partition p(8, 0b00001111);
+  util::Rng rng(11);
+  const auto sample = p.random_neighbours(5, rng);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<std::uint32_t> masks;
+  for (const auto& nb : sample) {
+    masks.insert(nb.bound_mask());
+    EXPECT_EQ(std::popcount(nb.bound_mask() ^ p.bound_mask()), 2);
+  }
+  EXPECT_EQ(masks.size(), 5u);
+}
+
+TEST(Partition, RandomNeighboursReturnsAllWhenFewer) {
+  const Partition p(3, 0b001);  // |B|=1, |A|=2 -> 2 neighbours
+  util::Rng rng(1);
+  EXPECT_EQ(p.random_neighbours(10, rng).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dalut::core

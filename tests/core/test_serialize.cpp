@@ -1,0 +1,163 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bssa.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::core {
+namespace {
+
+SerializedConfig optimized_config(ModePolicy policy, std::uint64_t seed) {
+  const auto spec = *func::benchmark_by_name("cos", 8);
+  const auto g = MultiOutputFunction::from_eval(spec.num_inputs,
+                                                spec.num_outputs, spec.eval);
+  const auto dist = InputDistribution::uniform(8);
+  BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 2;
+  params.beam_width = 2;
+  params.sa.partition_limit = 12;
+  params.sa.init_patterns = 6;
+  params.modes = policy;
+  params.seed = seed;
+  const auto result = run_bssa(g, dist, params);
+  return SerializedConfig{8, g.num_outputs(), result.settings};
+}
+
+void expect_equivalent(const SerializedConfig& a, const SerializedConfig& b) {
+  ASSERT_EQ(a.num_inputs, b.num_inputs);
+  ASSERT_EQ(a.num_outputs, b.num_outputs);
+  const auto lut_a = ApproxLut::realize(a.num_inputs, a.settings);
+  const auto lut_b = ApproxLut::realize(b.num_inputs, b.settings);
+  for (InputWord x = 0; x < (1u << a.num_inputs); ++x) {
+    ASSERT_EQ(lut_a.eval(x), lut_b.eval(x)) << x;
+  }
+}
+
+TEST(Serialize, RoundTripNormalOnly) {
+  const auto config = optimized_config(ModePolicy::normal_only(), 1);
+  const auto text = config_to_string(config);
+  const auto parsed = config_from_string(text);
+  expect_equivalent(config, parsed);
+  for (unsigned k = 0; k < config.num_outputs; ++k) {
+    EXPECT_EQ(parsed.settings[k].mode, config.settings[k].mode);
+    EXPECT_EQ(parsed.settings[k].partition, config.settings[k].partition);
+    EXPECT_NEAR(parsed.settings[k].error, config.settings[k].error, 1e-6);
+  }
+}
+
+TEST(Serialize, RoundTripAllModes) {
+  const auto config =
+      optimized_config(ModePolicy::bto_normal_nd(0.05, 0.2), 2);
+  const auto parsed = config_from_string(config_to_string(config));
+  expect_equivalent(config, parsed);
+}
+
+TEST(Serialize, HeaderAndStructure) {
+  const auto config = optimized_config(ModePolicy::bto_normal(0.05), 3);
+  const auto text = config_to_string(config);
+  EXPECT_EQ(text.rfind("dalut-config v1", 0), 0u);
+  EXPECT_NE(text.find("inputs 8 outputs 8"), std::string::npos);
+  EXPECT_NE(text.find("bit 7 "), std::string::npos);
+  EXPECT_NE(text.find("bit 0 "), std::string::npos);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  EXPECT_THROW(config_from_string("not a config\n"), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  const auto config = optimized_config(ModePolicy::normal_only(), 4);
+  auto text = config_to_string(config);
+  text.resize(text.size() / 2);
+  // Cut mid-way: either an incomplete record or a missing bit.
+  EXPECT_THROW(config_from_string(text), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsCorruptPattern) {
+  const auto config = optimized_config(ModePolicy::normal_only(), 5);
+  auto text = config_to_string(config);
+  const auto at = text.find("pattern ");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 8] = 'x';
+  EXPECT_THROW(config_from_string(text), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsUnknownMode) {
+  const auto config = optimized_config(ModePolicy::normal_only(), 6);
+  auto text = config_to_string(config);
+  const auto at = text.find("mode normal");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 11, "mode bogus1");
+  EXPECT_THROW(config_from_string(text), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsDuplicateBit) {
+  const auto config = optimized_config(ModePolicy::normal_only(), 7);
+  auto text = config_to_string(config);
+  // Duplicate the record of bit 7 over bit 6 by renumbering.
+  const auto at = text.find("bit 6 ");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 6, "bit 7 ");
+  EXPECT_THROW(config_from_string(text), std::invalid_argument);
+}
+
+TEST(Serialize, HandBuiltNdSettingRoundTrips) {
+  // Guarantee ND coverage regardless of what the optimizer picks.
+  Setting nd;
+  nd.error = 1.5;
+  nd.partition = Partition(5, 0b00111);
+  nd.mode = DecompMode::kNonDisjoint;
+  nd.shared_bit = 1;
+  nd.pattern0 = {1, 0, 0, 1};
+  nd.pattern1 = {1, 0, 1, 0};
+  nd.types0 = {RowType::kPattern, RowType::kPattern, RowType::kAllZero,
+               RowType::kAllOne};
+  nd.types1 = {RowType::kAllOne, RowType::kPattern, RowType::kPattern,
+               RowType::kAllZero};
+
+  Setting bto;
+  bto.error = 2.0;
+  bto.partition = Partition(5, 0b11000);
+  bto.mode = DecompMode::kBto;
+  bto.pattern = {0, 1, 1, 0};
+  bto.types.assign(8, RowType::kPattern);
+
+  const SerializedConfig config{5, 2, {nd, bto}};
+  const auto parsed = config_from_string(config_to_string(config));
+  expect_equivalent(config, parsed);
+  EXPECT_EQ(parsed.settings[0].mode, DecompMode::kNonDisjoint);
+  EXPECT_EQ(parsed.settings[0].shared_bit, 1u);
+  EXPECT_EQ(parsed.settings[0].pattern1, nd.pattern1);
+  EXPECT_EQ(parsed.settings[1].mode, DecompMode::kBto);
+}
+
+TEST(Serialize, RejectsNdSharedBitOutsideBoundSet) {
+  Setting nd;
+  nd.error = 1.0;
+  nd.partition = Partition(4, 0b0011);
+  nd.mode = DecompMode::kNonDisjoint;
+  nd.shared_bit = 0;
+  nd.pattern0 = {0, 0};
+  nd.pattern1 = {1, 1};
+  nd.types0.assign(4, RowType::kPattern);
+  nd.types1.assign(4, RowType::kPattern);
+  const SerializedConfig config{4, 1, {nd}};
+  auto text = config_to_string(config);
+  const auto at = text.find("shared 0");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 8, "shared 3");  // x4 is in the free set
+  EXPECT_THROW(config_from_string(text), std::invalid_argument);
+}
+
+TEST(Serialize, ToleratesCommentsAndBlankLines) {
+  const auto config = optimized_config(ModePolicy::normal_only(), 8);
+  auto text = config_to_string(config);
+  text.insert(text.find('\n') + 1, "# a comment\n\n");
+  const auto parsed = config_from_string(text);
+  expect_equivalent(config, parsed);
+}
+
+}  // namespace
+}  // namespace dalut::core

@@ -1,0 +1,87 @@
+#include "core/table_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "func/registry.hpp"
+#include "util/rng.hpp"
+
+namespace dalut::core {
+namespace {
+
+TEST(TableIo, RoundTripRandomFunction) {
+  util::Rng rng(1);
+  const auto g = MultiOutputFunction::from_eval(6, 5, [&](InputWord) {
+    return static_cast<OutputWord>(rng.next_below(32));
+  });
+  const auto parsed = function_from_string(function_to_string(g));
+  EXPECT_EQ(parsed, g);
+}
+
+TEST(TableIo, RoundTripBenchmark) {
+  const auto spec = *func::benchmark_by_name("brentkung", 8);
+  const auto g = MultiOutputFunction::from_eval(spec.num_inputs,
+                                                spec.num_outputs, spec.eval);
+  const auto parsed = function_from_string(function_to_string(g));
+  EXPECT_EQ(parsed, g);
+  EXPECT_EQ(parsed.num_outputs(), 5u);
+}
+
+TEST(TableIo, HexDigitsSizedToWidth) {
+  const auto narrow = MultiOutputFunction::from_eval(
+      2, 3, [](InputWord x) { return x; });
+  const auto text = function_to_string(narrow);
+  // 3-bit outputs -> 1 hex digit per word.
+  EXPECT_NE(text.find("\n0 1 2 3"), std::string::npos);
+  const auto wide = MultiOutputFunction::from_eval(
+      2, 9, [](InputWord x) { return x * 100; });
+  EXPECT_NE(function_to_string(wide).find("12c"), std::string::npos);
+}
+
+TEST(TableIo, CommentsAndFlexibleWhitespace) {
+  const auto g = function_from_string(
+      "dalut-table v1\n"
+      "inputs 2 outputs 4  # a 2-in 4-out table\n"
+      "0 f\n"
+      "# interleaved comment\n"
+      "  a   5\n");
+  EXPECT_EQ(g.value(0), 0u);
+  EXPECT_EQ(g.value(1), 0xFu);
+  EXPECT_EQ(g.value(2), 0xAu);
+  EXPECT_EQ(g.value(3), 0x5u);
+}
+
+TEST(TableIo, RejectsBadMagic) {
+  EXPECT_THROW(function_from_string("dalut-table v2\ninputs 2 outputs 2\n"),
+               std::invalid_argument);
+}
+
+TEST(TableIo, RejectsWrongEntryCount) {
+  EXPECT_THROW(
+      function_from_string("dalut-table v1\ninputs 2 outputs 2\n0 1 2\n"),
+      std::invalid_argument);
+  EXPECT_THROW(function_from_string(
+                   "dalut-table v1\ninputs 2 outputs 2\n0 1 2 3 0\n"),
+               std::invalid_argument);
+}
+
+TEST(TableIo, RejectsOverflowingValue) {
+  EXPECT_THROW(
+      function_from_string("dalut-table v1\ninputs 2 outputs 2\n0 1 2 4\n"),
+      std::invalid_argument);
+}
+
+TEST(TableIo, RejectsGarbageWord) {
+  EXPECT_THROW(
+      function_from_string("dalut-table v1\ninputs 2 outputs 4\n0 1 2 zz\n"),
+      std::invalid_argument);
+}
+
+TEST(TableIo, RejectsImplausibleHeader) {
+  EXPECT_THROW(function_from_string("dalut-table v1\ninputs 1 outputs 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(function_from_string("dalut-table v1\noutputs 2 inputs 2\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dalut::core

@@ -1,0 +1,105 @@
+#include "core/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/multi_output_function.hpp"
+
+namespace dalut::core {
+namespace {
+
+TEST(TruthTable, StartsAllZero) {
+  TruthTable t(5);
+  EXPECT_EQ(t.size(), 32u);
+  EXPECT_EQ(t.count_ones(), 0u);
+  for (InputWord x = 0; x < 32; ++x) EXPECT_FALSE(t.get(x));
+}
+
+TEST(TruthTable, SetGetRoundTrip) {
+  TruthTable t(4);
+  t.set(3, true);
+  t.set(9, true);
+  t.set(3, false);
+  EXPECT_FALSE(t.get(3));
+  EXPECT_TRUE(t.get(9));
+  EXPECT_EQ(t.count_ones(), 1u);
+}
+
+TEST(TruthTable, FromEvalXor) {
+  const auto t = TruthTable::from_eval(3, [](InputWord x) {
+    return ((x >> 0) ^ (x >> 1) ^ (x >> 2)) & 1;
+  });
+  EXPECT_EQ(t.count_ones(), 4u);
+  EXPECT_FALSE(t.get(0b000));
+  EXPECT_TRUE(t.get(0b001));
+  EXPECT_TRUE(t.get(0b111));
+}
+
+TEST(TruthTable, FromBitsMatchesIndexOrder) {
+  const auto t = TruthTable::from_bits(2, "0110");
+  EXPECT_FALSE(t.get(0));
+  EXPECT_TRUE(t.get(1));
+  EXPECT_TRUE(t.get(2));
+  EXPECT_FALSE(t.get(3));
+}
+
+TEST(TruthTable, FromBitsValidation) {
+  EXPECT_THROW(TruthTable::from_bits(2, "011"), std::invalid_argument);
+  EXPECT_THROW(TruthTable::from_bits(2, "01x0"), std::invalid_argument);
+}
+
+TEST(TruthTable, HammingDistance) {
+  const auto a = TruthTable::from_bits(2, "0110");
+  const auto b = TruthTable::from_bits(2, "0101");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(TruthTable, EqualityAndLargeTables) {
+  // Cross the 64-bit word boundary (n = 8 -> 4 words).
+  auto a = TruthTable::from_eval(8, [](InputWord x) { return x % 3 == 0; });
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.set(200, !b.get(200));
+  EXPECT_NE(a, b);
+}
+
+TEST(MultiOutputFunction, ValuesAndBits) {
+  const auto g = MultiOutputFunction::from_eval(
+      3, 4, [](InputWord x) { return (x * 2) & 0xF; });
+  EXPECT_EQ(g.num_inputs(), 3u);
+  EXPECT_EQ(g.num_outputs(), 4u);
+  EXPECT_EQ(g.value(5), 10u);
+  EXPECT_TRUE(g.output_bit(5, 1));   // 10 = 0b1010
+  EXPECT_FALSE(g.output_bit(5, 0));
+  EXPECT_TRUE(g.output_bit(5, 3));
+}
+
+TEST(MultiOutputFunction, ComponentExtraction) {
+  const auto g = MultiOutputFunction::from_eval(
+      3, 2, [](InputWord x) { return x & 0b11; });
+  const auto g0 = g.component(0);
+  const auto g1 = g.component(1);
+  for (InputWord x = 0; x < 8; ++x) {
+    EXPECT_EQ(g0.get(x), (x & 1) != 0);
+    EXPECT_EQ(g1.get(x), (x & 2) != 0);
+  }
+}
+
+TEST(MultiOutputFunction, RejectsBadValues) {
+  // Value exceeding m bits.
+  std::vector<OutputWord> too_big{0, 1, 2, 4};
+  EXPECT_THROW(MultiOutputFunction(2, 2, too_big), std::invalid_argument);
+  // Wrong table size.
+  std::vector<OutputWord> short_table{0, 1};
+  EXPECT_THROW(MultiOutputFunction(2, 2, short_table), std::invalid_argument);
+}
+
+TEST(MultiOutputFunction, OutputMask) {
+  const auto g = MultiOutputFunction::from_eval(2, 5, [](InputWord) {
+    return 0u;
+  });
+  EXPECT_EQ(g.output_mask(), 0b11111u);
+}
+
+}  // namespace
+}  // namespace dalut::core

@@ -1,0 +1,107 @@
+#include "core/two_dim_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dalut::core {
+namespace {
+
+TEST(TwoDimTruthTable, CellsMatchFunction) {
+  const auto f = TruthTable::from_eval(4, [](InputWord x) {
+    return (x * 7 + 3) % 5 < 2;
+  });
+  const Partition p(4, 0b0101);
+  const auto table = TwoDimTruthTable::build(f, p);
+  EXPECT_EQ(table.rows, 4u);
+  EXPECT_EQ(table.cols, 4u);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(table.at(r, c), f.get(p.input_of(r, c)) ? 1 : 0);
+    }
+  }
+}
+
+TEST(CostMatrix, ScatterPlacesEveryInputOnce) {
+  const unsigned n = 6;
+  std::vector<double> c0(64), c1(64);
+  for (InputWord x = 0; x < 64; ++x) {
+    c0[x] = x;          // unique markers
+    c1[x] = 1000 + x;
+  }
+  const Partition p(n, 0b011010);
+  const auto m = CostMatrix::build(p, c0, c1);
+  EXPECT_EQ(m.rows * m.cols, 64u);
+  for (std::uint32_t r = 0; r < m.rows; ++r) {
+    for (std::uint32_t c = 0; c < m.cols; ++c) {
+      const InputWord x = p.input_of(r, c);
+      EXPECT_DOUBLE_EQ(m.at0(r, c), static_cast<double>(x));
+      EXPECT_DOUBLE_EQ(m.at1(r, c), 1000.0 + x);
+    }
+  }
+}
+
+TEST(CostMatrix, ConditionedSelectsHalfTheInputs) {
+  const unsigned n = 5;
+  std::vector<double> c0(32), c1(32);
+  for (InputWord x = 0; x < 32; ++x) {
+    c0[x] = x;
+    c1[x] = 100 + x;
+  }
+  const Partition p(n, 0b00111);
+  const unsigned shared = 1;  // x2, inside B
+  for (bool value : {false, true}) {
+    const auto m = CostMatrix::build_conditioned(p, shared, value, c0, c1);
+    EXPECT_EQ(m.rows, p.num_rows());
+    EXPECT_EQ(m.cols, p.num_cols() / 2);
+    double sum = 0.0;
+    for (const double v : m.cost0) sum += v;
+    // Sum of x over inputs with bit1 == value.
+    double expected = 0.0;
+    for (InputWord x = 0; x < 32; ++x) {
+      if (((x >> shared) & 1u) == static_cast<unsigned>(value)) expected += x;
+    }
+    EXPECT_DOUBLE_EQ(sum, expected);
+  }
+}
+
+TEST(CostMatrix, ConditionedCellsHaveSharedBitFixed) {
+  const unsigned n = 6;
+  std::vector<double> c0(64), c1(64);
+  for (InputWord x = 0; x < 64; ++x) {
+    c0[x] = x;
+    c1[x] = 64.0 + x;
+  }
+  const Partition p(n, 0b110100);
+  const unsigned shared = 4;  // in B
+  const auto m1 = CostMatrix::build_conditioned(p, shared, true, c0, c1);
+  // Every marker in m1 must be an input code with bit 4 set.
+  for (const double v : m1.cost0) {
+    const auto x = static_cast<InputWord>(v);
+    EXPECT_TRUE((x >> shared) & 1u) << x;
+  }
+}
+
+TEST(CostMatrix, ConditionedRequiresSharedInBoundSet) {
+  std::vector<double> c0(16, 0.0), c1(16, 0.0);
+  const Partition p(4, 0b0011);
+  EXPECT_THROW(CostMatrix::build_conditioned(p, 3, false, c0, c1),
+               std::invalid_argument);
+}
+
+TEST(CostMatrix, ConditionedHalvesAreDisjointAndComplete) {
+  const unsigned n = 5;
+  std::vector<double> c0(32), c1(32, 0.0);
+  for (InputWord x = 0; x < 32; ++x) c0[x] = 1.0;  // count inputs
+  const Partition p(n, 0b11001);
+  const unsigned shared = 0;
+  const auto m0 = CostMatrix::build_conditioned(p, shared, false, c0, c1);
+  const auto m1 = CostMatrix::build_conditioned(p, shared, true, c0, c1);
+  double total = 0.0;
+  for (const double v : m0.cost0) total += v;
+  for (const double v : m1.cost0) total += v;
+  EXPECT_DOUBLE_EQ(total, 32.0);
+}
+
+}  // namespace
+}  // namespace dalut::core

@@ -1,0 +1,70 @@
+#include "func/extended.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dalut::func {
+namespace {
+
+TEST(Extended, SuiteHasSixFunctions) {
+  const auto suite = extended_suite(8);
+  ASSERT_EQ(suite.size(), 6u);
+  const std::vector<std::string> expected{"sqrt",     "reciprocal", "sigmoid",
+                                          "gaussian", "atan",       "log2"};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i]);
+    EXPECT_EQ(suite[i].num_inputs, 8u);
+    EXPECT_EQ(suite[i].num_outputs, 8u);
+    EXPECT_TRUE(suite[i].continuous);
+  }
+}
+
+TEST(Extended, SqrtEndpointsAndMonotone) {
+  const auto spec = make_sqrt(10);
+  EXPECT_EQ(spec.eval(0), 0u);
+  EXPECT_EQ(spec.eval(1023), 1023u);  // sqrt(4) = 2 = range top
+  for (std::uint32_t x = 1; x < 1024; ++x) {
+    EXPECT_GE(spec.eval(x), spec.eval(x - 1));
+  }
+}
+
+TEST(Extended, ReciprocalDecreasing) {
+  const auto spec = make_reciprocal(10);
+  EXPECT_EQ(spec.eval(0), 1023u);  // 1/1 = 1 = range top
+  for (std::uint32_t x = 1; x < 1024; ++x) {
+    EXPECT_LE(spec.eval(x), spec.eval(x - 1));
+  }
+  // 1/8 of [0, 1] -> 1023/8 = 128.
+  EXPECT_NEAR(static_cast<double>(spec.eval(1023)), 1023.0 / 8.0, 1.0);
+}
+
+TEST(Extended, SigmoidSymmetry) {
+  const auto spec = make_sigmoid(10);
+  // sigmoid(-x) = 1 - sigmoid(x): codes mirror around the midpoint.
+  for (std::uint32_t x = 0; x < 512; x += 7) {
+    const auto lo = spec.eval(x);
+    const auto hi = spec.eval(1023 - x);
+    EXPECT_NEAR(static_cast<double>(lo + hi), 1023.0, 2.0) << x;
+  }
+}
+
+TEST(Extended, GaussianPeakAtCentre) {
+  const auto spec = make_gaussian(10);
+  // Domain [-4, 4]: centre code ~ 511/512.
+  EXPECT_GE(spec.eval(511), 1020u);
+  EXPECT_LT(spec.eval(0), 2u);
+  EXPECT_LT(spec.eval(1023), 2u);
+}
+
+TEST(Extended, AtanAndLog2Endpoints) {
+  const auto atan_spec = make_atan(8);
+  EXPECT_EQ(atan_spec.eval(0), 0u);
+  EXPECT_EQ(atan_spec.eval(255), 255u);
+  const auto log_spec = make_log2(8);
+  EXPECT_EQ(log_spec.eval(0), 0u);    // log2(1) = 0
+  EXPECT_EQ(log_spec.eval(255), 255u);  // log2(16) = 4 = range top
+}
+
+}  // namespace
+}  // namespace dalut::func

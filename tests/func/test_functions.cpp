@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "func/axbench.hpp"
+#include "func/continuous.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::func {
+namespace {
+
+TEST(Registry, TenBenchmarksInPaperOrder) {
+  const auto suite = benchmark_suite(16);
+  ASSERT_EQ(suite.size(), 10u);
+  const std::vector<std::string> expected{
+      "cos", "tan",       "exp",        "ln",         "erf",
+      "denoise", "brentkung", "forwardk2j", "inversek2j", "multiplier"};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, expected[i]);
+  }
+}
+
+TEST(Registry, PaperWidths) {
+  // Table I: all 16 inputs; outputs 16 except Brent-Kung with 9.
+  for (const auto& spec : benchmark_suite(16)) {
+    EXPECT_EQ(spec.num_inputs, 16u) << spec.name;
+    if (spec.name == "brentkung") {
+      EXPECT_EQ(spec.num_outputs, 9u);
+    } else {
+      EXPECT_EQ(spec.num_outputs, 16u) << spec.name;
+    }
+  }
+}
+
+TEST(Registry, LookupByName) {
+  EXPECT_TRUE(benchmark_by_name("cos", 8).has_value());
+  EXPECT_TRUE(benchmark_by_name("multiplier", 8).has_value());
+  EXPECT_FALSE(benchmark_by_name("bogus", 8).has_value());
+}
+
+TEST(Registry, ContinuityFlags) {
+  for (const auto& spec : benchmark_suite(8)) {
+    const bool expected = spec.name != "brentkung" &&
+                          spec.name != "forwardk2j" &&
+                          spec.name != "inversek2j" &&
+                          spec.name != "multiplier";
+    EXPECT_EQ(spec.continuous, expected) << spec.name;
+  }
+}
+
+TEST(Continuous, CosEndpoints) {
+  const auto spec = make_cos(8);
+  // cos(0) = 1 -> max code; cos(pi/2) = 0 -> min code.
+  EXPECT_EQ(spec.eval(0), 255u);
+  EXPECT_EQ(spec.eval(255), 0u);
+}
+
+TEST(Continuous, CosMonotoneDecreasing) {
+  const auto spec = make_cos(10);
+  for (std::uint32_t x = 1; x < 1024; ++x) {
+    EXPECT_LE(spec.eval(x), spec.eval(x - 1)) << x;
+  }
+}
+
+TEST(Continuous, ExpMonotoneIncreasingAndEndpoints) {
+  const auto spec = make_exp(10);
+  for (std::uint32_t x = 1; x < 1024; ++x) {
+    EXPECT_GE(spec.eval(x), spec.eval(x - 1)) << x;
+  }
+  // exp(3) quantized over [0, e^3] hits the top code.
+  EXPECT_EQ(spec.eval(1023), 1023u);
+  // exp(0) = 1 over [0, 20.09]: code = round(1023/20.09) = 51.
+  EXPECT_EQ(spec.eval(0), 51u);
+}
+
+TEST(Continuous, LnEndpoints) {
+  const auto spec = make_ln(8);
+  EXPECT_EQ(spec.eval(0), 0u);    // ln(1) = 0
+  EXPECT_EQ(spec.eval(255), 255u);  // ln(10) = top of range
+}
+
+TEST(Continuous, ErfMonotoneAndBounded) {
+  const auto spec = make_erf(8);
+  EXPECT_EQ(spec.eval(0), 0u);
+  for (std::uint32_t x = 1; x < 256; ++x) {
+    EXPECT_GE(spec.eval(x), spec.eval(x - 1));
+  }
+  // erf(3) = 0.99998 -> essentially the top code.
+  EXPECT_GE(spec.eval(255), 254u);
+}
+
+TEST(Continuous, TanRangeMatchesTableOne) {
+  const auto spec = make_tan(8);
+  EXPECT_EQ(spec.eval(0), 0u);
+  EXPECT_EQ(spec.eval(255), 255u);  // tan(2pi/5) is the top of the range
+}
+
+TEST(Continuous, DenoiseUnimodalWithPaperRange) {
+  const auto spec = make_denoise(10);
+  // Rises then falls; peak near x = sqrt(3.57/2) ~ 1.336 of [0,3].
+  const std::uint32_t peak_code =
+      static_cast<std::uint32_t>(std::lround(1.336 / 3.0 * 1023));
+  EXPECT_EQ(spec.eval(0), 0u);
+  EXPECT_EQ(spec.eval(peak_code), 1023u);
+  EXPECT_LT(spec.eval(1023), 1023u);
+  EXPECT_GT(spec.eval(1023), 0u);  // denoise(3) ~ 0.24 of 0.81 peak
+}
+
+TEST(AxBench, BrentKungIsExactAdder) {
+  const auto spec = make_brent_kung(8);
+  EXPECT_EQ(spec.num_outputs, 5u);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    for (std::uint32_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(spec.eval(a | (b << 4)), a + b);
+    }
+  }
+}
+
+TEST(AxBench, MultiplierIsExactProduct) {
+  const auto spec = make_multiplier(8);
+  for (std::uint32_t a = 0; a < 16; ++a) {
+    for (std::uint32_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(spec.eval(a | (b << 4)), a * b);
+    }
+  }
+}
+
+TEST(AxBench, ForwardKinematicsKnownPoints) {
+  const auto spec = make_forwardk2j(16);
+  // theta1 = theta2 = 0: x = l1 + l2 = 1 -> top of [-1, 1].
+  EXPECT_EQ(spec.eval(0), 65535u);
+  // theta1 = pi/2, theta2 = pi/2: x = 0*l1 + (-1)*l2 = -0.5 -> 0.25 of range.
+  const std::uint32_t both_max = 255u | (255u << 8);
+  EXPECT_NEAR(static_cast<double>(spec.eval(both_max)), 0.25 * 65535, 2.0);
+}
+
+TEST(AxBench, InverseKinematicsSaturatesOutsideWorkspace) {
+  const auto spec = make_inversek2j(16);
+  // (0, 0): distance 0 < |l1 - l2| boundary; c = -1 -> theta2 = pi (folded).
+  EXPECT_EQ(spec.eval(0), 65535u);
+  // (1, 0): full reach -> theta2 = 0.
+  EXPECT_EQ(spec.eval(255), 0u);
+  // Discontinuity exists: some adjacent codes jump by a large amount.
+  std::uint32_t max_jump = 0;
+  for (std::uint32_t x = 1; x < 65536; x += 257) {
+    const auto a = spec.eval(x - 1);
+    const auto b = spec.eval(x);
+    max_jump = std::max(max_jump, a > b ? a - b : b - a);
+  }
+  EXPECT_GT(max_jump, 1000u);
+}
+
+TEST(AxBench, ScaledWidthsConsistent) {
+  for (unsigned width : {4u, 8u, 12u}) {
+    const auto suite = benchmark_suite(width);
+    for (const auto& spec : suite) {
+      EXPECT_EQ(spec.num_inputs, width) << spec.name;
+      const std::uint32_t out_mask = (1u << spec.num_outputs) - 1;
+      // Spot-check outputs stay within the declared width.
+      for (std::uint32_t x = 0; x < (1u << width);
+           x += std::max(1u, (1u << width) / 64)) {
+        EXPECT_EQ(spec.eval(x) & ~out_mask, 0u) << spec.name;
+      }
+    }
+  }
+}
+
+TEST(Registry, OddWidthsWorkForContinuousOnly) {
+  // Continuous benchmarks accept odd widths; two-operand ones throw, and
+  // the full suite (which includes them) throws too.
+  EXPECT_TRUE(benchmark_by_name("cos", 7).has_value());
+  EXPECT_TRUE(benchmark_by_name("erf", 9).has_value());
+  EXPECT_THROW(benchmark_by_name("multiplier", 7), std::invalid_argument);
+  EXPECT_THROW(benchmark_by_name("brentkung", 7), std::invalid_argument);
+  EXPECT_THROW(benchmark_suite(7), std::invalid_argument);
+  EXPECT_THROW(make_multiplier(7), std::invalid_argument);
+}
+
+TEST(FunctionSpec, QuantizerClampsAndRounds) {
+  const auto spec = quantized_real_function(
+      "identity", 4, 4, 0.0, 1.0, 0.0, 1.0, [](double x) { return x; });
+  EXPECT_EQ(spec.eval(0), 0u);
+  EXPECT_EQ(spec.eval(15), 15u);
+  const auto clamped = quantized_real_function(
+      "big", 4, 4, 0.0, 1.0, 0.0, 0.5, [](double x) { return x; });
+  EXPECT_EQ(clamped.eval(15), 15u);  // 1.0 clamps to range top
+}
+
+}  // namespace
+}  // namespace dalut::func

@@ -1,0 +1,66 @@
+#include "func/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dalut::func {
+namespace {
+
+TEST(Trace, SizesAndRanges) {
+  util::Rng rng(1);
+  for (const auto kind : {TraceKind::kUniform, TraceKind::kGaussian,
+                          TraceKind::kSequential, TraceKind::kRandomWalk}) {
+    const auto trace = generate_trace(kind, 500, 10, rng);
+    ASSERT_EQ(trace.size(), 500u);
+    for (const auto x : trace) EXPECT_LT(x, 1024u);
+  }
+}
+
+TEST(Trace, SequentialIsARamp) {
+  util::Rng rng(2);
+  const auto trace = generate_trace(TraceKind::kSequential, 100, 8, rng);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i], (trace[i - 1] + 1) & 0xFFu);
+  }
+}
+
+TEST(Trace, RandomWalkHasLowActivity) {
+  util::Rng rng(3);
+  const auto walk = generate_trace(TraceKind::kRandomWalk, 2000, 12, rng);
+  const auto uniform = generate_trace(TraceKind::kUniform, 2000, 12, rng);
+  // A walk flips 1-2 bits per step; uniform flips ~6 of 12 on average.
+  EXPECT_LT(trace_activity(walk), 2.0);
+  EXPECT_GT(trace_activity(uniform), 4.0);
+}
+
+TEST(Trace, GaussianClustersMidRange) {
+  util::Rng rng(4);
+  const auto trace = generate_trace(TraceKind::kGaussian, 5000, 10, rng);
+  double mean = 0.0;
+  for (const auto x : trace) mean += x;
+  mean /= static_cast<double>(trace.size());
+  EXPECT_NEAR(mean, 512.0, 30.0);
+  // Almost everything within 3 sigma = 3/8 of the domain around the mean.
+  std::size_t outliers = 0;
+  for (const auto x : trace) {
+    if (x < 128 || x >= 896) ++outliers;
+  }
+  EXPECT_LT(outliers, trace.size() / 50);
+}
+
+TEST(Trace, ActivityOfConstantTraceIsZero) {
+  EXPECT_EQ(trace_activity({7, 7, 7, 7}), 0.0);
+  EXPECT_EQ(trace_activity({42}), 0.0);
+  // 0 -> 0xF -> 0: 4 toggles each step.
+  EXPECT_DOUBLE_EQ(trace_activity({0, 0xF, 0}), 4.0);
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  util::Rng a(9), b(9);
+  EXPECT_EQ(generate_trace(TraceKind::kGaussian, 64, 8, a),
+            generate_trace(TraceKind::kGaussian, 64, 8, b));
+}
+
+}  // namespace
+}  // namespace dalut::func

@@ -1,0 +1,204 @@
+#include "hw/architectures.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bssa.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::hw {
+namespace {
+
+const Technology kTech = Technology::nangate45();
+
+core::MultiOutputFunction benchmark(const std::string& name, unsigned width) {
+  const auto spec = *func::benchmark_by_name(name, width);
+  return core::MultiOutputFunction::from_eval(spec.num_inputs,
+                                              spec.num_outputs, spec.eval);
+}
+
+/// A BS-SA run with the given mode policy, realized.
+core::ApproxLut decompose(const core::MultiOutputFunction& g,
+                          core::ModePolicy policy, std::uint64_t seed) {
+  core::BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 2;
+  params.beam_width = 2;
+  params.sa.partition_limit = 12;
+  params.sa.init_patterns = 6;
+  params.sa.chains = 3;
+  params.modes = policy;
+  params.seed = seed;
+  const auto dist = core::InputDistribution::uniform(g.num_inputs());
+  return core::run_bssa(g, dist, params).realize(g.num_inputs());
+}
+
+core::Setting bto_setting(const core::Partition& p) {
+  core::Setting s;
+  s.error = 0.0;
+  s.partition = p;
+  s.mode = core::DecompMode::kBto;
+  s.pattern.assign(p.num_cols(), 0);
+  return s;
+}
+
+core::Setting normal_setting(const core::Partition& p) {
+  core::Setting s;
+  s.error = 0.0;
+  s.partition = p;
+  s.mode = core::DecompMode::kNormal;
+  s.pattern.assign(p.num_cols(), 0);
+  s.types.assign(p.num_rows(), core::RowType::kPattern);
+  return s;
+}
+
+TEST(ApproxLutUnit, DaltaRejectsNonNormalModes) {
+  const core::Partition p(8, 0b00001111);
+  const auto bto_bit = core::DecomposedBit::realize(bto_setting(p));
+  EXPECT_THROW(ApproxLutUnit(ArchKind::kDalta, bto_bit, 8, kTech),
+               std::invalid_argument);
+  const auto normal_bit = core::DecomposedBit::realize(normal_setting(p));
+  EXPECT_NO_THROW(ApproxLutUnit(ArchKind::kDalta, normal_bit, 8, kTech));
+}
+
+TEST(ApproxLutUnit, BtoNormalAcceptsBtoRejectsNd) {
+  const core::Partition p(8, 0b00001111);
+  const auto bto_bit = core::DecomposedBit::realize(bto_setting(p));
+  EXPECT_NO_THROW(ApproxLutUnit(ArchKind::kBtoNormal, bto_bit, 8, kTech));
+
+  core::Setting nd = normal_setting(p);
+  nd.mode = core::DecompMode::kNonDisjoint;
+  nd.shared_bit = 0;
+  nd.pattern0.assign(p.num_cols() / 2, 0);
+  nd.pattern1.assign(p.num_cols() / 2, 0);
+  nd.types0.assign(p.num_rows(), core::RowType::kPattern);
+  nd.types1.assign(p.num_rows(), core::RowType::kPattern);
+  const auto nd_bit = core::DecomposedBit::realize(nd);
+  EXPECT_THROW(ApproxLutUnit(ArchKind::kBtoNormal, nd_bit, 8, kTech),
+               std::invalid_argument);
+  EXPECT_NO_THROW(ApproxLutUnit(ArchKind::kBtoNormalNd, nd_bit, 8, kTech));
+}
+
+TEST(ApproxLutUnit, BtoModeSavesEnergyOnSameArchitecture) {
+  const core::Partition p(8, 0b00001111);
+  const ApproxLutUnit bto(ArchKind::kBtoNormal,
+                          core::DecomposedBit::realize(bto_setting(p)), 8,
+                          kTech);
+  const ApproxLutUnit normal(ArchKind::kBtoNormal,
+                             core::DecomposedBit::realize(normal_setting(p)),
+                             8, kTech);
+  EXPECT_LT(bto.read_energy(), normal.read_energy());
+  // Same silicon: identical area and leakage.
+  EXPECT_DOUBLE_EQ(bto.area(), normal.area());
+  EXPECT_DOUBLE_EQ(bto.leakage(), normal.leakage());
+  EXPECT_FALSE(bto.free0_enabled());
+  EXPECT_TRUE(normal.free0_enabled());
+}
+
+TEST(ApproxLutUnit, NdArchitectureCostsMoreAreaThanDalta) {
+  const core::Partition p(8, 0b00001111);
+  const auto bit = core::DecomposedBit::realize(normal_setting(p));
+  const ApproxLutUnit dalta(ArchKind::kDalta, bit, 8, kTech);
+  const ApproxLutUnit nd_arch(ArchKind::kBtoNormalNd, bit, 8, kTech);
+  EXPECT_GT(nd_arch.area(), dalta.area());
+  EXPECT_GT(nd_arch.leakage(), dalta.leakage());
+}
+
+TEST(ApproxLutUnit, EnergyOrderingAcrossModesOnNdArchitecture) {
+  const core::Partition p(8, 0b00001111);
+  core::Setting nd = normal_setting(p);
+  nd.mode = core::DecompMode::kNonDisjoint;
+  nd.shared_bit = 0;
+  nd.pattern0.assign(p.num_cols() / 2, 0);
+  nd.pattern1.assign(p.num_cols() / 2, 0);
+  nd.types0.assign(p.num_rows(), core::RowType::kPattern);
+  nd.types1.assign(p.num_rows(), core::RowType::kPattern);
+
+  const ApproxLutUnit u_bto(ArchKind::kBtoNormalNd,
+                            core::DecomposedBit::realize(bto_setting(p)), 8,
+                            kTech);
+  const ApproxLutUnit u_normal(ArchKind::kBtoNormalNd,
+                               core::DecomposedBit::realize(normal_setting(p)),
+                               8, kTech);
+  const ApproxLutUnit u_nd(ArchKind::kBtoNormalNd,
+                           core::DecomposedBit::realize(nd), 8, kTech);
+  EXPECT_LT(u_bto.read_energy(), u_normal.read_energy());
+  EXPECT_LT(u_normal.read_energy(), u_nd.read_energy());
+  EXPECT_TRUE(u_nd.free1_enabled());
+  EXPECT_FALSE(u_normal.free1_enabled());
+}
+
+TEST(ApproxLutUnit, DelayOrderingByMode) {
+  const core::Partition p(8, 0b00001111);
+  const ApproxLutUnit bto(ArchKind::kBtoNormalNd,
+                          core::DecomposedBit::realize(bto_setting(p)), 8,
+                          kTech);
+  const ApproxLutUnit normal(ArchKind::kBtoNormalNd,
+                             core::DecomposedBit::realize(normal_setting(p)),
+                             8, kTech);
+  // BTO's path skips the free table, so it must be strictly shorter.
+  EXPECT_LT(bto.delay(), normal.delay());
+  // Delay is composed of routing + tables + glue: all positive.
+  EXPECT_GT(bto.delay(), bto.routing().delay());
+}
+
+TEST(ApproxLutUnit, BoundSizeDrivesTableSplit) {
+  // More bound bits -> bigger bound table, smaller free table.
+  const core::Partition small_b(8, 0b00000111);   // b = 3
+  const core::Partition large_b(8, 0b00111111);   // b = 6
+  const ApproxLutUnit a(ArchKind::kDalta,
+                        core::DecomposedBit::realize(normal_setting(small_b)),
+                        8, kTech);
+  const ApproxLutUnit b(ArchKind::kDalta,
+                        core::DecomposedBit::realize(normal_setting(large_b)),
+                        8, kTech);
+  EXPECT_EQ(a.bound_table().entries(), 8u);
+  EXPECT_EQ(b.bound_table().entries(), 64u);
+  EXPECT_EQ(a.free_table0()->entries(), 64u);  // 2^(8-3+1)
+  EXPECT_EQ(b.free_table0()->entries(), 8u);   // 2^(8-6+1)
+  // Same total storage here (symmetric split), so comparable area.
+  EXPECT_NEAR(a.area(), b.area(), a.area() * 0.05);
+}
+
+TEST(ApproxLutSystem, ReadMatchesFunctionalLut) {
+  const auto g = benchmark("cos", 8);
+  const auto lut = decompose(g, core::ModePolicy::bto_normal_nd(), 5);
+  const ApproxLutSystem system(ArchKind::kBtoNormalNd, lut, kTech);
+  for (core::InputWord x = 0; x < 256; ++x) {
+    EXPECT_EQ(system.read(x), lut.eval(x)) << x;
+  }
+}
+
+TEST(ApproxLutSystem, CostAggregation) {
+  const auto g = benchmark("exp", 8);
+  const auto lut = decompose(g, core::ModePolicy::normal_only(), 6);
+  const ApproxLutSystem system(ArchKind::kDalta, lut, kTech);
+  const auto total = system.cost();
+  double area_sum = 0.0;
+  double delay_max = 0.0;
+  for (const auto& unit : system.units()) {
+    area_sum += unit.area();
+    delay_max = std::max(delay_max, unit.delay());
+  }
+  EXPECT_DOUBLE_EQ(total.area, area_sum);
+  EXPECT_DOUBLE_EQ(total.delay, delay_max);
+}
+
+TEST(MonolithicLut, RoundTripWithShifts) {
+  // 2^4-entry LUT addressed by the top 4 of 6 input bits, output shifted 2.
+  std::vector<std::uint32_t> contents(16);
+  for (unsigned i = 0; i < 16; ++i) contents[i] = i;
+  const MonolithicLut lut(4, 4, contents, kTech, /*addr_shift=*/2,
+                          /*out_shift=*/2);
+  EXPECT_EQ(lut.read(0b000000), 0u);
+  EXPECT_EQ(lut.read(0b000100), 1u << 2);
+  EXPECT_EQ(lut.read(0b111100), 15u << 2);
+}
+
+TEST(ArchKind, Names) {
+  EXPECT_EQ(to_string(ArchKind::kDalta), "DALTA");
+  EXPECT_EQ(to_string(ArchKind::kBtoNormal), "BTO-Normal");
+  EXPECT_EQ(to_string(ArchKind::kBtoNormalNd), "BTO-Normal-ND");
+}
+
+}  // namespace
+}  // namespace dalut::hw

@@ -1,0 +1,72 @@
+#include "hw/lut_ram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dalut::hw {
+namespace {
+
+const Technology kTech = Technology::nangate45();
+
+TEST(LutRam, ProgramAndRead) {
+  LutRam ram(3, 2, kTech);
+  ram.program({0, 1, 2, 3, 3, 2, 1, 0});
+  EXPECT_EQ(ram.read(0), 0u);
+  EXPECT_EQ(ram.read(3), 3u);
+  EXPECT_EQ(ram.read(7), 0u);
+}
+
+TEST(LutRam, ProgramValidation) {
+  LutRam ram(2, 1, kTech);
+  EXPECT_THROW(ram.program({0, 1, 1}), std::invalid_argument);  // size
+  EXPECT_THROW(ram.program({0, 1, 2, 0}), std::invalid_argument);  // width
+}
+
+TEST(LutRam, SizesFollowGeometry) {
+  LutRam ram(9, 1, kTech);
+  EXPECT_EQ(ram.entries(), 512u);
+  EXPECT_EQ(ram.storage_bits(), 512u);
+  LutRam wide(4, 8, kTech);
+  EXPECT_EQ(wide.storage_bits(), 128u);
+}
+
+TEST(LutRam, CostsScaleWithEntries) {
+  const LutRam small(6, 1, kTech);
+  const LutRam big(9, 1, kTech);
+  EXPECT_LT(small.area(), big.area());
+  EXPECT_LT(small.read_energy(true), big.read_energy(true));
+  EXPECT_LT(small.leakage(), big.leakage());
+  EXPECT_LT(small.delay(), big.delay());
+  // 8x the entries -> roughly 8x the clocking energy.
+  EXPECT_NEAR(big.read_energy(true) / small.read_energy(true), 8.0, 1.0);
+}
+
+TEST(LutRam, GatedTableBurnsNoDynamicEnergy) {
+  const LutRam ram(8, 1, kTech);
+  EXPECT_DOUBLE_EQ(ram.read_energy(false), 0.0);
+  EXPECT_GT(ram.read_energy(true), 0.0);
+  // Leakage burns regardless.
+  EXPECT_GT(ram.leakage(), 0.0);
+}
+
+TEST(LutRam, CostSummaryAggregates) {
+  const LutRam ram(5, 2, kTech);
+  const auto on = ram.cost(true);
+  const auto off = ram.cost(false);
+  EXPECT_DOUBLE_EQ(on.area, off.area);
+  EXPECT_DOUBLE_EQ(on.leakage, off.leakage);
+  EXPECT_GT(on.read_energy, 0.0);
+  EXPECT_DOUBLE_EQ(off.read_energy, 0.0);
+}
+
+TEST(CostSummary, PlusEqualsCombinesParallelBlocks) {
+  CostSummary a{10.0, 5.0, 2.0, 1.0};
+  const CostSummary b{20.0, 3.0, 4.0, 2.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.area, 30.0);
+  EXPECT_DOUBLE_EQ(a.read_energy, 8.0);
+  EXPECT_DOUBLE_EQ(a.delay, 4.0);  // max, not sum
+  EXPECT_DOUBLE_EQ(a.leakage, 3.0);
+}
+
+}  // namespace
+}  // namespace dalut::hw

@@ -1,0 +1,80 @@
+#include "hw/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bssa.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::hw {
+namespace {
+
+const Technology kTech = Technology::nangate45();
+
+ApproxLutSystem make_system(ArchKind kind, core::ModePolicy policy) {
+  const auto spec = *func::benchmark_by_name("cos", 8);
+  const auto g = core::MultiOutputFunction::from_eval(
+      spec.num_inputs, spec.num_outputs, spec.eval);
+  core::BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 2;
+  params.sa.partition_limit = 12;
+  params.sa.init_patterns = 6;
+  params.modes = policy;
+  params.seed = 1;
+  const auto dist = core::InputDistribution::uniform(8);
+  return ApproxLutSystem(kind, core::run_bssa(g, dist, params).realize(8),
+                         kTech);
+}
+
+TEST(Report, UnitBreakdownSumsToUnitCost) {
+  const auto system =
+      make_system(ArchKind::kBtoNormalNd, core::ModePolicy::bto_normal_nd());
+  for (const auto& unit : system.units()) {
+    const auto parts = unit_breakdown(unit);
+    double area = 0.0;
+    double leakage = 0.0;
+    for (const auto& part : parts) {
+      area += part.cost.area;
+      leakage += part.cost.leakage;
+    }
+    // Tables + routing cover everything except glue muxes and clock gates.
+    EXPECT_LE(area, unit.area());
+    EXPECT_GT(area, unit.area() * 0.8);
+    EXPECT_LE(leakage, unit.leakage());
+  }
+}
+
+TEST(Report, BreakdownMarksGatedTables) {
+  const auto system =
+      make_system(ArchKind::kBtoNormal, core::ModePolicy::bto_normal(1e9));
+  // delta = 1e9 forces all-BTO: every free table gated.
+  for (const auto& unit : system.units()) {
+    ASSERT_EQ(unit.mode(), core::DecompMode::kBto);
+    const auto parts = unit_breakdown(unit);
+    bool saw_gated_free = false;
+    for (const auto& part : parts) {
+      if (part.name.rfind("free table", 0) == 0) {
+        EXPECT_FALSE(part.enabled);
+        EXPECT_EQ(part.cost.read_energy, 0.0);
+        saw_gated_free = true;
+      }
+    }
+    EXPECT_TRUE(saw_gated_free);
+  }
+}
+
+TEST(Report, FormattedReportHasAllBitsAndTotal) {
+  const auto system =
+      make_system(ArchKind::kDalta, core::ModePolicy::normal_only());
+  const auto text = format_report(system);
+  EXPECT_NE(text.find("DALTA cost report"), std::string::npos);
+  for (unsigned k = 0; k < 8; ++k) {
+    EXPECT_NE(text.find("| " + std::to_string(k) + " "), std::string::npos);
+  }
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+  EXPECT_NE(text.find("component breakdown"), std::string::npos);
+  EXPECT_NE(text.find("bound table"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dalut::hw

@@ -1,0 +1,104 @@
+#include "hw/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bssa.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::hw {
+namespace {
+
+const Technology kTech = Technology::nangate45();
+
+core::MultiOutputFunction benchmark(const std::string& name, unsigned width) {
+  const auto spec = *func::benchmark_by_name(name, width);
+  return core::MultiOutputFunction::from_eval(spec.num_inputs,
+                                              spec.num_outputs, spec.eval);
+}
+
+TEST(Simulator, ExactLutHasZeroMismatches) {
+  const auto g = benchmark("cos", 8);
+  // Monolithic LUT holding the exact function.
+  std::vector<std::uint32_t> contents(g.values().begin(), g.values().end());
+  const MonolithicLut lut(8, 8, contents, kTech);
+  const auto target = make_target(lut, 8);
+  util::Rng rng(1);
+  const auto report = simulate_random(target, 512, 8, &g, kTech, rng);
+  EXPECT_EQ(report.reads, 512u);
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_GT(report.avg_read_energy, 0.0);
+}
+
+TEST(Simulator, ApproximateLutMismatchesDetected) {
+  const auto g = benchmark("cos", 8);
+  std::vector<std::uint32_t> wrong(g.values().begin(), g.values().end());
+  for (auto& v : wrong) v ^= 0x01;  // every entry off by one LSB
+  const MonolithicLut lut(8, 8, wrong, kTech);
+  const auto target = make_target(lut, 8);
+  util::Rng rng(2);
+  const auto report = simulate_random(target, 100, 8, &g, kTech, rng);
+  EXPECT_EQ(report.mismatches, 100u);
+}
+
+TEST(Simulator, EnergyAccumulatesPerRead) {
+  const auto g = benchmark("exp", 8);
+  std::vector<std::uint32_t> contents(g.values().begin(), g.values().end());
+  const MonolithicLut lut(8, 8, contents, kTech);
+  const auto target = make_target(lut, 8);
+  // Constant address sequence: no output toggles, pure static energy.
+  std::vector<core::InputWord> same(10, 42);
+  const auto report = simulate(target, same, nullptr, kTech);
+  EXPECT_EQ(report.output_toggles, 0u);
+  EXPECT_NEAR(report.total_energy, 10 * target.static_read_energy, 1e-9);
+}
+
+TEST(Simulator, TogglesAddWireEnergy) {
+  const auto g = core::MultiOutputFunction::from_eval(
+      4, 4, [](core::InputWord x) { return x; });
+  std::vector<std::uint32_t> contents(g.values().begin(), g.values().end());
+  const MonolithicLut lut(4, 4, contents, kTech);
+  const auto target = make_target(lut, 4);
+  // 0 -> 15 -> 0: 4 bits toggle twice.
+  std::vector<core::InputWord> sequence{0, 15, 0};
+  const auto report = simulate(target, sequence, &g, kTech);
+  EXPECT_EQ(report.output_toggles, 8u);
+  EXPECT_NEAR(report.total_energy,
+              3 * target.static_read_energy + 8 * kTech.wire_energy, 1e-9);
+}
+
+TEST(Simulator, SystemTargetVerifiesAgainstDecomposition) {
+  const auto g = benchmark("ln", 8);
+  core::BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 2;
+  params.beam_width = 2;
+  params.sa.partition_limit = 12;
+  params.sa.init_patterns = 6;
+  params.seed = 3;
+  const auto dist = core::InputDistribution::uniform(8);
+  const auto lut = core::run_bssa(g, dist, params).realize(8);
+  const ApproxLutSystem system(ArchKind::kDalta, lut, kTech);
+  const auto target = make_target(system);
+
+  // The hardware must match the functional model exactly (the VCS-style
+  // functional verification step) even though it differs from g.
+  const auto reference = lut.to_function();
+  util::Rng rng(4);
+  const auto report =
+      simulate_random(target, 256, 8, &reference, kTech, rng);
+  EXPECT_EQ(report.mismatches, 0u);
+}
+
+TEST(Simulator, EmptySequence) {
+  const auto g = benchmark("tan", 8);
+  std::vector<std::uint32_t> contents(g.values().begin(), g.values().end());
+  const MonolithicLut lut(8, 8, contents, kTech);
+  const auto report =
+      simulate(make_target(lut, 8), {}, nullptr, kTech);
+  EXPECT_EQ(report.reads, 0u);
+  EXPECT_DOUBLE_EQ(report.total_energy, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_read_energy, 0.0);
+}
+
+}  // namespace
+}  // namespace dalut::hw

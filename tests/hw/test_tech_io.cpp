@@ -1,0 +1,61 @@
+#include "hw/tech_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/lut_ram.hpp"
+
+namespace dalut::hw {
+namespace {
+
+TEST(TechIo, RoundTripPreservesEveryField) {
+  Technology tech = Technology::nangate45();
+  tech.dff_area = 9.99;
+  tech.mux2_delay = 0.123;
+  tech.wire_energy = 0.77;
+  tech.mux_tree_activity = 0.42;
+  const auto parsed = technology_from_string(technology_to_string(tech));
+  EXPECT_DOUBLE_EQ(parsed.dff_area, 9.99);
+  EXPECT_DOUBLE_EQ(parsed.mux2_delay, 0.123);
+  EXPECT_DOUBLE_EQ(parsed.wire_energy, 0.77);
+  EXPECT_DOUBLE_EQ(parsed.mux_tree_activity, 0.42);
+  EXPECT_DOUBLE_EQ(parsed.dff_clk_energy, tech.dff_clk_energy);
+  EXPECT_DOUBLE_EQ(parsed.icg_area, tech.icg_area);
+  // Cost model agrees exactly after the round trip.
+  const LutRam a(6, 1, tech);
+  const LutRam b(6, 1, parsed);
+  EXPECT_DOUBLE_EQ(a.area(), b.area());
+  EXPECT_DOUBLE_EQ(a.read_energy(true), b.read_energy(true));
+  EXPECT_DOUBLE_EQ(a.leakage(), b.leakage());
+}
+
+TEST(TechIo, MissingKeysKeepDefaults) {
+  const auto tech = technology_from_string("dff_area = 7.0\n");
+  EXPECT_DOUBLE_EQ(tech.dff_area, 7.0);
+  EXPECT_DOUBLE_EQ(tech.mux2_area, Technology{}.mux2_area);
+}
+
+TEST(TechIo, CommentsAndBlankLines) {
+  const auto tech = technology_from_string(
+      "# header comment\n\nwire_energy = 0.5  # inline comment\n");
+  EXPECT_DOUBLE_EQ(tech.wire_energy, 0.5);
+}
+
+TEST(TechIo, RejectsUnknownKey) {
+  EXPECT_THROW(technology_from_string("dff_aera = 4.5\n"),
+               std::invalid_argument);
+}
+
+TEST(TechIo, RejectsMalformedLine) {
+  EXPECT_THROW(technology_from_string("dff_area 4.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(technology_from_string("dff_area = banana\n"),
+               std::invalid_argument);
+}
+
+TEST(TechIo, RejectsNegativeValues) {
+  EXPECT_THROW(technology_from_string("dff_area = -1.0\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dalut::hw

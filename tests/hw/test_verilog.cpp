@@ -1,0 +1,186 @@
+#include "hw/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bssa.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::hw {
+namespace {
+
+const Technology kTech = Technology::nangate45();
+
+/// Extracts the bit vector of `localparam [...] NAME = <n>'b<bits>;`,
+/// returned with index 0 = LSB (Verilog bit 0).
+std::vector<std::uint8_t> parse_localparam(const std::string& verilog,
+                                           const std::string& name) {
+  const auto at = verilog.find(name + " = ");
+  EXPECT_NE(at, std::string::npos) << name;
+  const auto tick = verilog.find("'b", at);
+  const auto semi = verilog.find(';', tick);
+  const std::string body = verilog.substr(tick + 2, semi - tick - 2);
+  std::vector<std::uint8_t> bits(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    bits[body.size() - 1 - i] = body[i] == '1' ? 1 : 0;  // MSB-first literal
+  }
+  return bits;
+}
+
+core::ApproxLut decompose(const std::string& name, core::ModePolicy policy,
+                          std::uint64_t seed) {
+  const auto spec = *func::benchmark_by_name(name, 8);
+  const auto g = core::MultiOutputFunction::from_eval(
+      spec.num_inputs, spec.num_outputs, spec.eval);
+  core::BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 2;
+  params.beam_width = 2;
+  params.sa.partition_limit = 10;
+  params.sa.init_patterns = 6;
+  params.modes = policy;
+  params.seed = seed;
+  const auto dist = core::InputDistribution::uniform(8);
+  return core::run_bssa(g, dist, params).realize(8);
+}
+
+TEST(Verilog, UnitModuleStructure) {
+  const auto lut = decompose("cos", core::ModePolicy::normal_only(), 1);
+  const ApproxLutUnit unit(ArchKind::kDalta, lut.bit(7), 8, kTech);
+  const auto v = emit_unit_verilog(unit, "cos_bit7");
+  EXPECT_NE(v.find("module cos_bit7 ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(v.find("input  wire [7:0] x"), std::string::npos);
+  EXPECT_NE(v.find("output reg  y"), std::string::npos);
+  EXPECT_NE(v.find("BOUND_INIT"), std::string::npos);
+  EXPECT_NE(v.find("FREE0_INIT"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, BoundRomBitsMatchDecomposition) {
+  const auto lut = decompose("exp", core::ModePolicy::normal_only(), 2);
+  for (unsigned k = 0; k < 8; ++k) {
+    const ApproxLutUnit unit(ArchKind::kDalta, lut.bit(k), 8, kTech);
+    const auto v = emit_unit_verilog(unit, "u");
+    const auto bound = parse_localparam(v, "BOUND_INIT");
+    const auto& expected = lut.bit(k).bound_table();
+    ASSERT_EQ(bound.size(), expected.size());
+    for (std::size_t i = 0; i < bound.size(); ++i) {
+      EXPECT_EQ(bound[i], expected[i]) << "bit " << k << " entry " << i;
+    }
+  }
+}
+
+TEST(Verilog, EmittedSemanticsMatchUnitRead) {
+  // Re-evaluate the emitted netlist semantics (routing concat + ROM indexing
+  // + output mux) from the parsed ROMs and compare with the unit model -
+  // the stand-in for running VCS on the generated RTL.
+  const auto lut = decompose("multiplier",
+                             core::ModePolicy::bto_normal_nd(0.05, 0.2), 3);
+  for (unsigned k = 0; k < lut.num_outputs(); ++k) {
+    const ApproxLutUnit unit(ArchKind::kBtoNormalNd, lut.bit(k), 8, kTech);
+    const auto v = emit_unit_verilog(unit, "u");
+    const auto& bit = unit.decomposition();
+    const auto& partition = bit.partition();
+    const auto bound = parse_localparam(v, "BOUND_INIT");
+
+    for (core::InputWord x = 0; x < 256; ++x) {
+      const bool phi = bound[partition.col_of(x)] != 0;
+      bool y = phi;
+      if (bit.mode() == core::DecompMode::kNormal) {
+        const auto free0 = parse_localparam(v, "FREE0_INIT");
+        y = free0[(partition.row_of(x) << 1) | (phi ? 1 : 0)] != 0;
+      } else if (bit.mode() == core::DecompMode::kNonDisjoint) {
+        const auto free0 = parse_localparam(v, "FREE0_INIT");
+        const auto free1 = parse_localparam(v, "FREE1_INIT");
+        const bool xs = (x >> bit.shared_bit()) & 1u;
+        const auto& rom = xs ? free1 : free0;
+        y = rom[(partition.row_of(x) << 1) | (phi ? 1 : 0)] != 0;
+      }
+      ASSERT_EQ(y, unit.read(x)) << "bit " << k << " x " << x;
+    }
+  }
+}
+
+TEST(Verilog, SystemModuleInstantiatesAllBits) {
+  const auto lut = decompose("ln", core::ModePolicy::normal_only(), 4);
+  const ApproxLutSystem system(ArchKind::kDalta, lut, kTech);
+  const auto v = emit_system_verilog(system, "ln_lut");
+  EXPECT_NE(v.find("module ln_lut ("), std::string::npos);
+  EXPECT_NE(v.find("output wire [7:0] y"), std::string::npos);
+  for (unsigned k = 0; k < 8; ++k) {
+    EXPECT_NE(v.find("module ln_lut_bit" + std::to_string(k)),
+              std::string::npos);
+    EXPECT_NE(v.find("u_bit" + std::to_string(k)), std::string::npos);
+  }
+}
+
+TEST(Verilog, BtoUnitOmitsFreeTable) {
+  const auto lut = decompose("cos", core::ModePolicy::bto_normal(1e9), 5);
+  // delta = 1e9 forces every bit into BTO mode.
+  const ApproxLutUnit unit(ArchKind::kBtoNormal, lut.bit(0), 8, kTech);
+  ASSERT_EQ(unit.mode(), core::DecompMode::kBto);
+  const auto v = emit_unit_verilog(unit, "u");
+  EXPECT_EQ(v.find("FREE0_INIT"), std::string::npos);
+  EXPECT_NE(v.find("BTO mode"), std::string::npos);
+}
+
+TEST(Verilog, TestbenchContainsExpectedVectors) {
+  const auto lut = decompose("cos", core::ModePolicy::normal_only(), 6);
+  const ApproxLutSystem system(ArchKind::kDalta, lut, kTech);
+  const auto tb = emit_system_testbench(system, "cos_lut", 16, 99);
+  EXPECT_NE(tb.find("module cos_lut_tb;"), std::string::npos);
+  EXPECT_NE(tb.find("cos_lut dut (.clk(clk), .x(x), .y(y));"),
+            std::string::npos);
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+  // 16 check() calls with baked-in expected values.
+  std::size_t checks = 0;
+  for (std::size_t pos = 0; (pos = tb.find("check(8'h", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++checks;
+  }
+  EXPECT_EQ(checks, 16u);
+}
+
+TEST(Verilog, TestbenchExpectedValuesMatchModel) {
+  // Parse every check(stim, expected) pair and verify against the system.
+  const auto lut = decompose("exp", core::ModePolicy::bto_normal(0.05), 7);
+  const ApproxLutSystem system(ArchKind::kBtoNormal, lut, kTech);
+  const auto tb = emit_system_testbench(system, "exp_lut", 32, 5);
+  std::size_t checked = 0;
+  for (std::size_t pos = tb.find("check("); pos != std::string::npos;
+       pos = tb.find("check(", pos + 1)) {
+    unsigned n_bits = 0, stim = 0, m_bits = 0, expected = 0;
+    const int fields = std::sscanf(tb.c_str() + pos, "check(%u'h%x, %u'h%x)",
+                                   &n_bits, &stim, &m_bits, &expected);
+    if (fields != 4) continue;  // the task definition line
+    EXPECT_EQ(system.read(stim), expected) << "stim " << stim;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 32u);
+}
+
+TEST(Verilog, TestbenchDeterministicPerSeed) {
+  const auto lut = decompose("ln", core::ModePolicy::normal_only(), 8);
+  const ApproxLutSystem system(ArchKind::kDalta, lut, kTech);
+  EXPECT_EQ(emit_system_testbench(system, "m", 8, 1),
+            emit_system_testbench(system, "m", 8, 1));
+  EXPECT_NE(emit_system_testbench(system, "m", 8, 1),
+            emit_system_testbench(system, "m", 8, 2));
+}
+
+TEST(Verilog, MonolithicRomMatchesContents) {
+  std::vector<std::uint32_t> contents{0, 1, 2, 3, 3, 2, 1, 0};
+  const MonolithicLut lut(3, 2, contents, kTech);
+  const auto v = emit_monolithic_verilog(lut, 3, 2, "rom");
+  const auto rom0 = parse_localparam(v, "ROM0");
+  const auto rom1 = parse_localparam(v, "ROM1");
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(rom0[i], contents[i] & 1u);
+    EXPECT_EQ(rom1[i], (contents[i] >> 1) & 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dalut::hw

@@ -1,0 +1,199 @@
+// End-to-end integration: the full Fig. 5 style pipeline on a scaled-down
+// cosine benchmark - optimize with both algorithms, realize all five
+// architectures, verify functionality in the simulator, and check the
+// qualitative relationships the paper reports.
+#include <gtest/gtest.h>
+
+#include "baseline/round_in.hpp"
+#include "baseline/round_out.hpp"
+#include "core/bssa.hpp"
+#include "core/dalta.hpp"
+#include "func/registry.hpp"
+#include "hw/simulator.hpp"
+#include "hw/verilog.hpp"
+
+namespace dalut {
+namespace {
+
+const hw::Technology kTech = hw::Technology::nangate45();
+constexpr unsigned kWidth = 8;
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto spec = *func::benchmark_by_name("cos", kWidth);
+    g_ = new core::MultiOutputFunction(core::MultiOutputFunction::from_eval(
+        spec.num_inputs, spec.num_outputs, spec.eval));
+    dist_ = new core::InputDistribution(
+        core::InputDistribution::uniform(kWidth));
+
+    core::BssaParams params;
+    params.bound_size = 4;
+    params.rounds = 3;
+    params.beam_width = 3;
+    params.sa.partition_limit = 20;
+    params.sa.init_patterns = 10;
+    params.sa.chains = 4;
+    params.seed = 12345;
+
+    normal_ = new core::DecompositionResult(
+        core::run_bssa(*g_, *dist_, params));
+    params.modes = core::ModePolicy::bto_normal(0.05);
+    bto_normal_ = new core::DecompositionResult(
+        core::run_bssa(*g_, *dist_, params));
+    params.modes = core::ModePolicy::bto_normal_nd(0.05, 0.2);
+    bto_normal_nd_ = new core::DecompositionResult(
+        core::run_bssa(*g_, *dist_, params));
+  }
+
+  static void TearDownTestSuite() {
+    delete g_;
+    delete dist_;
+    delete normal_;
+    delete bto_normal_;
+    delete bto_normal_nd_;
+  }
+
+  static core::MultiOutputFunction* g_;
+  static core::InputDistribution* dist_;
+  static core::DecompositionResult* normal_;
+  static core::DecompositionResult* bto_normal_;
+  static core::DecompositionResult* bto_normal_nd_;
+};
+
+core::MultiOutputFunction* EndToEnd::g_ = nullptr;
+core::InputDistribution* EndToEnd::dist_ = nullptr;
+core::DecompositionResult* EndToEnd::normal_ = nullptr;
+core::DecompositionResult* EndToEnd::bto_normal_ = nullptr;
+core::DecompositionResult* EndToEnd::bto_normal_nd_ = nullptr;
+
+TEST_F(EndToEnd, DecompositionBeatsRoundingBaselines) {
+  // The paper's qualitative Fig. 5 claim: decomposition-based architectures
+  // have less error than rounding baselines tuned to comparable budgets.
+  const baseline::RoundIn round_in(*g_, 3);
+  const double rin_med =
+      core::mean_error_distance(*g_, round_in.values(), *dist_);
+  EXPECT_LT(normal_->med, rin_med);
+
+  const unsigned q = baseline::RoundOut::choose_q(*g_, *dist_, normal_->med);
+  const baseline::RoundOut round_out(*g_, q);
+  const double rout_med =
+      core::mean_error_distance(*g_, round_out.values(), *dist_);
+  EXPECT_LT(normal_->med, rout_med);
+}
+
+TEST_F(EndToEnd, NdModeImprovesAccuracy) {
+  EXPECT_LE(bto_normal_nd_->med, normal_->med * 1.02 + 1e-9);
+}
+
+TEST_F(EndToEnd, BtoNormalSavesEnergyVsDalta) {
+  const hw::ApproxLutSystem dalta(hw::ArchKind::kDalta,
+                                  normal_->realize(kWidth), kTech);
+  const hw::ApproxLutSystem bto(hw::ArchKind::kBtoNormal,
+                                bto_normal_->realize(kWidth), kTech);
+  // Some bits fall back to BTO mode, so per-read energy drops below the
+  // always-on DALTA implementation of the same function family.
+  std::size_t bto_bits = 0;
+  for (const auto& s : bto_normal_->settings) {
+    if (s.mode == core::DecompMode::kBto) ++bto_bits;
+  }
+  if (bto_bits > 0) {
+    EXPECT_LT(bto.cost().read_energy, dalta.cost().read_energy);
+  } else {
+    EXPECT_LE(bto.cost().read_energy,
+              dalta.cost().read_energy * 1.05);  // only mux/gate overhead
+  }
+}
+
+TEST_F(EndToEnd, AllArchitecturesFunctionallyVerified) {
+  struct Case {
+    hw::ArchKind kind;
+    const core::DecompositionResult* result;
+  };
+  const Case cases[] = {
+      {hw::ArchKind::kDalta, normal_},
+      {hw::ArchKind::kBtoNormal, bto_normal_},
+      {hw::ArchKind::kBtoNormalNd, bto_normal_nd_},
+  };
+  for (const auto& c : cases) {
+    const auto lut = c.result->realize(kWidth);
+    const hw::ApproxLutSystem system(c.kind, lut, kTech);
+    const auto reference = lut.to_function();
+    util::Rng rng(7);
+    const auto report = hw::simulate_random(hw::make_target(system), 512,
+                                            kWidth, &reference, kTech, rng);
+    EXPECT_EQ(report.mismatches, 0u) << hw::to_string(c.kind);
+  }
+}
+
+TEST_F(EndToEnd, AreaOrderingAcrossArchitectures) {
+  const auto lut = normal_->realize(kWidth);
+  const hw::ApproxLutSystem dalta(hw::ArchKind::kDalta, lut, kTech);
+  const hw::ApproxLutSystem bto(hw::ArchKind::kBtoNormal, lut, kTech);
+  const hw::ApproxLutSystem nd(hw::ArchKind::kBtoNormalNd, lut, kTech);
+  // BTO-Normal adds a gate + mux; BTO-Normal-ND adds a whole free table.
+  EXPECT_LT(dalta.cost().area, bto.cost().area);
+  EXPECT_LT(bto.cost().area, nd.cost().area);
+  // Paper: ND architecture costs ~29% extra area over DALTA; our model must
+  // land in the same regime (more than 10%, less than 80%).
+  const double ratio = nd.cost().area / dalta.cost().area;
+  EXPECT_GT(ratio, 1.10);
+  EXPECT_LT(ratio, 1.80);
+}
+
+TEST_F(EndToEnd, MonolithicExactLutDwarfsDecomposition) {
+  // The entire point of decomposition: 2^b + 2^(n-b+1) << 2^n.
+  const auto lut = normal_->realize(kWidth);
+  EXPECT_LT(lut.stored_entries(),
+            kWidth * (std::size_t{1} << kWidth) / 4);
+  const hw::ApproxLutSystem system(hw::ArchKind::kDalta, lut, kTech);
+  std::vector<std::uint32_t> contents(g_->values().begin(),
+                                      g_->values().end());
+  const hw::MonolithicLut exact(kWidth, kWidth, contents, kTech);
+  EXPECT_LT(system.cost().read_energy, exact.cost().read_energy);
+}
+
+TEST_F(EndToEnd, VerilogEmissionForAllArchitectures) {
+  const auto v_dalta = hw::emit_system_verilog(
+      hw::ApproxLutSystem(hw::ArchKind::kDalta, normal_->realize(kWidth),
+                          kTech),
+      "cos_dalta");
+  const auto v_nd = hw::emit_system_verilog(
+      hw::ApproxLutSystem(hw::ArchKind::kBtoNormalNd,
+                          bto_normal_nd_->realize(kWidth), kTech),
+      "cos_nd");
+  EXPECT_GT(v_dalta.size(), 1000u);
+  EXPECT_GT(v_nd.size(), 1000u);
+  EXPECT_NE(v_dalta.find("module cos_dalta ("), std::string::npos);
+  EXPECT_NE(v_nd.find("module cos_nd ("), std::string::npos);
+}
+
+TEST_F(EndToEnd, BssaBeatsOrMatchesDaltaAcrossSeeds) {
+  // Table II shape at miniature scale: compare best-of-3 runs with the
+  // paper's 2:1 partition budget ratio.
+  double dalta_best = 1e18;
+  double bssa_best = 1e18;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    core::DaltaParams dp;
+    dp.bound_size = 4;
+    dp.rounds = 2;
+    dp.partition_limit = 24;
+    dp.init_patterns = 8;
+    dp.seed = seed;
+    dalta_best = std::min(dalta_best, core::run_dalta(*g_, *dist_, dp).med);
+
+    core::BssaParams bp;
+    bp.bound_size = 4;
+    bp.rounds = 2;
+    bp.beam_width = 3;
+    bp.sa.partition_limit = 12;
+    bp.sa.init_patterns = 8;
+    bp.sa.chains = 3;
+    bp.seed = seed;
+    bssa_best = std::min(bssa_best, core::run_bssa(*g_, *dist_, bp).med);
+  }
+  EXPECT_LE(bssa_best, dalta_best * 1.15 + 1e-9);
+}
+
+}  // namespace
+}  // namespace dalut

@@ -1,0 +1,154 @@
+// Randomized differential tests: for random functions and parameters, the
+// whole pipeline must satisfy its cross-module invariants - reported errors
+// match realized behaviour, serialization is lossless, the hardware model
+// equals the functional model, and the emitted Verilog encodes the same
+// tables.
+#include <gtest/gtest.h>
+
+#include "core/bssa.hpp"
+#include "core/dalta.hpp"
+#include "core/serialize.hpp"
+#include "core/table_io.hpp"
+#include "hw/simulator.hpp"
+#include "hw/verilog.hpp"
+#include "util/rng.hpp"
+
+namespace dalut {
+namespace {
+
+struct FuzzCase {
+  core::MultiOutputFunction g;
+  core::InputDistribution dist;
+  unsigned bound_size;
+  std::uint64_t seed;
+};
+
+FuzzCase make_case(std::uint64_t seed) {
+  util::Rng rng(seed * 7919 + 13);
+  const unsigned n = 6 + static_cast<unsigned>(rng.next_below(3));   // 6..8
+  const unsigned m = 2 + static_cast<unsigned>(rng.next_below(4));   // 2..5
+  const unsigned b = 3 + static_cast<unsigned>(rng.next_below(n - 4));
+
+  // Mix structured and unstructured functions: structured ones exercise the
+  // zero-error paths, random ones the approximation paths.
+  const bool structured = rng.next_bool(0.3);
+  auto g = core::MultiOutputFunction::from_eval(
+      n, m, [&](core::InputWord x) -> core::OutputWord {
+        if (structured) {
+          const auto folded = (x ^ (x >> 2)) & ((1u << m) - 1);
+          return folded;
+        }
+        return static_cast<core::OutputWord>(rng.next_below(1u << m));
+      });
+
+  // Half the cases use a random non-uniform distribution.
+  if (rng.next_bool()) {
+    std::vector<double> weights(std::size_t{1} << n);
+    for (auto& w : weights) w = 0.05 + rng.next_double();
+    return {std::move(g),
+            core::InputDistribution::from_weights(n, std::move(weights)), b,
+            seed};
+  }
+  return {std::move(g), core::InputDistribution::uniform(n), b, seed};
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, BssaInvariantsHold) {
+  auto fuzz = make_case(GetParam());
+  const auto& g = fuzz.g;
+
+  core::BssaParams params;
+  params.bound_size = fuzz.bound_size;
+  params.rounds = 2;
+  params.beam_width = 2;
+  params.sa.partition_limit = 10;
+  params.sa.init_patterns = 4;
+  params.sa.chains = 2;
+  params.modes = GetParam() % 3 == 0 ? core::ModePolicy::bto_normal_nd(0.05,
+                                                                       0.2)
+                 : GetParam() % 3 == 1
+                     ? core::ModePolicy::bto_normal(0.05)
+                     : core::ModePolicy::normal_only();
+  params.seed = fuzz.seed;
+  const auto result = core::run_bssa(g, fuzz.dist, params);
+
+  // 1. Reported MED matches the realized LUT exactly.
+  const auto lut = result.realize(g.num_inputs());
+  const auto values = lut.values();
+  ASSERT_NEAR(result.med,
+              core::mean_error_distance(g, values, fuzz.dist), 1e-9);
+
+  // 2. Every setting realizes with the right table geometry.
+  for (unsigned k = 0; k < g.num_outputs(); ++k) {
+    const auto& bit = lut.bit(k);
+    ASSERT_EQ(bit.bound_table().size(), bit.partition().num_cols());
+    if (bit.mode() != core::DecompMode::kBto) {
+      ASSERT_EQ(bit.free_table0().size(), bit.partition().num_rows() * 2);
+    }
+  }
+
+  // 3. Serialization round-trips to an equivalent LUT.
+  const core::SerializedConfig config{g.num_inputs(), g.num_outputs(),
+                                      result.settings};
+  const auto reloaded = core::config_from_string(config_to_string(config));
+  const auto lut2 =
+      core::ApproxLut::realize(g.num_inputs(), reloaded.settings);
+  for (core::InputWord x = 0; x < g.domain_size(); ++x) {
+    ASSERT_EQ(lut2.eval(x), values[x]);
+  }
+
+  // 4. The matching hardware architecture computes the same function.
+  const auto arch = params.modes.allow_nd  ? hw::ArchKind::kBtoNormalNd
+                    : params.modes.allow_bto ? hw::ArchKind::kBtoNormal
+                                             : hw::ArchKind::kDalta;
+  const auto tech = hw::Technology::nangate45();
+  const hw::ApproxLutSystem system(arch, lut, tech);
+  for (core::InputWord x = 0; x < g.domain_size(); ++x) {
+    ASSERT_EQ(system.read(x), values[x]);
+  }
+  ASSERT_GT(system.cost().read_energy, 0.0);
+  ASSERT_GT(system.cost().area, 0.0);
+
+  // 5. Verilog emission succeeds and names every bit module.
+  const auto verilog = hw::emit_system_verilog(system, "fuzz_top");
+  for (unsigned k = 0; k < g.num_outputs(); ++k) {
+    ASSERT_NE(verilog.find("fuzz_top_bit" + std::to_string(k)),
+              std::string::npos);
+  }
+
+  // 6. Truth-table IO round-trips the realized function.
+  const auto g2 = lut.to_function();
+  ASSERT_EQ(core::function_from_string(core::function_to_string(g2)), g2);
+}
+
+TEST_P(PipelineFuzz, DaltaInvariantsHold) {
+  auto fuzz = make_case(GetParam() + 10'000);
+  const auto& g = fuzz.g;
+
+  core::DaltaParams params;
+  params.bound_size = fuzz.bound_size;
+  params.rounds = 2;
+  params.partition_limit = 12;
+  params.init_patterns = 4;
+  params.seed = fuzz.seed;
+  const auto result = core::run_dalta(g, fuzz.dist, params);
+
+  const auto lut = result.realize(g.num_inputs());
+  ASSERT_NEAR(result.med,
+              core::mean_error_distance(g, lut.values(), fuzz.dist), 1e-9);
+  // DALTA emits normal-mode settings only.
+  for (const auto& setting : result.settings) {
+    ASSERT_EQ(setting.mode, core::DecompMode::kNormal);
+    ASSERT_EQ(setting.partition.bound_size(), fuzz.bound_size);
+  }
+  // Deterministic replay.
+  const auto replay = core::run_dalta(g, fuzz.dist, params);
+  ASSERT_EQ(replay.med, result.med);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace dalut

@@ -1,0 +1,78 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dalut::util {
+namespace {
+
+TEST(Bits, GetSetBit) {
+  EXPECT_FALSE(get_bit(0b1010, 0));
+  EXPECT_TRUE(get_bit(0b1010, 1));
+  EXPECT_FALSE(get_bit(0b1010, 2));
+  EXPECT_TRUE(get_bit(0b1010, 3));
+  EXPECT_EQ(set_bit(0b1010, 0, true), 0b1011u);
+  EXPECT_EQ(set_bit(0b1010, 1, false), 0b1000u);
+  EXPECT_EQ(set_bit(0b1010, 1, true), 0b1010u);
+}
+
+TEST(Bits, ExtractBitsBasic) {
+  // mask selects bits 1 and 3; word 0b1010 has both set -> packed 0b11.
+  EXPECT_EQ(extract_bits(0b1010, 0b1010), 0b11u);
+  EXPECT_EQ(extract_bits(0b0010, 0b1010), 0b01u);
+  EXPECT_EQ(extract_bits(0b1000, 0b1010), 0b10u);
+  EXPECT_EQ(extract_bits(0xFFFF, 0), 0u);
+  EXPECT_EQ(extract_bits(0, 0xFFFF), 0u);
+}
+
+TEST(Bits, DepositBitsBasic) {
+  EXPECT_EQ(deposit_bits(0b11, 0b1010), 0b1010u);
+  EXPECT_EQ(deposit_bits(0b01, 0b1010), 0b0010u);
+  EXPECT_EQ(deposit_bits(0b10, 0b1010), 0b1000u);
+}
+
+TEST(Bits, ExtractDepositRoundTrip) {
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t mask = rng.next();
+    const std::uint64_t packed = rng.next() &
+        ((popcount(mask) >= 64) ? ~0ull
+                                : ((1ull << popcount(mask)) - 1));
+    // deposit then extract recovers the packed value
+    EXPECT_EQ(extract_bits(deposit_bits(packed, mask), mask), packed);
+  }
+}
+
+TEST(Bits, DepositExtractProjectsOntoMask) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t word = rng.next();
+    const std::uint64_t mask = rng.next();
+    // extract then deposit keeps exactly the masked bits
+    EXPECT_EQ(deposit_bits(extract_bits(word, mask), mask), word & mask);
+  }
+}
+
+TEST(Bits, BitPositionsRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t mask = rng.next();
+    const auto positions = bit_positions(mask);
+    EXPECT_EQ(positions.size(), popcount(mask));
+    EXPECT_EQ(mask_from_positions(positions), mask);
+    // positions are ascending
+    for (std::size_t j = 1; j < positions.size(); ++j) {
+      EXPECT_LT(positions[j - 1], positions[j]);
+    }
+  }
+}
+
+TEST(Bits, PopcountMatchesBuiltin) {
+  EXPECT_EQ(popcount(0), 0u);
+  EXPECT_EQ(popcount(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(popcount(0b1011), 3u);
+}
+
+}  // namespace
+}  // namespace dalut::util

@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dalut::util {
+namespace {
+
+std::vector<char*> make_argv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  CliParser cli("test");
+  cli.add_option("width", "16", "bit width");
+  cli.add_flag("full", "full scale");
+  std::vector<std::string> args{"prog"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.integer("width"), 16);
+  EXPECT_FALSE(cli.flag("full"));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  CliParser cli("test");
+  cli.add_option("runs", "10", "runs");
+  std::vector<std::string> args{"prog", "--runs", "3"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.integer("runs"), 3);
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  CliParser cli("test");
+  cli.add_option("seed", "1", "seed");
+  std::vector<std::string> args{"prog", "--seed=99"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(cli.integer("seed"), 99);
+}
+
+TEST(Cli, FlagPresence) {
+  CliParser cli("test");
+  cli.add_flag("verbose", "chatty");
+  std::vector<std::string> args{"prog", "--verbose"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(cli.flag("verbose"));
+}
+
+TEST(Cli, RealValues) {
+  CliParser cli("test");
+  cli.add_option("delta", "0.01", "mode factor");
+  std::vector<std::string> args{"prog", "--delta", "0.25"};
+  auto argv = make_argv(args);
+  ASSERT_TRUE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(cli.real("delta"), 0.25);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli("test");
+  std::vector<std::string> args{"prog", "--help"};
+  auto argv = make_argv(args);
+  EXPECT_FALSE(cli.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(Cli, UnregisteredOptionThrowsOnAccess) {
+  CliParser cli("test");
+  EXPECT_THROW((void)cli.str("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dalut::util

@@ -1,0 +1,54 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dalut::util {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "dalut_csv_test.csv";
+};
+
+TEST_F(CsvTest, PlainRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"a", "b", "c"});
+    csv.write_row({"1", "2", "3"});
+  }
+  EXPECT_EQ(read_all(path_), "a,b,c\n1,2,3\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialFields) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  }
+  EXPECT_EQ(read_all(path_),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST_F(CsvTest, NumericField) {
+  EXPECT_EQ(CsvWriter::field(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::field(0.123456789, 3), "0.123");
+  EXPECT_EQ(CsvWriter::field(1e6), "1e+06");
+}
+
+TEST_F(CsvTest, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zzz/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dalut::util

@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dalut::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stdev(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // sample variance with n-1: sum sq dev = 32, / 7
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesBatchStdev) {
+  std::vector<double> values{1.5, -2.0, 0.25, 10.0, 3.0, 3.0};
+  RunningStats s;
+  for (const double v : values) s.add(v);
+  EXPECT_NEAR(s.stdev(), stdev(values), 1e-12);
+}
+
+TEST(Stats, GeomeanBasics) {
+  std::vector<double> values{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(values), 4.0, 1e-12);
+  std::vector<double> same{7.0, 7.0, 7.0};
+  EXPECT_NEAR(geomean(same), 7.0, 1e-12);
+}
+
+TEST(Stats, GeomeanClampsZeros) {
+  std::vector<double> values{0.0, 1.0};
+  const double g = geomean(values, 1e-6);
+  EXPECT_NEAR(g, std::sqrt(1e-6), 1e-12);
+}
+
+TEST(Stats, MeanMinMax) {
+  std::vector<double> values{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean(values), 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(min_of(values), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(values), 3.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({42.0}), 42.0);
+}
+
+}  // namespace
+}  // namespace dalut::util

@@ -1,0 +1,54 @@
+#include "util/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dalut::util {
+namespace {
+
+TEST(TablePrinter, FormatsAlignedTable) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"cos", "8.66"});
+  table.add_row({"multiplier", "318.5"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| cos "), std::string::npos);
+  EXPECT_NE(out.find("| multiplier "), std::string::npos);
+  // All lines are equally wide.
+  std::size_t width = out.find('\n');
+  for (std::size_t pos = 0; pos < out.size();) {
+    const std::size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, width);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinter, SeparatorBeforeRow) {
+  TablePrinter table({"a"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"GEOMEAN"});
+  const std::string out = table.to_string();
+  // header line + top/bottom + one separator inside = 4 '+--' lines
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| only "), std::string::npos);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace dalut::util

@@ -1,0 +1,250 @@
+// dalut_opt - command-line front end for the whole flow:
+//
+//   optimize a function (built-in benchmark or truth-table file) with
+//   BS-SA or DALTA, select an architecture, and emit any combination of a
+//   configuration file, a synthesis-style cost report, Verilog, and a
+//   self-checking testbench.
+//
+// Examples:
+//   dalut_opt --benchmark cos --width 12 --arch bto-normal-nd --report
+//   dalut_opt --table f.dalut --algorithm dalta --config-out f.cfg
+//   dalut_opt --benchmark multiplier --verilog-out mult.v
+//             --testbench-out mult_tb.v --tech my45nm.tech
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "core/bound_size.hpp"
+#include "core/bssa.hpp"
+#include "core/dalta.hpp"
+#include "core/serialize.hpp"
+#include "core/table_io.hpp"
+#include "func/extended.hpp"
+#include "func/registry.hpp"
+#include "hw/report.hpp"
+#include "hw/simulator.hpp"
+#include "hw/tech_io.hpp"
+#include "hw/verilog.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dalut;
+
+std::optional<core::MultiOutputFunction> load_function(
+    const util::CliParser& cli) {
+  const auto table_path = cli.str("table");
+  if (!table_path.empty()) {
+    std::ifstream in(table_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open table '%s'\n",
+                   table_path.c_str());
+      return std::nullopt;
+    }
+    return core::read_function(in);
+  }
+  const auto width = static_cast<unsigned>(cli.integer("width"));
+  const auto name = cli.str("benchmark");
+  if (auto spec = func::benchmark_by_name(name, width)) {
+    return core::MultiOutputFunction::from_eval(spec->num_inputs,
+                                                spec->num_outputs, spec->eval);
+  }
+  for (const auto& spec : func::extended_suite(width)) {
+    if (spec.name == name) {
+      return core::MultiOutputFunction::from_eval(
+          spec.num_inputs, spec.num_outputs, spec.eval);
+    }
+  }
+  std::fprintf(stderr, "error: unknown benchmark '%s'\n", name.c_str());
+  return std::nullopt;
+}
+
+core::CostMetric parse_metric(const std::string& name) {
+  if (name == "mse") return core::CostMetric::kMse;
+  if (name == "er") return core::CostMetric::kErrorRate;
+  return core::CostMetric::kMed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "dalut_opt - optimize an approximate LUT decomposition and emit "
+      "configuration / report / RTL");
+  cli.add_option("benchmark", "cos",
+                 "built-in function (Table I or extended suite)");
+  cli.add_option("table", "", "truth-table file (overrides --benchmark)");
+  cli.add_option("width", "12", "bit width for built-in benchmarks");
+  cli.add_option("algorithm", "bssa", "bssa | dalta");
+  cli.add_option("arch", "dalta",
+                 "dalta | bto-normal | bto-normal-nd (bssa only)");
+  cli.add_option("bound", "0", "bound-set size b (0 = 9/16 of width)");
+  cli.add_option("rounds", "3", "optimization rounds R");
+  cli.add_option("partitions", "60", "partition budget P");
+  cli.add_option("patterns", "12", "initial pattern vectors Z");
+  cli.add_option("beams", "3", "beam width (bssa)");
+  cli.add_option("chains", "3", "SA chains (bssa)");
+  cli.add_option("metric", "med", "objective: med | mse | er");
+  cli.add_option("delta", "0.01", "mode factor delta");
+  cli.add_option("delta-prime", "0.1", "mode factor delta'");
+  cli.add_option("seed", "1", "random seed");
+  cli.add_option("threads", "0", "worker threads (0 = hardware)");
+  cli.add_option("tech", "", "technology file (default: built-in 45nm)");
+  cli.add_option("config-out", "", "write the optimized configuration here");
+  cli.add_option("verilog-out", "", "write synthesizable Verilog here");
+  cli.add_option("testbench-out", "", "write a self-checking testbench here");
+  cli.add_option("tb-vectors", "64", "testbench vector count");
+  cli.add_flag("report", "print the synthesis-style cost report");
+  cli.add_flag("sweep-bound",
+               "probe every bound-set size first and pick the best "
+               "within --med-budget (0 = most accurate)");
+  cli.add_option("med-budget", "0", "MED budget for --sweep-bound");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto function = load_function(cli);
+  if (!function) return 1;
+  const auto& g = *function;
+  const auto dist = core::InputDistribution::uniform(g.num_inputs());
+  util::ThreadPool pool(static_cast<std::size_t>(cli.integer("threads")));
+
+  unsigned bound = static_cast<unsigned>(cli.integer("bound"));
+  if (bound == 0) {
+    bound = std::max(2u, std::min(g.num_inputs() - 1,
+                                  (9u * g.num_inputs() + 8) / 16));
+  }
+  if (cli.flag("sweep-bound")) {
+    core::BoundSweepParams sweep;
+    sweep.probe.rounds = 2;
+    sweep.probe.beam_width = 2;
+    sweep.probe.sa.partition_limit =
+        std::max(8u, static_cast<unsigned>(cli.integer("partitions")) / 3);
+    sweep.probe.sa.init_patterns =
+        static_cast<unsigned>(cli.integer("patterns"));
+    sweep.probe.sa.chains = static_cast<unsigned>(cli.integer("chains"));
+    sweep.probe.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+    sweep.probe.pool = &pool;
+    double budget = cli.real("med-budget");
+    if (budget <= 0.0) budget = -1.0;  // unreachable -> most accurate size
+    const auto chosen = core::choose_bound_size(g, dist, budget, sweep);
+    std::printf("bound-size sweep picked b = %u (probe MED %.4f, %zu "
+                "entries/bit)\n",
+                chosen.bound_size, chosen.med, chosen.entries_per_bit);
+    bound = chosen.bound_size;
+  }
+
+  const auto arch_name = cli.str("arch");
+  hw::ArchKind arch = hw::ArchKind::kDalta;
+  core::ModePolicy modes = core::ModePolicy::normal_only();
+  if (arch_name == "bto-normal") {
+    arch = hw::ArchKind::kBtoNormal;
+    modes = core::ModePolicy::bto_normal(cli.real("delta"));
+  } else if (arch_name == "bto-normal-nd") {
+    arch = hw::ArchKind::kBtoNormalNd;
+    modes = core::ModePolicy::bto_normal_nd(cli.real("delta"),
+                                            cli.real("delta-prime"));
+  } else if (arch_name != "dalta") {
+    std::fprintf(stderr, "error: unknown arch '%s'\n", arch_name.c_str());
+    return 1;
+  }
+
+  // --- Optimize. ---
+  core::DecompositionResult result;
+  if (cli.str("algorithm") == "dalta") {
+    if (arch != hw::ArchKind::kDalta) {
+      std::fprintf(stderr,
+                   "error: the DALTA algorithm only supports --arch dalta\n");
+      return 1;
+    }
+    core::DaltaParams params;
+    params.bound_size = bound;
+    params.rounds = static_cast<unsigned>(cli.integer("rounds"));
+    params.partition_limit = static_cast<unsigned>(cli.integer("partitions"));
+    params.init_patterns = static_cast<unsigned>(cli.integer("patterns"));
+    params.metric = parse_metric(cli.str("metric"));
+    params.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+    params.pool = &pool;
+    result = core::run_dalta(g, dist, params);
+  } else if (cli.str("algorithm") == "bssa") {
+    core::BssaParams params;
+    params.bound_size = bound;
+    params.rounds = static_cast<unsigned>(cli.integer("rounds"));
+    params.beam_width = static_cast<unsigned>(cli.integer("beams"));
+    params.sa.partition_limit =
+        static_cast<unsigned>(cli.integer("partitions"));
+    params.sa.init_patterns = static_cast<unsigned>(cli.integer("patterns"));
+    params.sa.chains = static_cast<unsigned>(cli.integer("chains"));
+    params.modes = modes;
+    params.metric = parse_metric(cli.str("metric"));
+    params.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+    params.pool = &pool;
+    result = core::run_bssa(g, dist, params);
+  } else {
+    std::fprintf(stderr, "error: unknown algorithm '%s'\n",
+                 cli.str("algorithm").c_str());
+    return 1;
+  }
+
+  std::printf(
+      "optimized %u->%u-bit function: MED %.4f, MSE %.4f, error rate %.4f, "
+      "max ED %g\n",
+      g.num_inputs(), g.num_outputs(), result.report.med, result.report.mse,
+      result.report.error_rate, result.report.max_ed);
+  std::printf("runtime %.2f s, %zu partitions evaluated\n",
+              result.runtime_seconds, result.partitions_evaluated);
+
+  const auto lut = result.realize(g.num_inputs());
+  std::printf("stored LUT bits: %zu (direct LUT: %zu)\n",
+              lut.stored_entries(),
+              g.domain_size() * g.num_outputs());
+
+  // --- Technology + hardware. ---
+  hw::Technology tech = hw::Technology::nangate45();
+  if (const auto tech_path = cli.str("tech"); !tech_path.empty()) {
+    std::ifstream in(tech_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open tech file '%s'\n",
+                   tech_path.c_str());
+      return 1;
+    }
+    tech = hw::read_technology(in);
+  }
+  const hw::ApproxLutSystem system(arch, lut, tech);
+
+  // Functional sign-off.
+  const auto reference = lut.to_function();
+  util::Rng rng(static_cast<std::uint64_t>(cli.integer("seed")) + 7);
+  const auto sim = hw::simulate_random(hw::make_target(system), 1024,
+                                       g.num_inputs(), &reference, tech, rng);
+  if (sim.mismatches != 0) {
+    std::fprintf(stderr, "FATAL: %zu hardware/functional mismatches\n",
+                 sim.mismatches);
+    return 1;
+  }
+  std::printf("hardware verified (1024 reads), avg %.0f fJ/read\n",
+              sim.avg_read_energy);
+
+  if (cli.flag("report")) {
+    std::fputs(hw::format_report(system).c_str(), stdout);
+  }
+
+  // --- Outputs. ---
+  if (const auto path = cli.str("config-out"); !path.empty()) {
+    std::ofstream out(path);
+    core::write_config(
+        out, {g.num_inputs(), g.num_outputs(), result.settings});
+    std::printf("wrote configuration to %s\n", path.c_str());
+  }
+  if (const auto path = cli.str("verilog-out"); !path.empty()) {
+    std::ofstream(path) << hw::emit_system_verilog(system, "dalut_top");
+    std::printf("wrote Verilog to %s\n", path.c_str());
+  }
+  if (const auto path = cli.str("testbench-out"); !path.empty()) {
+    std::ofstream(path) << hw::emit_system_testbench(
+        system, "dalut_top",
+        static_cast<std::size_t>(cli.integer("tb-vectors")),
+        static_cast<std::uint64_t>(cli.integer("seed")));
+    std::printf("wrote testbench to %s\n", path.c_str());
+  }
+  return 0;
+}
