@@ -3,6 +3,8 @@
 // realized-LUT read path. These are the hot loops of both algorithms.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "core/bit_cost.hpp"
 #include "core/bssa.hpp"
 #include "core/dalta.hpp"
@@ -103,6 +105,69 @@ void BM_FindBestSettings(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FindBestSettings)->Arg(10)->Arg(40);
+
+// ---- Parallel scaling: Arg is the pool worker count (0 = no pool). ----
+// Run with several Args to measure speedup; results are bit-identical
+// across worker counts by the determinism contract (docs/parallelism.md).
+
+void BM_BuildBitCostsParallel(benchmark::State& state) {
+  const unsigned width = 16;
+  const auto g = make_cos(width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto cache = g.values();
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  std::optional<util::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  util::ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+  for (auto _ : state) {
+    auto costs =
+        core::build_bit_costs(g, cache, width - 1, core::LsbModel::kPredictive,
+                              dist, core::CostMetric::kMed, pool_ptr);
+    benchmark::DoNotOptimize(costs.c0.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.domain_size()));
+}
+BENCHMARK(BM_BuildBitCostsParallel)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+void BM_FindBestSettingsParallel(benchmark::State& state) {
+  // The acceptance benchmark of the parallel BS-SA rework: a 16-input
+  // search whose cross-chain sweep batches feed the pool.
+  const unsigned width = 16;
+  const auto g = make_cos(width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  std::optional<util::ThreadPool> pool;
+  if (workers > 0) pool.emplace(workers);
+  util::ThreadPool* pool_ptr = pool.has_value() ? &*pool : nullptr;
+  const auto costs =
+      core::build_bit_costs(g, g.values(), width - 1,
+                            core::LsbModel::kPredictive, dist,
+                            core::CostMetric::kMed, pool_ptr);
+  core::SaParams params;
+  params.partition_limit = 40;
+  params.init_patterns = 6;
+  params.chains = 10;
+  for (auto _ : state) {
+    util::Rng rng(4);
+    auto result = core::find_best_settings(width, 9, costs.c0, costs.c1, 3,
+                                           params, rng, pool_ptr, false);
+    benchmark::DoNotOptimize(result.top.data());
+  }
+  state.SetItemsProcessed(state.iterations() * params.partition_limit);
+}
+BENCHMARK(BM_FindBestSettingsParallel)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_NonDisjointOptimize(benchmark::State& state) {
   const unsigned width = 10;

@@ -30,7 +30,7 @@ BitCostArrays build_bit_costs(const MultiOutputFunction& g,
                               const std::vector<OutputWord>& approx_values,
                               unsigned k, LsbModel model,
                               const InputDistribution& dist,
-                              CostMetric metric) {
+                              CostMetric metric, util::ThreadPool* pool) {
   assert(k < g.num_outputs());
   assert(approx_values.size() == g.domain_size());
   assert(dist.num_inputs() == g.num_inputs());
@@ -44,7 +44,8 @@ BitCostArrays build_bit_costs(const MultiOutputFunction& g,
   costs.c0.resize(domain);
   costs.c1.resize(domain);
 
-  for (InputWord x = 0; x < domain; ++x) {
+  auto fill = [&](std::size_t i) {
+    const auto x = static_cast<InputWord>(i);
     const double p = dist.probability(x);
     const OutputWord y = g.value(x);
     const OutputWord msb = approx_values[x] & above_mask;
@@ -83,6 +84,14 @@ BitCostArrays build_bit_costs(const MultiOutputFunction& g,
     }
     costs.c0[x] = p * loss_of_distance(distance[0], metric);
     costs.c1[x] = p * loss_of_distance(distance[1], metric);
+  };
+
+  // Below ~16k inputs the loop is cheaper than waking the pool.
+  constexpr std::size_t kParallelDomainThreshold = std::size_t{1} << 14;
+  if (pool != nullptr && domain >= kParallelDomainThreshold) {
+    pool->parallel_for(0, domain, fill);
+  } else {
+    for (std::size_t i = 0; i < domain; ++i) fill(i);
   }
   return costs;
 }

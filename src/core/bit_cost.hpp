@@ -16,6 +16,7 @@
 
 #include "core/input_distribution.hpp"
 #include "core/multi_output_function.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dalut::core {
 
@@ -46,10 +47,14 @@ struct BitCostArrays {
 
 /// `approx_values` holds the current approximation Ghat(X) per input; for the
 /// first-round models only its bits above k are read. `k` is 0-based.
+/// When `pool` is given and the 2^n domain is large (n >= 14), the per-input
+/// loop splits over the pool; every input writes only its own slot, so the
+/// result is identical at any worker count.
 BitCostArrays build_bit_costs(const MultiOutputFunction& g,
                               const std::vector<OutputWord>& approx_values,
                               unsigned k, LsbModel model,
                               const InputDistribution& dist,
-                              CostMetric metric = CostMetric::kMed);
+                              CostMetric metric = CostMetric::kMed,
+                              util::ThreadPool* pool = nullptr);
 
 }  // namespace dalut::core

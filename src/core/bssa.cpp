@@ -40,6 +40,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
   util::WallTimer timer;
   util::Rng rng(params.seed);
   std::size_t partitions_evaluated = 0;
+  const bool debug_bssa = std::getenv("DALUT_DEBUG_BSSA") != nullptr;
 
   // ---- Round 1: beam search (Algorithm 1, lines 1-10). ----
   std::vector<Beam> beams(1);
@@ -48,29 +49,49 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
                                 // until that bit has been decided
 
   for (unsigned k = m; k-- > 0;) {
-    std::vector<Beam> extended;
-    for (const auto& beam : beams) {
-      const auto costs = build_bit_costs(g, beam.cache, k,
+    // Each beam's cost build + FindBestSettings is independent of the
+    // others, so beams extend in parallel. RNGs are pre-forked in beam
+    // order and results merge in beam order, keeping the outcome identical
+    // to the serial run at any worker count.
+    std::vector<util::Rng> beam_rngs;
+    beam_rngs.reserve(beams.size());
+    for (std::size_t b = 0; b < beams.size(); ++b) {
+      beam_rngs.push_back(rng.fork());
+    }
+    std::vector<SaSearchResult> founds(beams.size());
+    auto extend = [&](std::size_t b) {
+      const auto costs = build_bit_costs(g, beams[b].cache, k,
                                          params.first_round_model, dist,
-                                         params.metric);
-      auto found = find_best_settings(g.num_inputs(), params.bound_size,
-                                      costs.c0, costs.c1, params.beam_width,
-                                      params.sa, rng, params.pool,
-                                      /*track_bto=*/false);
-      partitions_evaluated += found.partitions_visited;
-      for (auto& setting : found.top) {
+                                         params.metric, params.pool);
+      founds[b] = find_best_settings(g.num_inputs(), params.bound_size,
+                                     costs.c0, costs.c1, params.beam_width,
+                                     params.sa, beam_rngs[b], params.pool,
+                                     /*track_bto=*/false);
+    };
+    if (params.pool != nullptr && beams.size() > 1) {
+      params.pool->parallel_for(0, beams.size(), extend);
+    } else {
+      for (std::size_t b = 0; b < beams.size(); ++b) extend(b);
+    }
+
+    std::vector<Beam> extended;
+    for (std::size_t b = 0; b < beams.size(); ++b) {
+      partitions_evaluated += founds[b].partitions_visited;
+      for (auto& setting : founds[b].top) {
         Beam next;
-        next.settings = beam.settings;
-        next.cache = beam.cache;
+        next.settings = beams[b].settings;
+        next.cache = beams[b].cache;
         next.error = setting.error;
         next.settings[k] = std::move(setting);
         write_bit_to_cache(next.cache, k, next.settings[k]);
         extended.push_back(std::move(next));
       }
     }
-    // FindTops: keep the N_beam sequences with the least error.
-    std::sort(extended.begin(), extended.end(),
-              [](const Beam& a, const Beam& b) { return a.error < b.error; });
+    // FindTops: keep the N_beam sequences with the least error. Stable so
+    // equal-error sequences keep their (deterministic) build order.
+    std::stable_sort(
+        extended.begin(), extended.end(),
+        [](const Beam& a, const Beam& b) { return a.error < b.error; });
     if (extended.size() > params.beam_width) {
       extended.resize(params.beam_width);
     }
@@ -85,7 +106,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
     for (unsigned k = m; k-- > 0;) {
       const auto costs =
           build_bit_costs(g, best.cache, k, LsbModel::kCurrentApprox, dist,
-                          params.metric);
+                          params.metric, params.pool);
       const unsigned n_beam =
           params.modes.allow_nd ? std::max(1u, params.nd_candidates) : 1u;
       auto found = find_best_settings(g.num_inputs(), params.bound_size,
@@ -112,10 +133,25 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
         if (!found.top_bto.empty()) bto = found.top_bto.front();
 
         Setting nd;  // best ND over the top normal partitions
-        if (params.modes.allow_nd) {
-          for (const auto& candidate : found.top) {
-            auto trial = optimize_nondisjoint(candidate.partition, costs.c0,
-                                              costs.c1, opt_params, rng);
+        if (params.modes.allow_nd && !found.top.empty()) {
+          // Every candidate's shared-bit enumeration is independent:
+          // pre-fork the RNGs, evaluate in parallel, reduce in index order.
+          std::vector<util::Rng> nd_rngs;
+          nd_rngs.reserve(found.top.size());
+          for (std::size_t i = 0; i < found.top.size(); ++i) {
+            nd_rngs.push_back(rng.fork());
+          }
+          std::vector<Setting> trials(found.top.size());
+          auto trial_work = [&](std::size_t i) {
+            trials[i] = optimize_nondisjoint(found.top[i].partition, costs.c0,
+                                             costs.c1, opt_params, nd_rngs[i]);
+          };
+          if (params.pool != nullptr && found.top.size() > 1) {
+            params.pool->parallel_for(0, found.top.size(), trial_work);
+          } else {
+            for (std::size_t i = 0; i < trials.size(); ++i) trial_work(i);
+          }
+          for (auto& trial : trials) {
             if (trial.error < nd.error) nd = std::move(trial);
           }
         }
@@ -157,7 +193,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
         if (category != nullptr && incumbent.error <= category->error) {
           *category = std::move(incumbent);
         }
-        if (std::getenv("DALUT_DEBUG_BSSA") != nullptr) {
+        if (debug_bssa) {
           std::fprintf(stderr,
                        "  select k=%u normal=%.4f bto=%.4f nd=%.4f\n", k,
                        normal.error, bto.error, nd.error);
@@ -167,7 +203,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
 
       best.settings[k] = std::move(chosen);
       write_bit_to_cache(best.cache, k, best.settings[k]);
-      if (std::getenv("DALUT_DEBUG_BSSA") != nullptr) {
+      if (debug_bssa) {
         std::fprintf(stderr,
                      "round=%u k=%u inc(mode=%d,e=%.4f) chosen(mode=%d,"
                      "e=%.4f) med=%.4f\n",

@@ -28,7 +28,8 @@ DecompositionResult run_dalta(const MultiOutputFunction& g,
         round == 1 ? LsbModel::kAccurateFill : LsbModel::kCurrentApprox;
     for (unsigned k = m; k-- > 0;) {  // MSB to LSB
       const auto costs =
-          build_bit_costs(g, cache, k, model, dist, params.metric);
+          build_bit_costs(g, cache, k, model, dist, params.metric,
+                          params.pool);
 
       const auto candidates = sample_partitions(
           g.num_inputs(), params.bound_size, params.partition_limit, rng);

@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace dalut::core {
 
@@ -32,8 +33,11 @@ struct SharedState {
   double best_error = std::numeric_limits<double>::infinity();  ///< E*
 };
 
-/// One SA walk. Chains are stepped round-robin so several walks share the
-/// partition budget the way the paper's 10 concurrent SA processes did.
+/// One SA walk. All chains advance in lock-step sweeps: each sweep they
+/// propose neighbours, every fresh proposal across every chain is evaluated
+/// in one batch, and then each chain takes its accept/reject decision
+/// against the updated Phi — the way the paper's 10 concurrent SA processes
+/// shared one visited set.
 struct Chain {
   std::optional<Partition> current;
   double current_error = std::numeric_limits<double>::infinity();
@@ -41,6 +45,9 @@ struct Chain {
   unsigned stagnant = 0;
   bool done = false;
   util::Rng rng{0};
+  /// This sweep's proposals: the random initial partition while
+  /// `current` is unset, the neighbour candidates afterwards.
+  std::vector<Partition> pending;
 };
 
 class SaSearch {
@@ -67,12 +74,55 @@ class SaSearch {
 
     bool any_active = true;
     while (any_active && state_.visited.size() < params_.partition_limit) {
+      // Phase 1 — propose. Serial and index-ordered: each chain draws only
+      // from its own pre-forked RNG, so the proposal set is identical
+      // regardless of pool presence or worker count.
+      for (auto& chain : chains) {
+        chain.pending.clear();
+        if (chain.done) continue;
+        if (!chain.current.has_value()) {
+          // Algorithm 2 lines 1-3: random initial partition.
+          chain.pending.push_back(
+              Partition::random(num_inputs_, bound_size_, chain.rng));
+        } else {
+          chain.pending =
+              chain.current->random_neighbours(params_.num_neighbours,
+                                               chain.rng);
+          if (chain.pending.empty()) chain.done = true;
+        }
+      }
+
+      // Phase 2 — collect one cross-chain batch of fresh partitions,
+      // deduplicated by bound mask (random_neighbours can repeat a
+      // partition, and chains can propose each other's candidates) and
+      // clamped so Phi cannot overshoot the partition budget mid-batch.
+      const std::size_t room = params_.partition_limit - state_.visited.size();
+      std::vector<Partition> batch;
+      std::unordered_set<std::uint32_t> fresh_masks;
+      for (const auto& chain : chains) {
+        for (const auto& p : chain.pending) {
+          if (batch.size() >= room) break;
+          const std::uint32_t mask = p.bound_mask();
+          if (state_.visited.contains(mask) || fresh_masks.contains(mask)) {
+            continue;
+          }
+          fresh_masks.insert(mask);
+          batch.push_back(p);
+        }
+        if (batch.size() >= room) break;
+      }
+
+      // Phase 3 — one parallel evaluation of the whole batch; results merge
+      // into Phi in index order on this thread.
+      evaluate_batch(batch, rng);
+
+      // Phase 4 — step every chain against the updated Phi (serial,
+      // index-ordered; only chain-local RNG draws happen here).
       any_active = false;
       for (auto& chain : chains) {
         if (chain.done) continue;
-        step(chain);
+        step(chain, fresh_masks);
         if (!chain.done) any_active = true;
-        if (state_.visited.size() >= params_.partition_limit) break;
       }
     }
 
@@ -84,8 +134,10 @@ class SaSearch {
   }
 
  private:
-  /// Evaluates not-yet-visited partitions (parallel when a pool is given)
-  /// and merges the results into the shared state.
+  /// Evaluates a batch of distinct unvisited partitions (parallel when a
+  /// pool is given) and merges the results into the shared state. Each item
+  /// gets an RNG pre-forked in index order, and the merge is index-ordered,
+  /// so the outcome is independent of evaluation order.
   void evaluate_batch(const std::vector<Partition>& batch, util::Rng& rng) {
     const OptForPartParams opt_params{params_.init_patterns, 64};
     std::vector<Setting> results(batch.size());
@@ -114,58 +166,59 @@ class SaSearch {
     }
   }
 
-  /// One SA iteration (Algorithm 2 lines 5-19) for one chain.
-  void step(Chain& chain) {
+  /// The decision half of one SA iteration (Algorithm 2 lines 5-19) for one
+  /// chain, after this sweep's batch has been merged into Phi.
+  /// `fresh_masks` holds the bound masks evaluated this sweep.
+  void step(Chain& chain,
+            const std::unordered_set<std::uint32_t>& fresh_masks) {
     if (!chain.current.has_value()) {
-      // Lines 1-3: random initial partition.
-      chain.current = Partition::random(num_inputs_, bound_size_, chain.rng);
-      if (!state_.visited.contains(chain.current->bound_mask())) {
-        evaluate_batch({*chain.current}, chain.rng);
+      // Adopt the initial partition once its error is known. It can miss
+      // Phi only when the batch clamp cut it, i.e. the budget is exhausted
+      // and the outer loop is about to stop; the chain then retries (with a
+      // fresh draw) should the budget somehow allow another sweep.
+      if (!chain.pending.empty()) {
+        const auto it = state_.visited.find(chain.pending.front().bound_mask());
+        if (it != state_.visited.end()) {
+          chain.current = chain.pending.front();
+          chain.current_error = it->second;
+        }
       }
-      chain.current_error = state_.visited.at(chain.current->bound_mask());
       return;
     }
 
-    const auto neighbours =
-        chain.current->random_neighbours(params_.num_neighbours, chain.rng);
-    if (neighbours.empty()) {
-      chain.done = true;
-      return;
-    }
-
-    std::vector<Partition> fresh;
-    for (const auto& nb : neighbours) {
-      if (!state_.visited.contains(nb.bound_mask())) fresh.push_back(nb);
-    }
-    const bool phi_changed = !fresh.empty();
-    if (phi_changed) evaluate_batch(fresh, chain.rng);
-
-    // Best neighbour (all errors now cached in Phi).
+    // Best neighbour among this chain's proposals with a known error. A
+    // proposal can be unknown only if the batch clamp dropped it.
     const Partition* best_nb = nullptr;
     double best_nb_error = std::numeric_limits<double>::infinity();
-    for (const auto& nb : neighbours) {
-      const double e = state_.visited.at(nb.bound_mask());
-      if (e < best_nb_error) {
-        best_nb_error = e;
+    bool phi_changed = false;
+    for (const auto& nb : chain.pending) {
+      const std::uint32_t mask = nb.bound_mask();
+      if (fresh_masks.contains(mask)) phi_changed = true;
+      const auto it = state_.visited.find(mask);
+      if (it == state_.visited.end()) continue;
+      if (it->second < best_nb_error) {
+        best_nb_error = it->second;
         best_nb = &nb;
       }
     }
 
-    // Lines 16-17: hill step, or probabilistic uphill step scaled by the
-    // normalized error difference.
-    if (best_nb_error <= chain.current_error) {
-      chain.current = *best_nb;
-      chain.current_error = best_nb_error;
-    } else {
-      const double denom = std::max(chain.tau * state_.best_error, 1e-300);
-      const double accept =
-          std::exp((chain.current_error - best_nb_error) / denom);
-      if (chain.rng.next_double() < accept) {
+    if (best_nb != nullptr) {
+      // Lines 16-17: hill step, or probabilistic uphill step scaled by the
+      // normalized error difference.
+      if (best_nb_error <= chain.current_error) {
         chain.current = *best_nb;
         chain.current_error = best_nb_error;
+      } else {
+        const double denom = std::max(chain.tau * state_.best_error, 1e-300);
+        const double accept =
+            std::exp((chain.current_error - best_nb_error) / denom);
+        if (chain.rng.next_double() < accept) {
+          chain.current = *best_nb;
+          chain.current_error = best_nb_error;
+        }
       }
+      chain.tau *= params_.cooling;
     }
-    chain.tau *= params_.cooling;
 
     if (phi_changed) {
       chain.stagnant = 0;

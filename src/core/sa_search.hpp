@@ -7,9 +7,15 @@
 // per-partition errors, bounds the search at P partitions, and stops the
 // walk after 3 stagnant iterations. Returns the top N_beam settings seen.
 //
-// As in the paper's implementation, several SA chains can share one Phi
-// (they ran 10 chains across 44 threads); chains and intra-step neighbour
-// evaluation parallelize over the optional thread pool.
+// As in the paper's implementation, several SA chains share one Phi (they
+// ran 10 chains across 44 threads). The chains advance in lock-step sweeps:
+// every sweep the fresh neighbour proposals of *all* active chains are
+// gathered into a single deduplicated batch, the batch is evaluated with one
+// parallel_for over the optional thread pool, and then every chain takes its
+// accept/reject decision against the updated Phi. Proposal generation, the
+// batch merge, and the decisions stay serial and index-ordered with
+// pre-forked per-chain/per-item RNGs, so results are bit-identical for a
+// given seed at any worker count (see docs/parallelism.md).
 #pragma once
 
 #include <span>
@@ -26,9 +32,11 @@ struct SaParams {
   double cooling = 0.9;              ///< alpha
   unsigned init_patterns = 30;       ///< Z, forwarded to OptForPart
   unsigned max_stagnant = 3;         ///< stop after this many stale steps
-  /// Simultaneous SA walks sharing Phi, stepped round-robin (the paper's
+  /// Simultaneous SA walks sharing Phi, advanced in lock-step sweeps whose
+  /// combined neighbour proposals form one evaluation batch (the paper's
   /// implementation runs 10). More chains = more restarts within the same
-  /// P budget: better stability, less depth per walk.
+  /// P budget and wider batches for the pool: better stability and
+  /// parallel efficiency, less depth per walk.
   unsigned chains = 10;
 };
 

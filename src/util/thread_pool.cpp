@@ -1,8 +1,64 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace dalut::util {
+
+namespace {
+
+/// Shared state of one parallel_for call. Every queued task holds this by
+/// shared_ptr, so a task popped after the call returned finds all chunks
+/// already claimed and exits without touching the (long-gone) body — stale
+/// tasks are inert by construction, not by timing.
+struct ParallelForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t chunk = 1;
+  std::size_t num_chunks = 0;
+  /// Valid for the whole call: the caller blocks until every chunk has been
+  /// claimed and finished, and only claimed chunks dereference it.
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> chunks_done{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex done_mutex;
+  std::condition_variable done;
+  std::exception_ptr first_exception;  ///< guarded by done_mutex
+
+  /// Claims and runs chunks until none remain. Safe to run from any number
+  /// of threads, including the caller and nested parallel_for callers.
+  void drain() {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        const std::size_t lo = begin + c * chunk;
+        const std::size_t hi = std::min(lo + chunk, end);
+        try {
+          for (std::size_t i = lo; i < hi; ++i) (*body)(i);
+        } catch (...) {
+          std::lock_guard lock(done_mutex);
+          if (first_exception == nullptr) {
+            first_exception = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_chunks) {
+        std::lock_guard lock(done_mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t worker_count) {
   if (worker_count == 0) {
@@ -46,37 +102,38 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
-  // Dynamic chunking over an atomic counter: workers and the caller pull
-  // indices until the range is exhausted.
-  auto next = std::make_shared<std::atomic<std::size_t>>(begin);
-  auto remaining = std::make_shared<std::atomic<std::size_t>>(total);
-  auto done_mutex = std::make_shared<std::mutex>();
-  auto done_cv = std::make_shared<std::condition_variable>();
+  auto state = std::make_shared<ParallelForState>();
+  state->begin = begin;
+  state->end = end;
+  // A few chunks per thread: large enough that claiming a chunk touches the
+  // shared counter rarely, small enough to balance uneven bodies.
+  const std::size_t threads = workers_.size() + 1;
+  state->chunk = std::max<std::size_t>(1, total / (4 * threads));
+  state->num_chunks = (total + state->chunk - 1) / state->chunk;
+  state->body = &body;
 
-  auto drain = [next, remaining, done_mutex, done_cv, end, &body]() {
-    for (;;) {
-      const std::size_t i = next->fetch_add(1);
-      if (i >= end) break;
-      body(i);
-      if (remaining->fetch_sub(1) == 1) {
-        std::lock_guard lock(*done_mutex);
-        done_cv->notify_all();
-      }
-    }
-  };
-
+  // Queue at most one helper per worker; extra helpers for a range with
+  // fewer chunks than workers would only pop-and-exit.
+  const std::size_t helpers =
+      std::min(workers_.size(), state->num_chunks - 1);
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      tasks_.push(drain);
+    for (std::size_t w = 0; w < helpers; ++w) {
+      tasks_.push([state] { state->drain(); });
     }
   }
   work_ready_.notify_all();
 
-  drain();  // caller participates
+  state->drain();  // caller participates
 
-  std::unique_lock lock(*done_mutex);
-  done_cv->wait(lock, [remaining] { return remaining->load() == 0; });
+  std::unique_lock lock(state->done_mutex);
+  state->done.wait(lock, [&] {
+    return state->chunks_done.load(std::memory_order_acquire) ==
+           state->num_chunks;
+  });
+  if (state->first_exception != nullptr) {
+    std::rethrow_exception(state->first_exception);
+  }
 }
 
 ThreadPool& global_pool() {

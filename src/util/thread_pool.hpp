@@ -1,9 +1,16 @@
-// Minimal work-stealing-free thread pool with a parallel_for helper.
+// Minimal shared-queue thread pool with a chunked parallel_for helper.
 //
 // The paper parallelizes OptForPart calls across 44 threads; the library
 // does the same across however many cores are available. With one worker the
 // pool degenerates to inline execution, keeping single-core runs cheap and
 // deterministic.
+//
+// parallel_for splits the range into contiguous chunks claimed from a
+// per-call atomic (a few chunks per thread, so contention stays low), with
+// the calling thread participating. Each call owns an isolated state object,
+// which makes parallel_for safe to call concurrently from several threads
+// and reentrantly from inside a running body (nested calls drain on the
+// nested caller even when every worker is busy). See docs/parallelism.md.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +38,11 @@ class ThreadPool {
   /// Runs body(i) for i in [begin, end), splitting the range over the
   /// workers plus the calling thread. Blocks until all iterations finish.
   /// `body` must be safe to call concurrently for distinct i.
+  ///
+  /// If a body throws, the first exception (by completion order) is captured
+  /// and rethrown on the calling thread after the range is quiesced; chunks
+  /// not yet claimed at that point are skipped. Safe to call concurrently
+  /// from multiple threads and from inside a running body (nested use).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 

@@ -142,6 +142,44 @@ TEST(Bssa, NdSettingsWellFormed) {
   EXPECT_NO_THROW(result.realize(g.num_inputs()));
 }
 
+void expect_settings_identical(const std::vector<Setting>& a,
+                               const std::vector<Setting>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].error, b[k].error) << "bit " << k;
+    EXPECT_TRUE(a[k].partition == b[k].partition) << "bit " << k;
+    EXPECT_EQ(a[k].mode, b[k].mode) << "bit " << k;
+    EXPECT_EQ(a[k].pattern, b[k].pattern) << "bit " << k;
+    EXPECT_EQ(a[k].types, b[k].types) << "bit " << k;
+    EXPECT_EQ(a[k].shared_bit, b[k].shared_bit) << "bit " << k;
+    EXPECT_EQ(a[k].pattern0, b[k].pattern0) << "bit " << k;
+    EXPECT_EQ(a[k].pattern1, b[k].pattern1) << "bit " << k;
+    EXPECT_EQ(a[k].types0, b[k].types0) << "bit " << k;
+    EXPECT_EQ(a[k].types1, b[k].types1) << "bit " << k;
+  }
+}
+
+TEST(Bssa, BitIdenticalAcrossWorkerCounts) {
+  // The acceptance gate of the parallel rework: settings, MED, and the
+  // partition count must be bit-identical for pool=nullptr, a 2-worker
+  // pool, and an 8-worker pool (docs/parallelism.md).
+  const auto g = benchmark("cos", 8);
+  const auto dist = InputDistribution::uniform(8);
+  auto params = small_params(13);
+  params.beam_width = 3;  // several beams so round 1 extends in parallel
+  params.modes = ModePolicy::bto_normal_nd(0.01, 0.1);  // all mode paths
+  const auto serial = run_bssa(g, dist, params);
+  for (const std::size_t workers : {2u, 8u}) {
+    util::ThreadPool pool(workers);
+    params.pool = &pool;
+    const auto par = run_bssa(g, dist, params);
+    EXPECT_EQ(serial.med, par.med) << workers << " workers";
+    EXPECT_EQ(serial.partitions_evaluated, par.partitions_evaluated)
+        << workers << " workers";
+    expect_settings_identical(serial.settings, par.settings);
+  }
+}
+
 TEST(Bssa, PoolMatchesSequential) {
   const auto g = benchmark("tan", 8);
   const auto dist = InputDistribution::uniform(8);

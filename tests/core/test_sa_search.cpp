@@ -121,6 +121,54 @@ TEST(SaSearch, PoolAndSequentialAgree) {
   }
 }
 
+TEST(SaSearch, IdenticalAcrossWorkerCounts) {
+  // The determinism contract: bit-identical results for serial, 2-worker,
+  // and 8-worker runs (docs/parallelism.md).
+  const auto problem = cosine_problem(8);
+  SaParams params;
+  params.partition_limit = 25;
+  params.init_patterns = 4;
+  params.chains = 4;
+  util::Rng serial_rng(17);
+  const auto serial = find_best_settings(problem.n, 4, problem.c0, problem.c1,
+                                         3, params, serial_rng, nullptr, true);
+  for (const std::size_t workers : {2u, 8u}) {
+    util::ThreadPool pool(workers);
+    util::Rng rng(17);
+    const auto par = find_best_settings(problem.n, 4, problem.c0, problem.c1,
+                                        3, params, rng, &pool, true);
+    EXPECT_EQ(serial.partitions_visited, par.partitions_visited);
+    ASSERT_EQ(serial.top.size(), par.top.size());
+    for (std::size_t i = 0; i < serial.top.size(); ++i) {
+      EXPECT_EQ(serial.top[i].error, par.top[i].error);
+      EXPECT_EQ(serial.top[i].partition.bound_mask(),
+                par.top[i].partition.bound_mask());
+      EXPECT_EQ(serial.top[i].pattern, par.top[i].pattern);
+      EXPECT_EQ(serial.top[i].types, par.top[i].types);
+    }
+    ASSERT_EQ(serial.top_bto.size(), par.top_bto.size());
+    for (std::size_t i = 0; i < serial.top_bto.size(); ++i) {
+      EXPECT_EQ(serial.top_bto[i].error, par.top_bto[i].error);
+      EXPECT_EQ(serial.top_bto[i].partition.bound_mask(),
+                par.top_bto[i].partition.bound_mask());
+    }
+  }
+}
+
+TEST(SaSearch, NeverOvershootsPartitionLimit) {
+  // The cross-chain batch is clamped so Phi cannot exceed P even mid-sweep.
+  const auto problem = cosine_problem(8);
+  SaParams params;
+  params.partition_limit = 12;
+  params.init_patterns = 4;
+  params.chains = 8;
+  params.num_neighbours = 8;
+  util::Rng rng(23);
+  const auto result = find_best_settings(problem.n, 4, problem.c0, problem.c1,
+                                         3, params, rng, nullptr, false);
+  EXPECT_LE(result.partitions_visited, 12u);
+}
+
 TEST(SaSearch, TrackBtoProducesBtoSettings) {
   const auto problem = cosine_problem(8);
   SaParams params;

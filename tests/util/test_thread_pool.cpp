@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace dalut::util {
@@ -48,6 +50,88 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     pool.parallel_for(0, 10, [&](std::size_t) { total.fetch_add(1); });
   }
   EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, RangeOfOneRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, MoreWorkersThanItems) {
+  // Tiny ranges on a wide pool exercise the stale-task path: most queued
+  // helpers find every chunk already claimed and must exit without touching
+  // the (destroyed) body of an earlier call.
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, 2, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(ThreadPool, BodyExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  auto throwing = [&](std::size_t i) {
+    if (i == 37) throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(pool.parallel_for(0, 100, throwing), std::runtime_error);
+
+  // The pool must stay fully usable afterwards.
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, BodyExceptionOnSingleWorkerPool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentCallsFromTwoThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::thread other([&] {
+    for (int round = 0; round < 50; ++round) {
+      pool.parallel_for(0, 100, [&](std::size_t) { a.fetch_add(1); });
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 100, [&](std::size_t) { b.fetch_add(1); });
+  }
+  other.join();
+  EXPECT_EQ(a.load(), 5000);
+  EXPECT_EQ(b.load(), 5000);
+}
+
+TEST(ThreadPool, NestedParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 16, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedEmptyAndTinyRanges) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 6, [&](std::size_t i) {
+    pool.parallel_for(0, 0, [&](std::size_t) { total.fetch_add(1000); });
+    pool.parallel_for(0, i % 2 + 1, [&](std::size_t) { total.fetch_add(1); });
+  });
+  // i in {0..5}: three inner ranges of 1 and three of 2.
+  EXPECT_EQ(total.load(), 9);
 }
 
 TEST(ThreadPool, GlobalPoolExists) {
