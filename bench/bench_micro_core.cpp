@@ -8,6 +8,7 @@
 #include "core/bit_cost.hpp"
 #include "core/bssa.hpp"
 #include "core/dalta.hpp"
+#include "core/eval_workspace.hpp"
 #include "core/partition_opt.hpp"
 #include "core/sa_search.hpp"
 #include "func/registry.hpp"
@@ -53,7 +54,57 @@ void BM_CostMatrixScatter(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(g.domain_size()));
 }
-BENCHMARK(BM_CostMatrixScatter)->Arg(10)->Arg(12)->Arg(14);
+BENCHMARK(BM_CostMatrixScatter)->Arg(10)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_CostMatrixGather(benchmark::State& state) {
+  // The EvalWorkspace replacement for BM_CostMatrixScatter: interleaved
+  // source + thread-local scratch, memo disabled so every iteration pays
+  // the full gather.
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto g = make_cos(width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  util::Rng rng(1);
+  const auto p = core::Partition::random(width, (9 * width + 8) / 16, rng);
+  auto& workspace = core::EvalWorkspace::local();
+  core::set_eval_cache_capacity(0);
+  for (auto _ : state) {
+    const core::MatrixRef matrix = workspace.full_matrix(p, costs);
+    benchmark::DoNotOptimize(matrix.get().cells.data());
+  }
+  core::set_eval_cache_capacity(std::size_t{64} << 20);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.domain_size()));
+}
+BENCHMARK(BM_CostMatrixGather)->Arg(10)->Arg(12)->Arg(14)->Arg(16);
+
+void BM_CostMatrixGatherCached(benchmark::State& state) {
+  // Memo hit path: the same (epoch, bound mask) key every iteration.
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto g = make_cos(width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  util::Rng rng(1);
+  const auto p = core::Partition::random(width, (9 * width + 8) / 16, rng);
+  auto& workspace = core::EvalWorkspace::local();
+  core::reset_eval_cache();
+  for (auto _ : state) {
+    const core::MatrixRef matrix = workspace.full_matrix(p, costs);
+    benchmark::DoNotOptimize(matrix.get().cells.data());
+  }
+  const auto stats = core::eval_cache_stats();
+  state.counters["hit_rate"] =
+      stats.hits + stats.misses == 0
+          ? 0.0
+          : static_cast<double>(stats.hits) /
+                static_cast<double>(stats.hits + stats.misses);
+  core::reset_eval_cache();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.domain_size()));
+}
+BENCHMARK(BM_CostMatrixGatherCached)->Arg(12)->Arg(14)->Arg(16);
 
 void BM_OptForPart(benchmark::State& state) {
   const auto width = static_cast<unsigned>(state.range(0));
@@ -69,7 +120,26 @@ void BM_OptForPart(benchmark::State& state) {
     benchmark::DoNotOptimize(result.error);
   }
 }
-BENCHMARK(BM_OptForPart)->Arg(10)->Arg(12);
+BENCHMARK(BM_OptForPart)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_OptForPartWorkspace(benchmark::State& state) {
+  // The restart-blocked EvalWorkspace kernel on the same problem as
+  // BM_OptForPart (bit-identical results, ~Z x less matrix traffic).
+  const auto width = static_cast<unsigned>(state.range(0));
+  const auto g = make_cos(width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  util::Rng rng(2);
+  const auto p = core::Partition::random(width, (9 * width + 8) / 16, rng);
+  auto& workspace = core::EvalWorkspace::local();
+  const core::MatrixRef matrix = workspace.full_matrix(p, costs);
+  for (auto _ : state) {
+    auto result = workspace.opt_for_part(matrix, {30, 64}, rng);
+    benchmark::DoNotOptimize(result.error);
+  }
+}
+BENCHMARK(BM_OptForPartWorkspace)->Arg(10)->Arg(12)->Arg(14);
 
 void BM_OptForPartBto(benchmark::State& state) {
   const auto width = static_cast<unsigned>(state.range(0));

@@ -35,6 +35,10 @@ void write_bit_to_cache(std::vector<OutputWord>& cache, unsigned k,
 /// cost arrays: realizes the setting and sums c1/c0 per its output. Used to
 /// compare an incumbent setting against freshly searched candidates so a
 /// refinement round never regresses (coordinate descent stays monotone).
+/// Deliberately evaluates over the realized 2^n domain rather than a
+/// gathered matrix: it also covers ND settings, and keeping the summation
+/// order fixed preserves historical error values bit-for-bit
+/// (EvalWorkspace::evaluate_vt agrees with it only up to FP reassociation).
 double setting_error_under_costs(const Setting& setting,
                                  std::span<const double> c0,
                                  std::span<const double> c1);

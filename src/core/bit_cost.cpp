@@ -1,5 +1,6 @@
 #include "core/bit_cost.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 
@@ -26,6 +27,11 @@ inline double loss_of_distance(double distance, CostMetric metric) noexcept {
 
 }  // namespace
 
+std::uint64_t next_cost_epoch() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 BitCostArrays build_bit_costs(const MultiOutputFunction& g,
                               const std::vector<OutputWord>& approx_values,
                               unsigned k, LsbModel model,
@@ -43,6 +49,7 @@ BitCostArrays build_bit_costs(const MultiOutputFunction& g,
   BitCostArrays costs;
   costs.c0.resize(domain);
   costs.c1.resize(domain);
+  costs.epoch = next_cost_epoch();
 
   auto fill = [&](std::size_t i) {
     const auto x = static_cast<InputWord>(i);

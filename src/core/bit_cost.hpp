@@ -12,6 +12,7 @@
 //    Sec. III-B three-case model).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/input_distribution.hpp"
@@ -43,7 +44,15 @@ enum class CostMetric {
 struct BitCostArrays {
   std::vector<double> c0;  ///< weighted cost of approximating bit k as 0
   std::vector<double> c1;  ///< weighted cost of approximating bit k as 1
+  /// Process-unique id of the arrays' contents, stamped by build_bit_costs.
+  /// The evaluation engine's gather memo keys on it (core/eval_workspace.hpp);
+  /// 0 means "unknown provenance" and disables caching.
+  std::uint64_t epoch = 0;
 };
+
+/// Next free epoch id (atomic, never returns 0). build_bit_costs stamps each
+/// result; callers that mutate cost arrays in place must re-stamp them.
+std::uint64_t next_cost_epoch() noexcept;
 
 /// `approx_values` holds the current approximation Ghat(X) per input; for the
 /// first-round models only its bits above k are read. `k` is 0-based.

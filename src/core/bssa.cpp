@@ -63,9 +63,9 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
       const auto costs = build_bit_costs(g, beams[b].cache, k,
                                          params.first_round_model, dist,
                                          params.metric, params.pool);
-      founds[b] = find_best_settings(g.num_inputs(), params.bound_size,
-                                     costs.c0, costs.c1, params.beam_width,
-                                     params.sa, beam_rngs[b], params.pool,
+      founds[b] = find_best_settings(g.num_inputs(), params.bound_size, costs,
+                                     params.beam_width, params.sa,
+                                     beam_rngs[b], params.pool,
                                      /*track_bto=*/false);
     };
     if (params.pool != nullptr && beams.size() > 1) {
@@ -110,9 +110,8 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
       const unsigned n_beam =
           params.modes.allow_nd ? std::max(1u, params.nd_candidates) : 1u;
       auto found = find_best_settings(g.num_inputs(), params.bound_size,
-                                      costs.c0, costs.c1, n_beam, params.sa,
-                                      rng, params.pool,
-                                      params.modes.allow_bto);
+                                      costs, n_beam, params.sa, rng,
+                                      params.pool, params.modes.allow_bto);
       partitions_evaluated += found.partitions_visited;
       Setting normal = found.top.front();
 
@@ -143,8 +142,8 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
           }
           std::vector<Setting> trials(found.top.size());
           auto trial_work = [&](std::size_t i) {
-            trials[i] = optimize_nondisjoint(found.top[i].partition, costs.c0,
-                                             costs.c1, opt_params, nd_rngs[i]);
+            trials[i] = optimize_nondisjoint(found.top[i].partition, costs,
+                                             opt_params, nd_rngs[i]);
           };
           if (params.pool != nullptr && found.top.size() > 1) {
             params.pool->parallel_for(0, found.top.size(), trial_work);
@@ -164,16 +163,14 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
         // partition in every supported mode restores that assumption.
         {
           const auto& p = incumbent.partition;
-          auto inc_normal =
-              optimize_normal(p, costs.c0, costs.c1, opt_params, rng);
+          auto inc_normal = optimize_normal(p, costs, opt_params, rng);
           if (inc_normal.error < normal.error) normal = std::move(inc_normal);
           if (params.modes.allow_bto) {
-            auto inc_bto = optimize_bto(p, costs.c0, costs.c1);
+            auto inc_bto = optimize_bto(p, costs);
             if (inc_bto.error < bto.error) bto = std::move(inc_bto);
           }
           if (params.modes.allow_nd) {
-            auto inc_nd = optimize_nondisjoint(p, costs.c0, costs.c1,
-                                               opt_params, rng);
+            auto inc_nd = optimize_nondisjoint(p, costs, opt_params, rng);
             if (inc_nd.error < nd.error) nd = std::move(inc_nd);
           }
         }
@@ -210,14 +207,14 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
                      round, k, static_cast<int>(incumbent.mode),
                      incumbent.error, static_cast<int>(best.settings[k].mode),
                      best.settings[k].error,
-                     mean_error_distance(g, best.cache, dist));
+                     mean_error_distance(g, best.cache, dist, params.pool));
       }
     }
   }
 
   DecompositionResult result;
   result.settings = std::move(best.settings);
-  result.report = error_report(g, best.cache, dist);
+  result.report = error_report(g, best.cache, dist, params.pool);
   result.med = result.report.med;
   result.runtime_seconds = timer.seconds();
   result.partitions_evaluated = partitions_evaluated;

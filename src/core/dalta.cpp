@@ -41,8 +41,8 @@ DecompositionResult run_dalta(const MultiOutputFunction& g,
       }
 
       auto work = [&](std::size_t i) {
-        settings[i] = optimize_normal(candidates[i], costs.c0, costs.c1,
-                                      opt_params, rngs[i]);
+        settings[i] =
+            optimize_normal(candidates[i], costs, opt_params, rngs[i]);
       };
       if (params.pool != nullptr && candidates.size() > 1) {
         params.pool->parallel_for(0, candidates.size(), work);
@@ -71,7 +71,7 @@ DecompositionResult run_dalta(const MultiOutputFunction& g,
     }
   }
 
-  result.report = error_report(g, cache, dist);
+  result.report = error_report(g, cache, dist, params.pool);
   result.med = result.report.med;
   result.runtime_seconds = timer.seconds();
   return result;

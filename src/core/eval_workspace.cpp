@@ -1,0 +1,651 @@
+#include "core/eval_workspace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <unordered_set>
+
+#include "util/bits.hpp"
+
+namespace dalut::core {
+
+namespace {
+
+// ---- Process-wide gather memo -------------------------------------------
+
+struct MemoKey {
+  std::uint64_t epoch = 0;
+  std::uint32_t bound_mask = 0;
+  bool operator==(const MemoKey&) const = default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& key) const noexcept {
+    std::uint64_t h = key.epoch * 0x9E3779B97F4A7C15ull;
+    h ^= (h >> 29) ^ (static_cast<std::uint64_t>(key.bound_mask) << 16);
+    h *= 0xBF58476D1CE4E5B9ull;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+struct MemoStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> gathers{0};
+  std::atomic<std::uint64_t> slices{0};
+};
+
+MemoStats& memo_stats() {
+  static MemoStats stats;
+  return stats;
+}
+
+std::size_t default_capacity() {
+  if (const char* env = std::getenv("DALUT_EVAL_CACHE_MB")) {
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10)) << 20;
+  }
+  return std::size_t{64} << 20;
+}
+
+/// Byte-capped matrix memo keyed by (epoch, bound mask). Entries are shared
+/// so an eviction never invalidates a matrix still in use, and the buffers
+/// of evicted sole-owner entries are recycled into later gathers.
+class GatherMemo {
+ public:
+  static GatherMemo& instance() {
+    static GatherMemo memo;
+    return memo;
+  }
+
+  bool enabled() {
+    std::lock_guard lock(mutex_);
+    return capacity_ > 0;
+  }
+
+  std::shared_ptr<const InterleavedCostMatrix> find(const MemoKey& key) {
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    it->second.seq = ++seq_;
+    return it->second.matrix;
+  }
+
+  /// Two-touch admission: the first sighting of a key only records it and
+  /// keeps the gather in thread-local scratch — the overwhelmingly common
+  /// case (a unique-partition stream) never writes the shared cache. A key
+  /// sighted again is worth retaining, so its gather is published and every
+  /// later access hits. Returns true when the caller should publish.
+  bool promote(const MemoKey& key) {
+    std::lock_guard lock(mutex_);
+    if (seen_.erase(key) != 0) return true;
+    if (seen_.size() >= kMaxSeen) seen_.clear();
+    seen_.insert(key);
+    return false;
+  }
+
+  /// A writable matrix to gather into, recycled from an evicted entry when
+  /// one is available.
+  std::shared_ptr<InterleavedCostMatrix> acquire() {
+    {
+      std::lock_guard lock(mutex_);
+      if (!free_.empty()) {
+        auto matrix = std::move(free_.back());
+        free_.pop_back();
+        return matrix;
+      }
+    }
+    return std::make_shared<InterleavedCostMatrix>();
+  }
+
+  /// Publishes a gathered matrix. If another thread inserted the same key
+  /// concurrently the existing entry wins (contents are identical by
+  /// construction) and `matrix`'s buffer is recycled.
+  std::shared_ptr<const InterleavedCostMatrix> insert(
+      const MemoKey& key, std::shared_ptr<InterleavedCostMatrix> matrix) {
+    std::lock_guard lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      recycle(std::move(matrix));
+      return it->second.matrix;
+    }
+    bytes_ += entry_bytes(*matrix);
+    auto result =
+        map_.emplace(key, Entry{matrix, ++seq_}).first->second.matrix;
+    while (bytes_ > capacity_ && map_.size() > 1) evict_oldest();
+    return result;
+  }
+
+  void set_capacity(std::size_t bytes) {
+    std::lock_guard lock(mutex_);
+    capacity_ = bytes;
+    while (bytes_ > capacity_ && !map_.empty()) evict_oldest();
+  }
+
+  void reset() {
+    std::lock_guard lock(mutex_);
+    map_.clear();
+    seen_.clear();
+    free_.clear();
+    bytes_ = 0;
+    seq_ = 0;
+    memo_stats().hits = 0;
+    memo_stats().misses = 0;
+    memo_stats().evictions = 0;
+    memo_stats().gathers = 0;
+    memo_stats().slices = 0;
+  }
+
+  void snapshot(EvalCacheStats& out) {
+    std::lock_guard lock(mutex_);
+    out.entries = map_.size();
+    out.bytes = bytes_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<InterleavedCostMatrix> matrix;
+    std::uint64_t seq = 0;
+  };
+
+  static std::size_t entry_bytes(const InterleavedCostMatrix& matrix) {
+    return matrix.cells.capacity() * sizeof(double) + sizeof(Entry);
+  }
+
+  void recycle(std::shared_ptr<InterleavedCostMatrix> matrix) {
+    if (matrix.use_count() == 1 && free_.size() < kMaxFree) {
+      free_.push_back(std::move(matrix));
+    }
+  }
+
+  void evict_oldest() {
+    auto oldest = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.seq < oldest->second.seq) oldest = it;
+    }
+    bytes_ -= entry_bytes(*oldest->second.matrix);
+    recycle(std::move(oldest->second.matrix));
+    map_.erase(oldest);
+    memo_stats().evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kMaxFree = 16;
+  static constexpr std::size_t kMaxSeen = std::size_t{1} << 17;
+
+  std::mutex mutex_;
+  std::unordered_map<MemoKey, Entry, MemoKeyHash> map_;
+  std::unordered_set<MemoKey, MemoKeyHash> seen_;
+  std::vector<std::shared_ptr<InterleavedCostMatrix>> free_;
+  std::size_t bytes_ = 0;
+  std::size_t capacity_ = default_capacity();
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace
+
+EvalCacheStats eval_cache_stats() {
+  EvalCacheStats stats;
+  auto& counters = memo_stats();
+  stats.hits = counters.hits.load(std::memory_order_relaxed);
+  stats.misses = counters.misses.load(std::memory_order_relaxed);
+  stats.evictions = counters.evictions.load(std::memory_order_relaxed);
+  stats.gathers = counters.gathers.load(std::memory_order_relaxed);
+  stats.slices = counters.slices.load(std::memory_order_relaxed);
+  GatherMemo::instance().snapshot(stats);
+  return stats;
+}
+
+void reset_eval_cache() { GatherMemo::instance().reset(); }
+
+void set_eval_cache_capacity(std::size_t bytes) {
+  GatherMemo::instance().set_capacity(bytes);
+}
+
+// ---- EvalWorkspace ------------------------------------------------------
+
+EvalWorkspace& EvalWorkspace::local() {
+  thread_local EvalWorkspace workspace;
+  return workspace;
+}
+
+const std::vector<InputWord>& EvalWorkspace::deposit_table(
+    std::uint32_t mask) {
+  const auto it = deposits_.find(mask);
+  if (it != deposits_.end()) return it->second;
+  if (deposits_.size() >= 256) deposits_.clear();
+  auto& table = deposits_[mask];
+  table.resize(std::size_t{1} << util::popcount(mask));
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    table[i] = static_cast<InputWord>(util::deposit_bits(i, mask));
+  }
+  return table;
+}
+
+const double* EvalWorkspace::interleaved_source(const CostView& costs) {
+  if (costs.epoch == 0) return nullptr;
+  ++source_tick_;
+  SourceSlot* slot = &sources_.front();
+  for (auto& candidate : sources_) {
+    if (candidate.epoch == costs.epoch) {
+      candidate.last_use = source_tick_;
+      return candidate.data.data();
+    }
+    if (candidate.last_use < slot->last_use) slot = &candidate;
+  }
+  slot->epoch = costs.epoch;
+  slot->last_use = source_tick_;
+  const std::size_t domain = costs.c0.size();
+  slot->data.resize(2 * domain);
+  double* out = slot->data.data();
+  const double* c0 = costs.c0.data();
+  const double* c1 = costs.c1.data();
+  for (std::size_t x = 0; x < domain; ++x) {
+    out[2 * x] = c0[x];
+    out[2 * x + 1] = c1[x];
+  }
+  return out;
+}
+
+void EvalWorkspace::gather_into(InterleavedCostMatrix& out,
+                                const Partition& partition,
+                                const CostView& costs) {
+  assert(costs.c0.size() ==
+         (std::size_t{1} << partition.num_inputs()));
+  assert(costs.c1.size() == costs.c0.size());
+  out.rows = partition.num_rows();
+  out.cols = partition.num_cols();
+  out.cells.resize(2 * out.rows * out.cols);
+
+  const auto& row_x = deposit_table(partition.free_mask());
+  const auto& col_x = deposit_table(partition.bound_mask());
+  double* cells = out.cells.data();
+
+  if (const double* src = interleaved_source(costs)) {
+    // One interleaved source read per cell: both costs share a cache line.
+    for (std::size_t r = 0; r < out.rows; ++r) {
+      const InputWord rx = row_x[r];
+      double* dst = cells + 2 * r * out.cols;
+      for (std::size_t c = 0; c < out.cols; ++c) {
+        const double* pair = src + 2 * (rx | col_x[c]);
+        dst[2 * c] = pair[0];
+        dst[2 * c + 1] = pair[1];
+      }
+    }
+  } else {
+    const double* c0 = costs.c0.data();
+    const double* c1 = costs.c1.data();
+    for (std::size_t r = 0; r < out.rows; ++r) {
+      const InputWord rx = row_x[r];
+      double* dst = cells + 2 * r * out.cols;
+      for (std::size_t c = 0; c < out.cols; ++c) {
+        const InputWord x = rx | col_x[c];
+        dst[2 * c] = c0[x];
+        dst[2 * c + 1] = c1[x];
+      }
+    }
+  }
+  memo_stats().gathers.fetch_add(1, std::memory_order_relaxed);
+}
+
+MatrixRef EvalWorkspace::full_matrix(const Partition& partition,
+                                     const CostView& costs) {
+  auto& memo = GatherMemo::instance();
+  if (costs.epoch != 0 && memo.enabled()) {
+    const MemoKey key{costs.epoch, partition.bound_mask()};
+    if (auto cached = memo.find(key)) {
+      memo_stats().hits.fetch_add(1, std::memory_order_relaxed);
+      return MatrixRef(std::move(cached));
+    }
+    memo_stats().misses.fetch_add(1, std::memory_order_relaxed);
+    if (memo.promote(key)) {
+      auto fresh = memo.acquire();
+      gather_into(*fresh, partition, costs);
+      return MatrixRef(memo.insert(key, std::move(fresh)));
+    }
+  }
+  gather_into(full_scratch_, partition, costs);
+  return MatrixRef(&full_scratch_);
+}
+
+const InterleavedCostMatrix& EvalWorkspace::conditioned(
+    const InterleavedCostMatrix& full, const Partition& partition,
+    std::uint32_t shared_mask, std::uint32_t shared_values) {
+  assert(shared_mask != 0 &&
+         (shared_mask & ~partition.bound_mask()) == 0);
+  assert(full.rows == partition.num_rows() &&
+         full.cols == partition.num_cols());
+  assert(&full != &cond_scratch_);
+
+  // Rank positions of the shared input bits inside the packed column index.
+  std::uint32_t rank_mask = 0;
+  for (std::uint32_t bits = shared_mask; bits != 0; bits &= bits - 1) {
+    const unsigned bit = static_cast<unsigned>(std::countr_zero(bits));
+    const unsigned rank = util::popcount(
+        partition.bound_mask() & ((std::uint32_t{1} << bit) - 1));
+    rank_mask |= std::uint32_t{1} << rank;
+  }
+  const std::uint32_t reduced_mask =
+      (static_cast<std::uint32_t>(full.cols) - 1) & ~rank_mask;
+  const auto fixed_cols = static_cast<std::uint32_t>(
+      util::deposit_bits(shared_values, rank_mask));
+
+  cond_scratch_.rows = full.rows;
+  cond_scratch_.cols = full.cols >> util::popcount(shared_mask);
+  cond_scratch_.cells.resize(2 * cond_scratch_.rows * cond_scratch_.cols);
+
+  cond_cols_.resize(cond_scratch_.cols);
+  for (std::size_t c = 0; c < cond_cols_.size(); ++c) {
+    cond_cols_[c] = static_cast<std::uint32_t>(
+                        util::deposit_bits(c, reduced_mask)) |
+                    fixed_cols;
+  }
+
+  const double* src = full.cells.data();
+  double* dst = cond_scratch_.cells.data();
+  for (std::size_t r = 0; r < cond_scratch_.rows; ++r) {
+    const double* src_row = src + 2 * r * full.cols;
+    for (std::size_t c = 0; c < cond_scratch_.cols; ++c, dst += 2) {
+      const double* pair = src_row + 2 * cond_cols_[c];
+      dst[0] = pair[0];
+      dst[1] = pair[1];
+    }
+  }
+  memo_stats().slices.fetch_add(1, std::memory_order_relaxed);
+  return cond_scratch_;
+}
+
+unsigned EvalWorkspace::restart_block(std::size_t rows, std::size_t cols,
+                                      unsigned restarts) const {
+  if (opt_block_override_ != 0) {
+    return std::min(opt_block_override_, restarts);
+  }
+  // Keep the per-block column accumulators and pattern/type arrays within
+  // ~1 MiB so they stay cache-resident next to the matrix itself.
+  const std::size_t per_restart =
+      2 * sizeof(double) * cols + cols + rows + 64;
+  const std::size_t budget = std::size_t{1} << 20;
+  const auto block = static_cast<unsigned>(
+      std::clamp<std::size_t>(budget / per_restart, 1, restarts));
+  return block;
+}
+
+void EvalWorkspace::types_sweep(const InterleavedCostMatrix& matrix,
+                                unsigned block, bool compute_sums,
+                                std::vector<double>& totals) {
+  const std::size_t rows = matrix.rows;
+  const std::size_t cols = matrix.cols;
+  const std::size_t active_count = active_.size();
+  // The direct loop touches every restart in the block but vectorizes; the
+  // active-indexed loop is scalar but proportional to the survivors. Cross
+  // over when the active set has thinned to ~1/4 of the block, so straggler
+  // restarts do not pay full-block sweeps. Either path adds bit-identical
+  // values for the active restarts; inactive slots are never read.
+  const bool direct = 4 * active_count >= block;
+  for (const std::uint32_t z : active_) totals[z] = 0.0;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = matrix.cells.data() + 2 * r * cols;
+    if (direct) {
+      std::fill_n(match_.data(), block, 0.0);
+    } else {
+      for (const std::uint32_t z : active_) match_[z] = 0.0;
+    }
+
+    // The pattern entries are full-width masks, so selecting a cost is a
+    // bitwise blend: the added double is bit-for-bit the one the reference
+    // ternary would pick, but the loop has no data-dependent branch and
+    // vectorizes.
+    double s0 = 0.0;
+    double s1 = 0.0;
+    if (compute_sums) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double c0 = row[2 * c];
+        const double c1 = row[2 * c + 1];
+        s0 += c0;
+        s1 += c1;
+        const std::uint64_t b0 = std::bit_cast<std::uint64_t>(c0);
+        const std::uint64_t b1 = std::bit_cast<std::uint64_t>(c1);
+        const std::uint64_t* pat = patterns_.data() + c * block;
+        for (std::uint32_t z = 0; z < block; ++z) {
+          match_[z] += std::bit_cast<double>((b0 & ~pat[z]) | (b1 & pat[z]));
+        }
+      }
+      sums0_[r] = s0;
+      sums1_[r] = s1;
+    } else if (direct) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::uint64_t b0 = std::bit_cast<std::uint64_t>(row[2 * c]);
+        const std::uint64_t b1 = std::bit_cast<std::uint64_t>(row[2 * c + 1]);
+        const std::uint64_t* pat = patterns_.data() + c * block;
+        for (std::uint32_t z = 0; z < block; ++z) {
+          match_[z] += std::bit_cast<double>((b0 & ~pat[z]) | (b1 & pat[z]));
+        }
+      }
+      s0 = sums0_[r];
+      s1 = sums1_[r];
+    } else {
+      for (std::size_t c = 0; c < cols; ++c) {
+        const std::uint64_t b0 = std::bit_cast<std::uint64_t>(row[2 * c]);
+        const std::uint64_t b1 = std::bit_cast<std::uint64_t>(row[2 * c + 1]);
+        const std::uint64_t* pat = patterns_.data() + c * block;
+        for (const std::uint32_t z : active_) {
+          match_[z] += std::bit_cast<double>((b0 & ~pat[z]) | (b1 & pat[z]));
+        }
+      }
+      s0 = sums0_[r];
+      s1 = sums1_[r];
+    }
+
+    std::uint8_t* row_types = types_.data() + r * block;
+    for (const std::uint32_t z : active_) {
+      const double match = match_[z];
+      const double complement = s0 + s1 - match;
+      auto best = RowType::kAllZero;
+      double best_cost = s0;
+      if (s1 < best_cost) {
+        best = RowType::kAllOne;
+        best_cost = s1;
+      }
+      if (match < best_cost) {
+        best = RowType::kPattern;
+        best_cost = match;
+      }
+      if (complement < best_cost) {
+        best = RowType::kComplement;
+        best_cost = complement;
+      }
+      row_types[z] = static_cast<std::uint8_t>(best);
+      totals[z] += best_cost;
+    }
+  }
+}
+
+void EvalWorkspace::pattern_sweep(const InterleavedCostMatrix& matrix,
+                                  unsigned block) {
+  const std::size_t rows = matrix.rows;
+  const std::size_t cols = matrix.cols;
+  if_zero_.resize(cols * block);
+  if_one_.resize(cols * block);
+
+  // Unlike the types sweep, the pattern accumulation is restart-major: a row
+  // only contributes to the restarts whose current type for it is kPattern or
+  // kComplement, and with realistic cost arrays that is sparse (most rows
+  // settle on kAllZero/kAllOne for most restarts). Looping restarts outside
+  // keeps the work strictly proportional to the participating (row, restart)
+  // pairs, and gives each participating row a contiguous column loop that
+  // vectorizes. The per-(c, z) accumulation order is rows ascending — the
+  // reference order — and the {cost0, cost1} pairs still arrive one cache
+  // line per cell. Accumulator rows of inactive restarts are left stale;
+  // they are never read (the pattern update below is active-only).
+  const double* cells = matrix.cells.data();
+  for (const std::uint32_t z : active_) {
+    double* zero = if_zero_.data() + std::size_t{z} * cols;
+    double* one = if_one_.data() + std::size_t{z} * cols;
+    std::fill_n(zero, cols, 0.0);
+    std::fill_n(one, cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto type = static_cast<RowType>(types_[r * block + z]);
+      if (type != RowType::kPattern && type != RowType::kComplement) continue;
+      const double* row = cells + 2 * r * cols;
+      if (type == RowType::kPattern) {
+        for (std::size_t c = 0; c < cols; ++c) {
+          zero[c] += row[2 * c];
+          one[c] += row[2 * c + 1];
+        }
+      } else {
+        for (std::size_t c = 0; c < cols; ++c) {
+          zero[c] += row[2 * c + 1];
+          one[c] += row[2 * c];
+        }
+      }
+    }
+  }
+
+  for (const std::uint32_t z : active_) {
+    const double* zero = if_zero_.data() + std::size_t{z} * cols;
+    const double* one = if_one_.data() + std::size_t{z} * cols;
+    std::uint64_t* pat = patterns_.data();
+    for (std::size_t c = 0; c < cols; ++c) {
+      pat[c * block + z] = one[c] < zero[c] ? ~std::uint64_t{0} : 0;
+    }
+  }
+}
+
+VtResult EvalWorkspace::opt_for_part(const InterleavedCostMatrix& matrix,
+                                     const OptForPartParams& params,
+                                     util::Rng& rng) {
+  assert(params.init_patterns >= 1);
+  const std::size_t rows = matrix.rows;
+  const std::size_t cols = matrix.cols;
+  const unsigned restarts = std::max(1u, params.init_patterns);
+  const unsigned block = restart_block(rows, cols, restarts);
+
+  sums0_.resize(rows);
+  sums1_.resize(rows);
+  match_.resize(block);
+  error_.resize(block);
+  after_.resize(block);
+
+  VtResult best;
+  best.error = std::numeric_limits<double>::infinity();
+  bool sums_ready = false;
+
+  for (unsigned base = 0; base < restarts; base += block) {
+    const unsigned count = std::min(block, restarts - base);
+    patterns_.resize(cols * count);
+    types_.resize(rows * count);
+
+    // Initial pattern vectors, drawn restart-major so the RNG stream is
+    // identical to the reference implementation's per-restart draws.
+    for (unsigned z = 0; z < count; ++z) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        patterns_[c * count + z] = rng.next_bool() ? ~std::uint64_t{0} : 0;
+      }
+    }
+
+    active_.resize(count);
+    for (unsigned z = 0; z < count; ++z) active_[z] = z;
+    types_sweep(matrix, count, !sums_ready, error_);
+    sums_ready = true;
+
+    // Both steps are exact coordinate minimizations, so each restart's
+    // error is non-increasing; a restart leaves the active set at its first
+    // sweep without improvement (same epsilon rule as the reference).
+    for (unsigned iter = 0;
+         iter < params.max_iterations && !active_.empty(); ++iter) {
+      pattern_sweep(matrix, count);
+      types_sweep(matrix, count, false, after_);
+      next_active_.clear();
+      for (const std::uint32_t z : active_) {
+        if (after_[z] >= error_[z] - 1e-15) {
+          error_[z] = std::min(error_[z], after_[z]);
+        } else {
+          error_[z] = after_[z];
+          next_active_.push_back(z);
+        }
+      }
+      active_.swap(next_active_);
+    }
+
+    for (unsigned z = 0; z < count; ++z) {
+      if (error_[z] < best.error) {
+        best.error = error_[z];
+        best.pattern.resize(cols);
+        for (std::size_t c = 0; c < cols; ++c) {
+          best.pattern[c] = patterns_[c * count + z] ? 1 : 0;
+        }
+        best.types.resize(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+          best.types[r] = static_cast<RowType>(types_[r * count + z]);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+VtResult EvalWorkspace::opt_for_part_bto(const InterleavedCostMatrix& matrix) {
+  const std::size_t rows = matrix.rows;
+  const std::size_t cols = matrix.cols;
+  if_zero_.assign(cols, 0.0);
+  if_one_.assign(cols, 0.0);
+
+  const double* cells = matrix.cells.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = cells + 2 * r * cols;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if_zero_[c] += row[2 * c];
+      if_one_[c] += row[2 * c + 1];
+    }
+  }
+
+  VtResult result;
+  result.types.assign(rows, RowType::kPattern);
+  result.pattern.assign(cols, 0);
+  result.error = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (if_one_[c] < if_zero_[c]) {
+      result.pattern[c] = 1;
+      result.error += if_one_[c];
+    } else {
+      result.error += if_zero_[c];
+    }
+  }
+  return result;
+}
+
+double EvalWorkspace::evaluate_vt(const InterleavedCostMatrix& matrix,
+                                  std::span<const std::uint8_t> pattern,
+                                  std::span<const RowType> types) const {
+  assert(pattern.size() == matrix.cols);
+  assert(types.size() == matrix.rows);
+  double total = 0.0;
+  const double* cells = matrix.cells.data();
+  for (std::size_t r = 0; r < matrix.rows; ++r) {
+    const double* row = cells + 2 * r * matrix.cols;
+    for (std::size_t c = 0; c < matrix.cols; ++c) {
+      bool value = false;
+      switch (types[r]) {
+        case RowType::kAllZero:
+          value = false;
+          break;
+        case RowType::kAllOne:
+          value = true;
+          break;
+        case RowType::kPattern:
+          value = pattern[c] != 0;
+          break;
+        case RowType::kComplement:
+          value = pattern[c] == 0;
+          break;
+      }
+      total += value ? row[2 * c + 1] : row[2 * c];
+    }
+  }
+  return total;
+}
+
+}  // namespace dalut::core

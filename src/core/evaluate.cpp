@@ -5,36 +5,107 @@
 
 namespace dalut::core {
 
+namespace {
+
+// Same domain threshold as build_bit_costs: below it the plain loop beats
+// waking the pool. At or above it the metrics reduce over a fixed grid of
+// kChunk-input blocks whether or not a pool is given, so the summation
+// order (per-chunk partials combined in chunk order) never depends on the
+// worker count.
+constexpr std::size_t kParallelDomainThreshold = std::size_t{1} << 14;
+constexpr std::size_t kChunk = std::size_t{1} << 12;
+
+inline double distance_at(const MultiOutputFunction& g,
+                          const std::vector<OutputWord>& approx_values,
+                          InputWord x) {
+  const OutputWord a = g.value(x);
+  const OutputWord b = approx_values[x];
+  return a > b ? static_cast<double>(a - b) : static_cast<double>(b - a);
+}
+
+}  // namespace
+
 double mean_error_distance(const MultiOutputFunction& g,
                            const std::vector<OutputWord>& approx_values,
-                           const InputDistribution& dist) {
+                           const InputDistribution& dist,
+                           util::ThreadPool* pool) {
   assert(approx_values.size() == g.domain_size());
-  double med = 0.0;
-  for (InputWord x = 0; x < g.domain_size(); ++x) {
-    const OutputWord a = g.value(x);
-    const OutputWord b = approx_values[x];
-    const double diff = a > b ? static_cast<double>(a - b)
-                              : static_cast<double>(b - a);
-    med += dist.probability(x) * diff;
+  const std::size_t domain = g.domain_size();
+
+  if (domain < kParallelDomainThreshold) {
+    double med = 0.0;
+    for (InputWord x = 0; x < domain; ++x) {
+      med += dist.probability(x) * distance_at(g, approx_values, x);
+    }
+    return med;
   }
+
+  const std::size_t chunks = (domain + kChunk - 1) / kChunk;
+  std::vector<double> partial(chunks, 0.0);
+  auto work = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kChunk;
+    const std::size_t end = std::min(begin + kChunk, domain);
+    double med = 0.0;
+    for (std::size_t x = begin; x < end; ++x) {
+      const auto input = static_cast<InputWord>(x);
+      med += dist.probability(input) * distance_at(g, approx_values, input);
+    }
+    partial[chunk] = med;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, chunks, work);
+  } else {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) work(chunk);
+  }
+
+  double med = 0.0;
+  for (const double value : partial) med += value;
   return med;
 }
 
 ErrorReport error_report(const MultiOutputFunction& g,
                          const std::vector<OutputWord>& approx_values,
-                         const InputDistribution& dist) {
+                         const InputDistribution& dist,
+                         util::ThreadPool* pool) {
   assert(approx_values.size() == g.domain_size());
+  const std::size_t domain = g.domain_size();
+
+  auto accumulate = [&](std::size_t begin, std::size_t end) {
+    ErrorReport report;
+    for (std::size_t x = begin; x < end; ++x) {
+      const auto input = static_cast<InputWord>(x);
+      const double diff = distance_at(g, approx_values, input);
+      const double p = dist.probability(input);
+      report.med += p * diff;
+      report.mse += p * diff * diff;
+      report.max_ed = std::max(report.max_ed, diff);
+      if (diff != 0.0) report.error_rate += p;
+    }
+    return report;
+  };
+
+  if (domain < kParallelDomainThreshold) {
+    return accumulate(0, domain);
+  }
+
+  const std::size_t chunks = (domain + kChunk - 1) / kChunk;
+  std::vector<ErrorReport> partial(chunks);
+  auto work = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kChunk;
+    partial[chunk] = accumulate(begin, std::min(begin + kChunk, domain));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, chunks, work);
+  } else {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) work(chunk);
+  }
+
   ErrorReport report;
-  for (InputWord x = 0; x < g.domain_size(); ++x) {
-    const OutputWord a = g.value(x);
-    const OutputWord b = approx_values[x];
-    const double diff = a > b ? static_cast<double>(a - b)
-                              : static_cast<double>(b - a);
-    const double p = dist.probability(x);
-    report.med += p * diff;
-    report.mse += p * diff * diff;
-    report.max_ed = std::max(report.max_ed, diff);
-    if (diff != 0.0) report.error_rate += p;
+  for (const auto& part : partial) {
+    report.med += part.med;
+    report.mse += part.mse;
+    report.max_ed = std::max(report.max_ed, part.max_ed);
+    report.error_rate += part.error_rate;
   }
   return report;
 }

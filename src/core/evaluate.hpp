@@ -5,6 +5,7 @@
 
 #include "core/input_distribution.hpp"
 #include "core/multi_output_function.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dalut::core {
 
@@ -16,12 +17,17 @@ struct ErrorReport {
 };
 
 /// MED(G, Ghat) = sum_X p(X) |Bin(G(X)) - Bin(Ghat(X))|.
+/// Domains of >= 2^14 inputs reduce over a fixed grid of index chunks (in
+/// chunk order, split over `pool` when given), so the result is identical
+/// with or without a pool at any worker count.
 double mean_error_distance(const MultiOutputFunction& g,
                            const std::vector<OutputWord>& approx_values,
-                           const InputDistribution& dist);
+                           const InputDistribution& dist,
+                           util::ThreadPool* pool = nullptr);
 
 ErrorReport error_report(const MultiOutputFunction& g,
                          const std::vector<OutputWord>& approx_values,
-                         const InputDistribution& dist);
+                         const InputDistribution& dist,
+                         util::ThreadPool* pool = nullptr);
 
 }  // namespace dalut::core

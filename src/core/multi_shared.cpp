@@ -51,8 +51,7 @@ std::uint32_t shared_rank_mask(const Partition& partition,
 
 MultiSharedSetting optimize_for_shared_set(const Partition& partition,
                                            std::span<const unsigned> shared,
-                                           std::span<const double> c0,
-                                           std::span<const double> c1,
+                                           const CostView& costs,
                                            const OptForPartParams& params,
                                            util::Rng& rng) {
   for (const unsigned bit : shared) {
@@ -76,14 +75,16 @@ MultiSharedSetting optimize_for_shared_set(const Partition& partition,
   std::uint32_t shared_mask = 0;
   for (const unsigned bit : shared) shared_mask |= std::uint32_t{1} << bit;
 
+  auto& workspace = EvalWorkspace::local();
+  const MatrixRef full = workspace.full_matrix(partition, costs);
   for (std::size_t j = 0; j < assignments; ++j) {
-    const CostMatrix matrix =
-        shared.empty()
-            ? CostMatrix::build(partition, c0, c1)
-            : CostMatrix::build_conditioned_set(
-                  partition, shared_mask, static_cast<std::uint32_t>(j), c0,
-                  c1);
-    auto vt = opt_for_part(matrix, params, rng);
+    auto vt = shared.empty()
+                  ? workspace.opt_for_part(full, params, rng)
+                  : workspace.opt_for_part(
+                        workspace.conditioned(
+                            full, partition, shared_mask,
+                            static_cast<std::uint32_t>(j)),
+                        params, rng);
     setting.error += vt.error;
     setting.patterns[j] = std::move(vt.pattern);
     setting.types[j] = std::move(vt.types);
@@ -93,8 +94,7 @@ MultiSharedSetting optimize_for_shared_set(const Partition& partition,
 
 MultiSharedSetting optimize_multi_shared(const Partition& partition,
                                          unsigned shared_count,
-                                         std::span<const double> c0,
-                                         std::span<const double> c1,
+                                         const CostView& costs,
                                          const OptForPartParams& params,
                                          util::Rng& rng) {
   assert(shared_count < partition.bound_size());
@@ -109,7 +109,7 @@ MultiSharedSetting optimize_multi_shared(const Partition& partition,
   for (;;) {
     for (unsigned i = 0; i < shared_count; ++i) combo[i] = bound[index[i]];
     auto trial =
-        optimize_for_shared_set(partition, combo, c0, c1, params, rng);
+        optimize_for_shared_set(partition, combo, costs, params, rng);
     if (trial.error < best.error) best = std::move(trial);
 
     if (shared_count == 0) break;

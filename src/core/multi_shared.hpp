@@ -12,6 +12,7 @@
 #include <span>
 
 #include "core/decomposition.hpp"
+#include "core/eval_workspace.hpp"
 #include "core/opt_for_part.hpp"
 #include "util/rng.hpp"
 
@@ -35,10 +36,11 @@ struct MultiSharedSetting {
 
 /// Optimizes the 2^|C| conditional sub-decompositions for a FIXED shared
 /// set; error = total weighted cost (same convention as the cost arrays).
+/// The 2^|C| conditioned matrices are sliced from one full gather via the
+/// EvalWorkspace engine.
 MultiSharedSetting optimize_for_shared_set(const Partition& partition,
                                            std::span<const unsigned> shared,
-                                           std::span<const double> c0,
-                                           std::span<const double> c1,
+                                           const CostView& costs,
                                            const OptForPartParams& params,
                                            util::Rng& rng);
 
@@ -46,10 +48,27 @@ MultiSharedSetting optimize_for_shared_set(const Partition& partition,
 /// the best setting (shared_count in [0, bound_size)).
 MultiSharedSetting optimize_multi_shared(const Partition& partition,
                                          unsigned shared_count,
-                                         std::span<const double> c0,
-                                         std::span<const double> c1,
+                                         const CostView& costs,
                                          const OptForPartParams& params,
                                          util::Rng& rng);
+
+inline MultiSharedSetting optimize_for_shared_set(
+    const Partition& partition, std::span<const unsigned> shared,
+    std::span<const double> c0, std::span<const double> c1,
+    const OptForPartParams& params, util::Rng& rng) {
+  return optimize_for_shared_set(partition, shared, CostView(c0, c1), params,
+                                 rng);
+}
+
+inline MultiSharedSetting optimize_multi_shared(const Partition& partition,
+                                                unsigned shared_count,
+                                                std::span<const double> c0,
+                                                std::span<const double> c1,
+                                                const OptForPartParams& params,
+                                                util::Rng& rng) {
+  return optimize_multi_shared(partition, shared_count, CostView(c0, c1),
+                               params, rng);
+}
 
 /// Functional realization: bound table over B plus 2^|C| free tables.
 class MultiSharedBit {

@@ -67,23 +67,21 @@ double optimize_types(const CostMatrix& matrix, const RowSums& sums,
   return total;
 }
 
-/// Step (2): given T, choose the best V bit per column. Returns total error.
-double optimize_pattern(const CostMatrix& matrix, const RowSums& sums,
-                        const std::vector<RowType>& types,
-                        std::vector<std::uint8_t>& pattern) {
-  std::vector<double> if_zero(matrix.cols, 0.0);  // column cost when V_c = 0
-  std::vector<double> if_one(matrix.cols, 0.0);
-  double fixed = 0.0;  // contribution of AllZero/AllOne rows
+/// Step (2): given T, choose the best V bit per column. The caller's next
+/// optimize_types() pass recomputes the total, so none is returned here.
+/// `if_zero`/`if_one` are caller-owned column buffers reused across calls.
+void optimize_pattern(const CostMatrix& matrix,
+                      const std::vector<RowType>& types,
+                      std::vector<double>& if_zero, std::vector<double>& if_one,
+                      std::vector<std::uint8_t>& pattern) {
+  if_zero.assign(matrix.cols, 0.0);  // column cost when V_c = 0
+  if_one.assign(matrix.cols, 0.0);
   std::size_t cell = 0;
   for (std::size_t r = 0; r < matrix.rows; ++r) {
     switch (types[r]) {
       case RowType::kAllZero:
-        fixed += sums.zero[r];
-        cell += matrix.cols;
-        break;
       case RowType::kAllOne:
-        fixed += sums.one[r];
-        cell += matrix.cols;
+        cell += matrix.cols;  // fixed rows do not depend on V
         break;
       case RowType::kPattern:
         for (std::size_t c = 0; c < matrix.cols; ++c, ++cell) {
@@ -99,17 +97,9 @@ double optimize_pattern(const CostMatrix& matrix, const RowSums& sums,
         break;
     }
   }
-  double total = fixed;
   for (std::size_t c = 0; c < matrix.cols; ++c) {
-    if (if_one[c] < if_zero[c]) {
-      pattern[c] = 1;
-      total += if_one[c];
-    } else {
-      pattern[c] = 0;
-      total += if_zero[c];
-    }
+    pattern[c] = if_one[c] < if_zero[c] ? 1 : 0;
   }
-  return total;
 }
 
 }  // namespace
@@ -124,6 +114,8 @@ VtResult opt_for_part(const CostMatrix& matrix, const OptForPartParams& params,
 
   std::vector<std::uint8_t> pattern(matrix.cols);
   std::vector<RowType> types(matrix.rows, RowType::kPattern);
+  std::vector<double> if_zero;
+  std::vector<double> if_one;
   for (unsigned restart = 0; restart < params.init_patterns; ++restart) {
     for (auto& bit : pattern) bit = rng.next_bool() ? 1 : 0;
 
@@ -131,15 +123,13 @@ VtResult opt_for_part(const CostMatrix& matrix, const OptForPartParams& params,
     // non-increasing; stop at the first iteration with no improvement.
     double error = optimize_types(matrix, sums, pattern, types);
     for (unsigned iter = 0; iter < params.max_iterations; ++iter) {
-      const double after_pattern =
-          optimize_pattern(matrix, sums, types, pattern);
+      optimize_pattern(matrix, types, if_zero, if_one, pattern);
       const double after_types = optimize_types(matrix, sums, pattern, types);
       if (after_types >= error - 1e-15) {
         error = std::min(error, after_types);
         break;
       }
       error = after_types;
-      (void)after_pattern;
     }
 
     if (error < best.error) {

@@ -4,11 +4,11 @@
 
 namespace dalut::core {
 
-Setting optimize_normal(const Partition& partition, std::span<const double> c0,
-                        std::span<const double> c1,
+Setting optimize_normal(const Partition& partition, const CostView& costs,
                         const OptForPartParams& params, util::Rng& rng) {
-  const auto matrix = CostMatrix::build(partition, c0, c1);
-  auto vt = opt_for_part(matrix, params, rng);
+  auto& workspace = EvalWorkspace::local();
+  const MatrixRef matrix = workspace.full_matrix(partition, costs);
+  auto vt = workspace.opt_for_part(matrix, params, rng);
 
   Setting setting;
   setting.error = vt.error;
@@ -19,10 +19,10 @@ Setting optimize_normal(const Partition& partition, std::span<const double> c0,
   return setting;
 }
 
-Setting optimize_bto(const Partition& partition, std::span<const double> c0,
-                     std::span<const double> c1) {
-  const auto matrix = CostMatrix::build(partition, c0, c1);
-  auto vt = opt_for_part_bto(matrix);
+Setting optimize_bto(const Partition& partition, const CostView& costs) {
+  auto& workspace = EvalWorkspace::local();
+  const MatrixRef matrix = workspace.full_matrix(partition, costs);
+  auto vt = workspace.opt_for_part_bto(matrix);
 
   Setting setting;
   setting.error = vt.error;
@@ -34,9 +34,14 @@ Setting optimize_bto(const Partition& partition, std::span<const double> c0,
 }
 
 Setting optimize_nondisjoint(const Partition& partition,
-                             std::span<const double> c0,
-                             std::span<const double> c1,
+                             const CostView& costs,
                              const OptForPartParams& params, util::Rng& rng) {
+  auto& workspace = EvalWorkspace::local();
+  // One full gather; every conditional sub-matrix below is a column slice
+  // of it. RNG consumption order (x_s = 0 then x_s = 1, bound inputs
+  // ascending) matches the per-pair builds this replaces.
+  const MatrixRef full = workspace.full_matrix(partition, costs);
+
   Setting best;
   best.error = std::numeric_limits<double>::infinity();
 
@@ -46,12 +51,11 @@ Setting optimize_nondisjoint(const Partition& partition,
     // contribution directly (the conditional normalization of Eq. (2)
     // rescales each sub-problem by a positive constant, which does not
     // change its argmin).
-    const auto m0 = CostMatrix::build_conditioned(partition, shared, false,
-                                                  c0, c1);
-    const auto m1 = CostMatrix::build_conditioned(partition, shared, true,
-                                                  c0, c1);
-    auto vt0 = opt_for_part(m0, params, rng);
-    auto vt1 = opt_for_part(m1, params, rng);
+    const std::uint32_t shared_mask = std::uint32_t{1} << shared;
+    auto vt0 = workspace.opt_for_part(
+        workspace.conditioned(full, partition, shared_mask, 0), params, rng);
+    auto vt1 = workspace.opt_for_part(
+        workspace.conditioned(full, partition, shared_mask, 1), params, rng);
     const double error = vt0.error + vt1.error;
     if (error < best.error) {
       best.error = error;

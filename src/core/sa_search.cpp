@@ -52,14 +52,12 @@ struct Chain {
 
 class SaSearch {
  public:
-  SaSearch(unsigned num_inputs, unsigned bound_size,
-           std::span<const double> c0, std::span<const double> c1,
+  SaSearch(unsigned num_inputs, unsigned bound_size, const CostView& costs,
            unsigned n_beam, const SaParams& params, util::ThreadPool* pool,
            bool track_bto)
       : num_inputs_(num_inputs),
         bound_size_(bound_size),
-        c0_(c0),
-        c1_(c1),
+        costs_(costs),
         n_beam_(n_beam),
         params_(params),
         pool_(pool),
@@ -147,8 +145,23 @@ class SaSearch {
     for (std::size_t i = 0; i < batch.size(); ++i) rngs.push_back(rng.fork());
 
     auto work = [&](std::size_t i) {
-      results[i] = optimize_normal(batch[i], c0_, c1_, opt_params, rngs[i]);
-      if (track_bto_) bto_results[i] = optimize_bto(batch[i], c0_, c1_);
+      // One gathered matrix serves both the normal and the BTO variant.
+      auto& workspace = EvalWorkspace::local();
+      const MatrixRef matrix = workspace.full_matrix(batch[i], costs_);
+      auto vt = workspace.opt_for_part(matrix, opt_params, rngs[i]);
+      results[i].error = vt.error;
+      results[i].partition = batch[i];
+      results[i].mode = DecompMode::kNormal;
+      results[i].pattern = std::move(vt.pattern);
+      results[i].types = std::move(vt.types);
+      if (track_bto_) {
+        auto bto = workspace.opt_for_part_bto(matrix);
+        bto_results[i].error = bto.error;
+        bto_results[i].partition = batch[i];
+        bto_results[i].mode = DecompMode::kBto;
+        bto_results[i].pattern = std::move(bto.pattern);
+        bto_results[i].types = std::move(bto.types);
+      }
     };
     if (pool_ != nullptr && batch.size() > 1) {
       pool_->parallel_for(0, batch.size(), work);
@@ -229,8 +242,7 @@ class SaSearch {
 
   unsigned num_inputs_;
   unsigned bound_size_;
-  std::span<const double> c0_;
-  std::span<const double> c1_;
+  CostView costs_;
   unsigned n_beam_;
   SaParams params_;
   util::ThreadPool* pool_;
@@ -241,11 +253,10 @@ class SaSearch {
 }  // namespace
 
 SaSearchResult find_best_settings(unsigned num_inputs, unsigned bound_size,
-                                  std::span<const double> c0,
-                                  std::span<const double> c1, unsigned n_beam,
+                                  const CostView& costs, unsigned n_beam,
                                   const SaParams& params, util::Rng& rng,
                                   util::ThreadPool* pool, bool track_bto) {
-  SaSearch search(num_inputs, bound_size, c0, c1, n_beam, params, pool,
+  SaSearch search(num_inputs, bound_size, costs, n_beam, params, pool,
                   track_bto);
   return search.run(rng);
 }

@@ -52,10 +52,25 @@ struct SaSearchResult {
 
 /// FindBestSettings over the cost arrays of one output bit.
 /// `num_inputs`/`bound_size` define the partition space. `pool` may be null.
+/// Candidate evaluation routes through the EvalWorkspace engine; passing an
+/// epoch-stamped CostView (e.g. a BitCostArrays) lets later callers reuse
+/// this search's gathered matrices via the memo.
 SaSearchResult find_best_settings(unsigned num_inputs, unsigned bound_size,
-                                  std::span<const double> c0,
-                                  std::span<const double> c1, unsigned n_beam,
+                                  const CostView& costs, unsigned n_beam,
                                   const SaParams& params, util::Rng& rng,
                                   util::ThreadPool* pool, bool track_bto);
+
+inline SaSearchResult find_best_settings(unsigned num_inputs,
+                                         unsigned bound_size,
+                                         std::span<const double> c0,
+                                         std::span<const double> c1,
+                                         unsigned n_beam,
+                                         const SaParams& params,
+                                         util::Rng& rng,
+                                         util::ThreadPool* pool,
+                                         bool track_bto) {
+  return find_best_settings(num_inputs, bound_size, CostView(c0, c1), n_beam,
+                            params, rng, pool, track_bto);
+}
 
 }  // namespace dalut::core

@@ -4,6 +4,11 @@
 // c0(X) / c1(X) = contribution to the MED if the approximate bit is 0 / 1.
 // Arranging these by (row = free-set assignment, col = bound-set assignment)
 // turns OptForPart into a weighted row-typing problem on this matrix.
+//
+// CostMatrix is the allocating *reference* representation. The production
+// search paths route through the zero-allocation, interleaved-layout engine
+// in core/eval_workspace.hpp, which is tested bit-for-bit against the
+// builders here.
 #pragma once
 
 #include <cstdint>

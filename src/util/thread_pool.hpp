@@ -11,6 +11,16 @@
 // which makes parallel_for safe to call concurrently from several threads
 // and reentrantly from inside a running body (nested calls drain on the
 // nested caller even when every worker is busy). See docs/parallelism.md.
+//
+// Workers are long-lived: thread_local state built inside a body — most
+// importantly the core::EvalWorkspace scratch buffers (docs/performance.md)
+// — survives across parallel_for calls for the lifetime of the pool, which
+// is what makes the evaluation engine allocation-free in steady state.
+// Which items land on which worker varies run to run, so bodies must keep
+// results a pure function of the item index; chunk sizes intentionally do
+// NOT feed any arithmetic. Deterministic reductions instead use their own
+// fixed index grid (e.g. core/evaluate.cpp reduces fixed 4096-input chunks
+// in chunk order at any worker count).
 #pragma once
 
 #include <condition_variable>

@@ -1,0 +1,336 @@
+// Equivalence tests for the EvalWorkspace evaluation engine: every kernel
+// must reproduce the reference CostMatrix / opt_for_part path bit-for-bit,
+// and the gather memo must serve revisited partitions without re-gathering.
+#include "core/eval_workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/algorithm_common.hpp"
+#include "core/multi_shared.hpp"
+#include "core/partition_opt.hpp"
+#include "util/rng.hpp"
+
+namespace dalut::core {
+namespace {
+
+struct CostFixture {
+  unsigned num_inputs;
+  std::vector<double> c0;
+  std::vector<double> c1;
+
+  explicit CostFixture(unsigned n, std::uint64_t seed) : num_inputs(n) {
+    util::Rng rng(seed);
+    const std::size_t domain = std::size_t{1} << n;
+    c0.resize(domain);
+    c1.resize(domain);
+    for (std::size_t x = 0; x < domain; ++x) {
+      c0[x] = rng.next_double();
+      c1[x] = rng.next_double();
+    }
+  }
+
+  CostView view() const { return CostView(c0, c1); }
+  CostView stamped() const { return CostView(c0, c1, next_cost_epoch()); }
+};
+
+void expect_same_matrix(const InterleavedCostMatrix& actual,
+                        const CostMatrix& expected) {
+  ASSERT_EQ(actual.rows, expected.rows);
+  ASSERT_EQ(actual.cols, expected.cols);
+  for (std::size_t r = 0; r < expected.rows; ++r) {
+    for (std::size_t c = 0; c < expected.cols; ++c) {
+      EXPECT_EQ(actual.at0(r, c), expected.at0(r, c)) << r << "," << c;
+      EXPECT_EQ(actual.at1(r, c), expected.at1(r, c)) << r << "," << c;
+    }
+  }
+}
+
+void expect_same_result(const VtResult& actual, const VtResult& expected) {
+  EXPECT_EQ(actual.error, expected.error);  // bit-identical, not just close
+  EXPECT_EQ(actual.pattern, expected.pattern);
+  EXPECT_EQ(actual.types, expected.types);
+}
+
+TEST(EvalWorkspace, FullMatrixMatchesReferenceBuild) {
+  const CostFixture fx(8, 11);
+  util::Rng rng(1);
+  auto& workspace = EvalWorkspace::local();
+  for (unsigned bound = 2; bound <= 6; ++bound) {
+    const auto p = Partition::random(fx.num_inputs, bound, rng);
+    const auto reference = CostMatrix::build(p, fx.c0, fx.c1);
+    // Unstamped view: scratch path.
+    expect_same_matrix(workspace.full_matrix(p, fx.view()), reference);
+    // Stamped view: interleaved source + memo path.
+    expect_same_matrix(workspace.full_matrix(p, fx.stamped()), reference);
+  }
+}
+
+TEST(EvalWorkspace, ConditionedSliceMatchesReferenceBuilds) {
+  const CostFixture fx(8, 12);
+  util::Rng rng(2);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 4, rng);
+  const MatrixRef full = workspace.full_matrix(p, fx.view());
+
+  for (const unsigned shared : p.bound_inputs()) {
+    const std::uint32_t mask = std::uint32_t{1} << shared;
+    for (std::uint32_t value = 0; value < 2; ++value) {
+      const auto reference = CostMatrix::build_conditioned(
+          p, shared, value != 0, fx.c0, fx.c1);
+      expect_same_matrix(workspace.conditioned(full, p, mask, value),
+                         reference);
+    }
+  }
+
+  // Two shared bits: against the generalized set builder.
+  const auto bound = p.bound_inputs();
+  const std::uint32_t pair_mask =
+      (std::uint32_t{1} << bound[0]) | (std::uint32_t{1} << bound[2]);
+  for (std::uint32_t values = 0; values < 4; ++values) {
+    const auto reference = CostMatrix::build_conditioned_set(
+        p, pair_mask, values, fx.c0, fx.c1);
+    expect_same_matrix(workspace.conditioned(full, p, pair_mask, values),
+                       reference);
+  }
+}
+
+TEST(EvalWorkspace, OptForPartBitIdenticalToReference) {
+  const CostFixture fx(9, 13);
+  util::Rng part_rng(3);
+  auto& workspace = EvalWorkspace::local();
+  for (const unsigned restarts : {1u, 7u, 30u}) {
+    const auto p = Partition::random(fx.num_inputs, 4, part_rng);
+    const auto reference_matrix = CostMatrix::build(p, fx.c0, fx.c1);
+    const OptForPartParams params{restarts, 64};
+
+    util::Rng ref_rng(77);
+    const auto expected = opt_for_part(reference_matrix, params, ref_rng);
+
+    util::Rng ws_rng(77);
+    const auto actual = workspace.opt_for_part(
+        workspace.full_matrix(p, fx.view()), params, ws_rng);
+
+    expect_same_result(actual, expected);
+    // Identical RNG stream: both sides must leave the generator in the
+    // same state.
+    EXPECT_EQ(ref_rng.next_double(), ws_rng.next_double());
+  }
+}
+
+TEST(EvalWorkspace, OptForPartBitIdenticalAcrossBlockSizes) {
+  const CostFixture fx(8, 14);
+  util::Rng part_rng(4);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 4, part_rng);
+  const OptForPartParams params{10, 64};
+
+  util::Rng ref_rng(5);
+  const auto expected =
+      opt_for_part(CostMatrix::build(p, fx.c0, fx.c1), params, ref_rng);
+
+  // Forcing 1-, 3-, and 4-restart blocks must not change anything: each
+  // restart's arithmetic is independent of how restarts are grouped.
+  for (const unsigned block : {1u, 3u, 4u, 10u}) {
+    workspace.set_opt_restart_block_for_test(block);
+    util::Rng ws_rng(5);
+    const auto actual = workspace.opt_for_part(
+        workspace.full_matrix(p, fx.view()), params, ws_rng);
+    expect_same_result(actual, expected);
+  }
+  workspace.set_opt_restart_block_for_test(0);
+}
+
+TEST(EvalWorkspace, BtoBitIdenticalToReference) {
+  const CostFixture fx(8, 15);
+  util::Rng rng(6);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 5, rng);
+  const auto expected = opt_for_part_bto(CostMatrix::build(p, fx.c0, fx.c1));
+  const auto actual =
+      workspace.opt_for_part_bto(workspace.full_matrix(p, fx.view()));
+  expect_same_result(actual, expected);
+}
+
+TEST(EvalWorkspace, EvaluateVtMatchesReference) {
+  const CostFixture fx(8, 16);
+  util::Rng rng(7);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 4, rng);
+  const auto reference_matrix = CostMatrix::build(p, fx.c0, fx.c1);
+  const auto vt = opt_for_part(reference_matrix, {8, 64}, rng);
+
+  const MatrixRef matrix = workspace.full_matrix(p, fx.view());
+  EXPECT_EQ(workspace.evaluate_vt(matrix, vt.pattern, vt.types),
+            evaluate_vt(reference_matrix, vt.pattern, vt.types));
+}
+
+TEST(EvalWorkspace, EvaluateVtAgreesWithSettingErrorUnderCosts) {
+  const CostFixture fx(8, 17);
+  util::Rng rng(8);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 4, rng);
+  const auto setting = optimize_normal(p, fx.c0, fx.c1, {8, 64}, rng);
+
+  // Different summation orders (realized 2^n domain vs row-major matrix),
+  // so agreement is up to FP reassociation only.
+  const double realized = setting_error_under_costs(setting, fx.c0, fx.c1);
+  const double gathered = workspace.evaluate_vt(
+      workspace.full_matrix(p, fx.view()), setting.pattern, setting.types);
+  EXPECT_NEAR(gathered, realized, 1e-12 * (1.0 + std::abs(realized)));
+  EXPECT_NEAR(setting.error, realized, 1e-12 * (1.0 + std::abs(realized)));
+}
+
+TEST(EvalWorkspace, OptimizeNormalBitIdenticalToLegacyPath) {
+  const CostFixture fx(9, 18);
+  util::Rng part_rng(9);
+  const auto p = Partition::random(fx.num_inputs, 5, part_rng);
+  const OptForPartParams params{12, 64};
+
+  util::Rng ref_rng(21);
+  const auto expected =
+      opt_for_part(CostMatrix::build(p, fx.c0, fx.c1), params, ref_rng);
+
+  util::Rng rng(21);
+  const auto setting = optimize_normal(p, fx.c0, fx.c1, params, rng);
+  EXPECT_EQ(setting.error, expected.error);
+  EXPECT_EQ(setting.pattern, expected.pattern);
+  EXPECT_EQ(setting.types, expected.types);
+  EXPECT_EQ(setting.mode, DecompMode::kNormal);
+}
+
+TEST(EvalWorkspace, OptimizeNondisjointBitIdenticalToLegacyPath) {
+  const CostFixture fx(8, 19);
+  util::Rng part_rng(10);
+  const auto p = Partition::random(fx.num_inputs, 4, part_rng);
+  const OptForPartParams params{6, 64};
+
+  // Replicate the pre-engine implementation: per shared bit, two
+  // conditioned builds then two reference optimizations in order.
+  Setting expected;
+  util::Rng ref_rng(31);
+  for (const unsigned shared : p.bound_inputs()) {
+    const auto m0 =
+        CostMatrix::build_conditioned(p, shared, false, fx.c0, fx.c1);
+    const auto m1 =
+        CostMatrix::build_conditioned(p, shared, true, fx.c0, fx.c1);
+    auto vt0 = opt_for_part(m0, params, ref_rng);
+    auto vt1 = opt_for_part(m1, params, ref_rng);
+    const double error = vt0.error + vt1.error;
+    if (error < expected.error) {
+      expected.error = error;
+      expected.shared_bit = shared;
+      expected.pattern0 = std::move(vt0.pattern);
+      expected.types0 = std::move(vt0.types);
+      expected.pattern1 = std::move(vt1.pattern);
+      expected.types1 = std::move(vt1.types);
+    }
+  }
+
+  util::Rng rng(31);
+  const auto actual = optimize_nondisjoint(p, fx.c0, fx.c1, params, rng);
+  EXPECT_EQ(actual.error, expected.error);
+  EXPECT_EQ(actual.shared_bit, expected.shared_bit);
+  EXPECT_EQ(actual.pattern0, expected.pattern0);
+  EXPECT_EQ(actual.types0, expected.types0);
+  EXPECT_EQ(actual.pattern1, expected.pattern1);
+  EXPECT_EQ(actual.types1, expected.types1);
+}
+
+TEST(EvalWorkspace, MultiSharedBitIdenticalToLegacyPath) {
+  const CostFixture fx(8, 20);
+  util::Rng part_rng(11);
+  const auto p = Partition::random(fx.num_inputs, 4, part_rng);
+  const OptForPartParams params{5, 64};
+  const auto bound = p.bound_inputs();
+  const std::vector<unsigned> shared{bound[1], bound[3]};
+  const std::uint32_t mask =
+      (std::uint32_t{1} << shared[0]) | (std::uint32_t{1} << shared[1]);
+
+  MultiSharedSetting expected;
+  expected.error = 0.0;
+  util::Rng ref_rng(41);
+  for (std::uint32_t j = 0; j < 4; ++j) {
+    const auto matrix =
+        CostMatrix::build_conditioned_set(p, mask, j, fx.c0, fx.c1);
+    auto vt = opt_for_part(matrix, params, ref_rng);
+    expected.error += vt.error;
+    expected.patterns.push_back(std::move(vt.pattern));
+    expected.types.push_back(std::move(vt.types));
+  }
+
+  util::Rng rng(41);
+  const auto actual = optimize_for_shared_set(p, shared, fx.c0, fx.c1,
+                                              params, rng);
+  EXPECT_EQ(actual.error, expected.error);
+  EXPECT_EQ(actual.patterns, expected.patterns);
+  EXPECT_EQ(actual.types, expected.types);
+}
+
+TEST(EvalWorkspaceCache, RevisitedPartitionSkipsTheGather) {
+  const CostFixture fx(8, 21);
+  util::Rng rng(12);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 4, rng);
+  const CostView stamped = fx.stamped();
+
+  // Two-touch admission: the first sighting stays in thread-local scratch,
+  // the second publishes the gather, and every later access is a hit that
+  // skips the gather entirely.
+  reset_eval_cache();
+  const auto m1 = workspace.full_matrix(p, stamped);
+  const auto after_first = eval_cache_stats();
+  EXPECT_EQ(after_first.misses, 1u);
+  EXPECT_EQ(after_first.gathers, 1u);
+  EXPECT_EQ(after_first.entries, 0u);
+
+  const auto m2 = workspace.full_matrix(p, stamped);
+  const auto after_second = eval_cache_stats();
+  EXPECT_EQ(after_second.misses, 2u);
+  EXPECT_EQ(after_second.gathers, 2u);
+  EXPECT_EQ(after_second.entries, 1u);
+
+  // Same epoch + same bound mask: memo hit, no new gather.
+  const auto m3 = workspace.full_matrix(p, stamped);
+  const auto m4 = workspace.full_matrix(p, stamped);
+  const auto after_hits = eval_cache_stats();
+  EXPECT_EQ(after_hits.hits, 2u);
+  EXPECT_EQ(after_hits.gathers, 2u);
+  EXPECT_EQ(&m2.get(), &m3.get());
+  EXPECT_EQ(&m3.get(), &m4.get());
+  expect_same_matrix(m1, CostMatrix::build(p, fx.c0, fx.c1));
+  expect_same_matrix(m3, CostMatrix::build(p, fx.c0, fx.c1));
+
+  // A fresh epoch over the same arrays must not be served from the memo.
+  const auto m5 = workspace.full_matrix(p, fx.stamped());
+  const auto after_fresh = eval_cache_stats();
+  EXPECT_EQ(after_fresh.hits, 2u);
+  EXPECT_EQ(after_fresh.gathers, 3u);
+  expect_same_matrix(m5, CostMatrix::build(p, fx.c0, fx.c1));
+  reset_eval_cache();
+}
+
+TEST(EvalWorkspaceCache, ZeroCapacityDisablesTheMemo) {
+  const CostFixture fx(8, 22);
+  util::Rng rng(13);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 4, rng);
+  const CostView stamped = fx.stamped();
+
+  reset_eval_cache();
+  set_eval_cache_capacity(0);
+  (void)workspace.full_matrix(p, stamped);
+  (void)workspace.full_matrix(p, stamped);
+  const auto stats = eval_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.gathers, 2u);
+
+  set_eval_cache_capacity(std::size_t{64} << 20);
+  reset_eval_cache();
+}
+
+}  // namespace
+}  // namespace dalut::core

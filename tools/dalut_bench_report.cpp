@@ -1,0 +1,402 @@
+// Machine-readable performance report for the evaluation engine.
+//
+// Self-times the hot per-candidate kernels old vs. new — the reference
+// CostMatrix::build / opt_for_part path against the EvalWorkspace gather and
+// restart-blocked OptForPart (both return bit-identical results, so only
+// the time differs) — plus the gather-memo hit path, steady-state heap
+// allocations per call (counted by a global operator new hook in this
+// binary), and an end-to-end BS-SA / DALTA subset of the table-2 experiment
+// with candidates/sec. Results land in a JSON file (BENCH_PR2.json in the
+// repo records the PR-2 numbers; see docs/performance.md to regenerate).
+//
+// CI runs `dalut_bench_report --micro-only --runs 1` as a smoke check.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/bit_cost.hpp"
+#include "core/bssa.hpp"
+#include "core/dalta.hpp"
+#include "core/eval_workspace.hpp"
+#include "core/opt_for_part.hpp"
+#include "core/partition_opt.hpp"
+#include "core/two_dim_table.hpp"
+#include "func/registry.hpp"
+#include "util/cli.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+// ---- Allocation counting hook -------------------------------------------
+// Replaces the global allocation functions for this binary only. Counting
+// is off by default so the hook costs two relaxed atomic loads per call.
+
+namespace {
+
+std::atomic<std::uint64_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_counting{false};
+
+struct AllocCounter {
+  static void start() {
+    g_alloc_count.store(0, std::memory_order_relaxed);
+    g_alloc_counting.store(true, std::memory_order_relaxed);
+  }
+  static std::uint64_t stop() {
+    g_alloc_counting.store(false, std::memory_order_relaxed);
+    return g_alloc_count.load(std::memory_order_relaxed);
+  }
+};
+
+void* counted_alloc(std::size_t size) {
+  if (g_alloc_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace dalut;
+
+core::MultiOutputFunction make_function(const std::string& name,
+                                        unsigned width) {
+  const auto spec = *func::benchmark_by_name(name, width);
+  return core::MultiOutputFunction::from_eval(spec.num_inputs,
+                                              spec.num_outputs, spec.eval);
+}
+
+unsigned bound_size_for(unsigned width) {
+  const unsigned b = (9u * width + 8) / 16;  // paper's b = 9 at n = 16
+  return std::max(2u, std::min(b, width - 1));
+}
+
+/// Best-of-`runs` nanoseconds per call of `body`, which is invoked `iters`
+/// times per timed run after one untimed warm-up call.
+template <typename Body>
+double time_ns(unsigned runs, std::size_t iters, Body&& body) {
+  body();  // warm up caches, scratch buffers, and the memo
+  double best = 1e300;
+  for (unsigned run = 0; run < std::max(1u, runs); ++run) {
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iters; ++i) body();
+    best = std::min(best, timer.seconds() * 1e9 /
+                              static_cast<double>(iters));
+  }
+  return best;
+}
+
+/// Steady-state allocations per call of `body` (after one warm-up call).
+template <typename Body>
+double allocs_per_call(std::size_t iters, Body&& body) {
+  body();
+  AllocCounter::start();
+  for (std::size_t i = 0; i < iters; ++i) body();
+  return static_cast<double>(AllocCounter::stop()) /
+         static_cast<double>(iters);
+}
+
+struct MicroResult {
+  std::string name;
+  unsigned width = 0;
+  double old_ns = 0.0;
+  double new_ns = 0.0;
+  double old_allocs = 0.0;
+  double new_allocs = 0.0;
+};
+
+struct CacheResult {
+  unsigned width = 0;
+  double miss_ns = 0.0;
+  double hit_ns = 0.0;
+  double hit_rate = 0.0;
+};
+
+struct Table2Result {
+  std::string function;
+  std::string algorithm;
+  unsigned width = 0;
+  double med = 0.0;
+  double seconds = 0.0;
+  std::size_t partitions = 0;
+};
+
+std::size_t micro_iters(unsigned width) {
+  // Keep each timed run in the tens of milliseconds across widths.
+  return std::max<std::size_t>(3, (std::size_t{1} << 22) >> width);
+}
+
+MicroResult bench_cost_matrix(unsigned width, unsigned runs) {
+  const auto g = make_function("cos", width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  util::Rng rng(1);
+  const auto p = core::Partition::random(width, bound_size_for(width), rng);
+  auto& workspace = core::EvalWorkspace::local();
+  const std::size_t iters = micro_iters(width);
+
+  MicroResult result{"cost_matrix", width, 0, 0, 0, 0};
+  auto old_body = [&] {
+    auto matrix = core::CostMatrix::build(p, costs.c0, costs.c1);
+    volatile double sink = matrix.cost0[0];
+    (void)sink;
+  };
+  core::set_eval_cache_capacity(0);  // time the gather, not the memo
+  auto new_body = [&] {
+    const core::MatrixRef matrix = workspace.full_matrix(p, costs);
+    volatile double sink = matrix.get().cells[0];
+    (void)sink;
+  };
+  result.old_ns = time_ns(runs, iters, old_body);
+  result.new_ns = time_ns(runs, iters, new_body);
+  result.old_allocs = allocs_per_call(iters, old_body);
+  result.new_allocs = allocs_per_call(iters, new_body);
+  core::set_eval_cache_capacity(std::size_t{64} << 20);
+  return result;
+}
+
+MicroResult bench_opt_for_part(unsigned width, unsigned runs) {
+  const auto g = make_function("cos", width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  util::Rng rng(2);
+  const auto p = core::Partition::random(width, bound_size_for(width), rng);
+  const auto reference = core::CostMatrix::build(p, costs.c0, costs.c1);
+  auto& workspace = core::EvalWorkspace::local();
+  const core::MatrixRef matrix = workspace.full_matrix(p, costs);
+  const core::OptForPartParams params{30, 64};
+  const std::size_t iters =
+      std::max<std::size_t>(2, (std::size_t{1} << 18) >> width);
+
+  MicroResult result{"opt_for_part", width, 0, 0, 0, 0};
+  util::Rng old_rng(3);
+  auto old_body = [&] {
+    auto vt = core::opt_for_part(reference, params, old_rng);
+    volatile double sink = vt.error;
+    (void)sink;
+  };
+  util::Rng new_rng(3);
+  auto new_body = [&] {
+    auto vt = workspace.opt_for_part(matrix, params, new_rng);
+    volatile double sink = vt.error;
+    (void)sink;
+  };
+  result.old_ns = time_ns(runs, iters, old_body);
+  result.new_ns = time_ns(runs, iters, new_body);
+  result.old_allocs = allocs_per_call(iters, old_body);
+  result.new_allocs = allocs_per_call(iters, new_body);
+  return result;
+}
+
+CacheResult bench_gather_cache(unsigned width, unsigned runs) {
+  const auto g = make_function("cos", width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  util::Rng rng(4);
+  const auto p = core::Partition::random(width, bound_size_for(width), rng);
+  auto& workspace = core::EvalWorkspace::local();
+  const std::size_t iters = micro_iters(width);
+
+  CacheResult result;
+  result.width = width;
+  core::set_eval_cache_capacity(0);
+  result.miss_ns = time_ns(runs, iters, [&] {
+    const core::MatrixRef matrix = workspace.full_matrix(p, costs);
+    volatile double sink = matrix.get().cells[0];
+    (void)sink;
+  });
+  core::set_eval_cache_capacity(std::size_t{64} << 20);
+  core::reset_eval_cache();
+  result.hit_ns = time_ns(runs, iters, [&] {
+    const core::MatrixRef matrix = workspace.full_matrix(p, costs);
+    volatile double sink = matrix.get().cells[0];
+    (void)sink;
+  });
+  const auto stats = core::eval_cache_stats();
+  result.hit_rate = stats.hits + stats.misses == 0
+                        ? 0.0
+                        : static_cast<double>(stats.hits) /
+                              static_cast<double>(stats.hits + stats.misses);
+  core::reset_eval_cache();
+  return result;
+}
+
+std::vector<Table2Result> bench_table2(unsigned width, unsigned runs,
+                                       util::ThreadPool& pool) {
+  // A subset of the table-2 function set, scaled down from the paper's
+  // n = 16 / R = 5 so the end-to-end comparison finishes in seconds.
+  const std::vector<std::string> functions{"cos", "exp", "ln"};
+  std::vector<Table2Result> results;
+  for (const auto& name : functions) {
+    const auto g = make_function(name, width);
+    const auto dist = core::InputDistribution::uniform(width);
+
+    core::BssaParams bssa;
+    bssa.bound_size = bound_size_for(width);
+    bssa.rounds = 3;
+    bssa.beam_width = 3;
+    bssa.sa.partition_limit = 60;
+    bssa.sa.init_patterns = 12;
+    bssa.sa.chains = 3;
+    bssa.seed = 1;
+    bssa.pool = &pool;
+
+    core::DaltaParams dalta;
+    dalta.bound_size = bssa.bound_size;
+    dalta.rounds = 3;
+    dalta.partition_limit = 120;
+    dalta.init_patterns = 12;
+    dalta.seed = 1;
+    dalta.pool = &pool;
+
+    Table2Result bssa_row{name, "bssa", width, 0, 1e300, 0};
+    Table2Result dalta_row{name, "dalta", width, 0, 1e300, 0};
+    for (unsigned run = 0; run < std::max(1u, runs); ++run) {
+      const auto b = core::run_bssa(g, dist, bssa);
+      if (b.runtime_seconds < bssa_row.seconds) {
+        bssa_row.med = b.med;
+        bssa_row.seconds = b.runtime_seconds;
+        bssa_row.partitions = b.partitions_evaluated;
+      }
+      const auto d = core::run_dalta(g, dist, dalta);
+      if (d.runtime_seconds < dalta_row.seconds) {
+        dalta_row.med = d.med;
+        dalta_row.seconds = d.runtime_seconds;
+        dalta_row.partitions = d.partitions_evaluated;
+      }
+    }
+    results.push_back(bssa_row);
+    results.push_back(dalta_row);
+  }
+  return results;
+}
+
+// ---- JSON emission ------------------------------------------------------
+
+void write_json(std::FILE* out, const std::vector<MicroResult>& micro,
+                const std::vector<CacheResult>& cache,
+                const std::vector<Table2Result>& table2, unsigned runs,
+                bool micro_only, std::size_t workers) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"dalut-bench-report-v1\",\n");
+  std::fprintf(out,
+               "  \"config\": {\"runs\": %u, \"micro_only\": %s, "
+               "\"pool_workers\": %zu},\n",
+               runs, micro_only ? "true" : "false", workers);
+
+  std::fprintf(out, "  \"micro\": [\n");
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    const auto& m = micro[i];
+    std::fprintf(out,
+                 "    {\"kernel\": \"%s\", \"width\": %u, "
+                 "\"old_ns_per_call\": %.1f, \"new_ns_per_call\": %.1f, "
+                 "\"speedup\": %.3f, \"old_allocs_per_call\": %.2f, "
+                 "\"new_allocs_per_call\": %.2f}%s\n",
+                 m.name.c_str(), m.width, m.old_ns, m.new_ns,
+                 m.new_ns > 0 ? m.old_ns / m.new_ns : 0.0, m.old_allocs,
+                 m.new_allocs, i + 1 < micro.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+
+  std::fprintf(out, "  \"gather_cache\": [\n");
+  for (std::size_t i = 0; i < cache.size(); ++i) {
+    const auto& c = cache[i];
+    std::fprintf(out,
+                 "    {\"width\": %u, \"miss_ns_per_call\": %.1f, "
+                 "\"hit_ns_per_call\": %.1f, \"hit_speedup\": %.3f, "
+                 "\"hit_rate\": %.4f}%s\n",
+                 c.width, c.miss_ns, c.hit_ns,
+                 c.hit_ns > 0 ? c.miss_ns / c.hit_ns : 0.0, c.hit_rate,
+                 i + 1 < cache.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+
+  std::fprintf(out, "  \"table2\": [\n");
+  for (std::size_t i = 0; i < table2.size(); ++i) {
+    const auto& t = table2[i];
+    std::fprintf(out,
+                 "    {\"function\": \"%s\", \"algorithm\": \"%s\", "
+                 "\"width\": %u, \"med\": %.6f, \"seconds\": %.3f, "
+                 "\"partitions_evaluated\": %zu, "
+                 "\"candidates_per_sec\": %.1f}%s\n",
+                 t.function.c_str(), t.algorithm.c_str(), t.width, t.med,
+                 t.seconds, t.partitions,
+                 t.seconds > 0 ? static_cast<double>(t.partitions) / t.seconds
+                               : 0.0,
+                 i + 1 < table2.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n");
+  std::fprintf(out, "}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "Times the candidate-evaluation kernels old vs. new and emits a "
+      "machine-readable JSON performance report.");
+  cli.add_option("out", "BENCH_PR2.json", "output JSON path ('-' = stdout)");
+  cli.add_option("runs", "3", "timed repetitions per kernel (best is kept)");
+  cli.add_option("width", "12", "bit width of the end-to-end table-2 subset");
+  cli.add_flag("micro-only", "skip the end-to-end table-2 subset (CI smoke)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto runs = static_cast<unsigned>(cli.integer("runs"));
+  const auto width = static_cast<unsigned>(cli.integer("width"));
+  const bool micro_only = cli.flag("micro-only");
+
+  std::vector<MicroResult> micro;
+  for (const unsigned w : {10u, 12u, 14u}) {
+    micro.push_back(bench_cost_matrix(w, runs));
+  }
+  if (!micro_only) micro.push_back(bench_cost_matrix(16, runs));
+  for (const unsigned w : {10u, 12u, 14u}) {
+    micro.push_back(bench_opt_for_part(w, runs));
+  }
+
+  std::vector<CacheResult> cache;
+  cache.push_back(bench_gather_cache(14, runs));
+
+  std::vector<Table2Result> table2;
+  std::size_t workers = 0;
+  if (!micro_only) {
+    util::ThreadPool pool;
+    workers = pool.worker_count();
+    table2 = bench_table2(width, runs, pool);
+  }
+
+  for (const auto& m : micro) {
+    std::fprintf(stderr, "%-14s n=%-2u  old %10.0f ns  new %10.0f ns  x%.2f\n",
+                 m.name.c_str(), m.width, m.old_ns, m.new_ns,
+                 m.new_ns > 0 ? m.old_ns / m.new_ns : 0.0);
+  }
+
+  const std::string out_path = cli.str("out");
+  std::FILE* out =
+      out_path == "-" ? stdout : std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  write_json(out, micro, cache, table2, runs, micro_only, workers);
+  if (out != stdout) {
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
