@@ -82,7 +82,14 @@ class GatherMemo {
   bool promote(const MemoKey& key) {
     std::lock_guard lock(mutex_);
     if (seen_.erase(key) != 0) return true;
-    if (seen_.size() >= kMaxSeen) seen_.clear();
+    if (seen_.size() >= kMaxSeen) {
+      // Evict a small arbitrary batch rather than flushing the whole set, so
+      // an overflow only delays admission for a handful of pending keys.
+      auto it = seen_.begin();
+      for (unsigned i = 0; i < 64 && it != seen_.end(); ++i) {
+        it = seen_.erase(it);
+      }
+    }
     seen_.insert(key);
     return false;
   }
@@ -259,6 +266,15 @@ void EvalWorkspace::gather_into(InterleavedCostMatrix& out,
   out.cols = partition.num_cols();
   out.cells.resize(2 * out.rows * out.cols);
 
+  // deposit_table() may flush its cache when inserting a new entry, which
+  // would invalidate a reference obtained from an earlier call. Touch both
+  // masks first so the references taken below cannot be separated by a
+  // flush: after the two priming calls the bound-mask entry exists, so the
+  // final bound-mask lookup is a hit (no mutation), and a free-mask miss
+  // inserts into a near-empty table (unordered_map insertion never moves
+  // existing entries).
+  deposit_table(partition.free_mask());
+  deposit_table(partition.bound_mask());
   const auto& row_x = deposit_table(partition.free_mask());
   const auto& col_x = deposit_table(partition.bound_mask());
   double* cells = out.cells.data();
@@ -364,8 +380,8 @@ unsigned EvalWorkspace::restart_block(std::size_t rows, std::size_t cols,
   }
   // Keep the per-block column accumulators and pattern/type arrays within
   // ~1 MiB so they stay cache-resident next to the matrix itself.
-  const std::size_t per_restart =
-      2 * sizeof(double) * cols + cols + rows + 64;
+  const std::size_t per_restart = 2 * sizeof(double) * cols +
+                                  sizeof(std::uint64_t) * cols + rows + 64;
   const std::size_t budget = std::size_t{1} << 20;
   const auto block = static_cast<unsigned>(
       std::clamp<std::size_t>(budget / per_restart, 1, restarts));

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include "core/algorithm_common.hpp"
@@ -66,6 +68,42 @@ TEST(EvalWorkspace, FullMatrixMatchesReferenceBuild) {
     // Stamped view: interleaved source + memo path.
     expect_same_matrix(workspace.full_matrix(p, fx.stamped()), reference);
   }
+}
+
+// Regression: the per-thread deposit-table cache flushes wholesale once it
+// holds 256 masks. A flush triggered by the bound-mask lookup used to
+// invalidate the free-mask table already referenced by the same gather.
+// Within one input width masks enter in complement pairs, keeping the map
+// size even and landing every flush on the harmless first lookup, so the
+// trigger needs partitions of different widths sharing one workspace — as
+// in a batch run over tables of different sizes.
+TEST(EvalWorkspace, GatherSurvivesDepositTableFlush) {
+  const CostFixture fx12(12, 13);
+  const CostFixture fx10(10, 14);
+  // A fresh thread gets a pristine thread-local workspace, making the
+  // deposit-table fill sequence below exact.
+  std::thread([&] {
+    auto& workspace = EvalWorkspace::local();
+    const auto check = [&](const Partition& p, const CostFixture& fx) {
+      const auto reference = CostMatrix::build(p, fx.c0, fx.c1);
+      expect_same_matrix(workspace.full_matrix(p, fx.view()), reference);
+    };
+    // 127 distinct popcount-6 bound masks cache 254 tables (each gather
+    // inserts the bound mask and its complement).
+    unsigned pairs = 0;
+    for (std::uint32_t mask = 0; mask < 0x1000 && pairs < 127; ++mask) {
+      if (std::popcount(mask) != 6 || mask > (0xFFFu ^ mask)) continue;
+      check(Partition(12, mask), fx12);
+      ++pairs;
+    }
+    // A 10-input gather caches free mask 0x3FC without its 12-bit
+    // complement, reaching the 256-entry flush threshold.
+    check(Partition(10, 0x003), fx10);
+    // Now free mask 0x3FC hits while bound mask 0xC03 misses at capacity:
+    // the miss flushes the cache while the free-mask table is referenced
+    // by the in-flight gather.
+    check(Partition(12, 0xC03), fx12);
+  }).join();
 }
 
 TEST(EvalWorkspace, ConditionedSliceMatchesReferenceBuilds) {
