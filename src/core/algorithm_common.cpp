@@ -3,6 +3,8 @@
 #include <bit>
 #include <unordered_set>
 
+#include "core/partition_opt.hpp"
+
 namespace dalut::core {
 
 namespace {
@@ -68,6 +70,25 @@ std::vector<Partition> sample_partitions(unsigned num_inputs,
     if (seen.insert(p.bound_mask()).second) result.push_back(std::move(p));
   }
   return result;
+}
+
+Setting fallback_setting(const MultiOutputFunction& g,
+                         std::vector<OutputWord>& cache, unsigned k,
+                         const InputDistribution& dist, CostMetric metric,
+                         unsigned bound_size, bool allow_bto,
+                         util::ThreadPool* pool) {
+  const auto costs =
+      build_bit_costs(g, cache, k, LsbModel::kCurrentApprox, dist, metric,
+                      pool);
+  const auto mask = static_cast<std::uint32_t>(
+      (std::uint64_t{1} << bound_size) - 1);
+  Setting setting = optimize_bto(Partition(g.num_inputs(), mask), costs);
+  // The all-Pattern type vector is a point of the normal-mode space too, so
+  // relabeling keeps the realization identical while staying inside what
+  // the target architecture accepts.
+  if (!allow_bto) setting.mode = DecompMode::kNormal;
+  write_bit_to_cache(cache, k, setting);
+  return setting;
 }
 
 }  // namespace dalut::core

@@ -5,10 +5,12 @@
 #include <span>
 #include <vector>
 
+#include "core/bit_cost.hpp"
 #include "core/decomposition.hpp"
 #include "core/evaluate.hpp"
 #include "core/setting.hpp"
 #include "util/rng.hpp"
+#include "util/run_control.hpp"
 
 namespace dalut::core {
 
@@ -17,8 +19,15 @@ struct DecompositionResult {
   std::vector<Setting> settings;  ///< one per output bit, index = bit k
   double med = 0.0;               ///< exact MED of the realized LUT
   ErrorReport report;             ///< full error metrics of the realized LUT
-  double runtime_seconds = 0.0;
+  double runtime_seconds = 0.0;   ///< cumulative across resumed segments
   std::size_t partitions_evaluated = 0;  ///< total OptForPart partitions
+
+  /// kCompleted, or how the attached RunControl stopped the run early. A
+  /// stopped run still carries a fully valid, realizable settings vector
+  /// (best-so-far, with deterministic fallbacks for never-reached bits).
+  util::RunStatus status = util::RunStatus::kCompleted;
+  /// True when this run was restored from a checkpoint.
+  bool resumed = false;
 
   /// Realizes the settings into a functional approximate LUT.
   ApproxLut realize(unsigned num_inputs) const {
@@ -48,5 +57,20 @@ double setting_error_under_costs(const Setting& setting,
 std::vector<Partition> sample_partitions(unsigned num_inputs,
                                          unsigned bound_size, unsigned count,
                                          util::Rng& rng);
+
+/// Deterministic, RNG-free stand-in setting for an output bit a stopped run
+/// never reached: the best all-Pattern setting on the canonical partition
+/// (lowest `bound_size` inputs bound), under exact costs for the current
+/// cache. Labeled BTO only when `allow_bto` (the mode policy / target
+/// architecture permits it); otherwise normal mode, whose setting space
+/// contains every all-Pattern solution, so either label realizes the same
+/// LUT. Bounded work (one cost build + one closed-form optimization), so
+/// the graceful-degradation path adds at most seconds past a deadline.
+/// Writes the realized bit into `cache`.
+Setting fallback_setting(const MultiOutputFunction& g,
+                         std::vector<OutputWord>& cache, unsigned k,
+                         const InputDistribution& dist, CostMetric metric,
+                         unsigned bound_size, bool allow_bto,
+                         util::ThreadPool* pool);
 
 }  // namespace dalut::core

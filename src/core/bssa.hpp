@@ -7,9 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/algorithm_common.hpp"
 #include "core/bit_cost.hpp"
+#include "core/checkpoint.hpp"
 #include "core/mode_select.hpp"
 #include "core/sa_search.hpp"
 
@@ -33,6 +35,22 @@ struct BssaParams {
   LsbModel first_round_model = LsbModel::kPredictive;
   std::uint64_t seed = 1;
   util::ThreadPool* pool = nullptr;
+
+  /// Cooperative deadline/cancellation, polled at bit-step and SA-sweep
+  /// boundaries. A stopped run returns best-so-far settings (with
+  /// deterministic fallbacks for bits the beam search never reached) and
+  /// reports the stop reason in DecompositionResult::status.
+  util::RunControl* control = nullptr;
+  /// Crash-safe checkpointing: after every `checkpoint_every` completed
+  /// bit-steps the full search state is handed to `checkpoint_sink`
+  /// (0 or an empty sink = off). The sink runs on the search thread.
+  unsigned checkpoint_every = 0;
+  std::function<void(const SearchCheckpoint&)> checkpoint_sink;
+  /// State previously produced by the sink; when set, the run restores it
+  /// and continues, producing output bit-identical to an uninterrupted run
+  /// with the same parameters. Mismatched parameters are rejected with
+  /// std::invalid_argument.
+  const SearchCheckpoint* resume = nullptr;
 };
 
 DecompositionResult run_bssa(const MultiOutputFunction& g,

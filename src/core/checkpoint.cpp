@@ -1,0 +1,219 @@
+#include "core/checkpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/serialize_detail.hpp"
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace dalut::core {
+
+namespace {
+
+constexpr const char* kMagic = "dalut-checkpoint v1";
+constexpr unsigned kMaxBeams = 4096;
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+ParamsDigest& ParamsDigest::add_double(double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return add(bits);
+}
+
+ParamsDigest& ParamsDigest::add_string(const std::string& s) noexcept {
+  add(s.size());
+  for (const char c : s) add(static_cast<unsigned char>(c));
+  return *this;
+}
+
+void write_checkpoint(std::ostream& out, const SearchCheckpoint& ck) {
+  out.precision(17);  // round-trip doubles exactly
+  out << kMagic << "\n";
+  out << "algorithm " << ck.algorithm << "\n";
+  out << "digest " << hex64(ck.params_digest) << "\n";
+  out << "inputs " << ck.num_inputs << " outputs " << ck.num_outputs << "\n";
+  out << "round " << ck.round << " bits-done " << ck.bits_done << "\n";
+  out << "rng " << hex64(ck.rng_state[0]) << " " << hex64(ck.rng_state[1])
+      << " " << hex64(ck.rng_state[2]) << " " << hex64(ck.rng_state[3])
+      << "\n";
+  out << "partitions " << ck.partitions_evaluated << "\n";
+  out << "elapsed " << ck.elapsed_seconds << "\n";
+  out << "beams " << ck.beams.size() << "\n";
+  for (const auto& beam : ck.beams) {
+    out << "beam error " << beam.error << " decided "
+        << detail::bits_to_string(beam.decided) << "\n";
+    // Decided bits MSB-first, mirroring the config format.
+    for (unsigned k = ck.num_outputs; k-- > 0;) {
+      if (k < beam.decided.size() && beam.decided[k]) {
+        detail::write_setting_record(out, k, beam.settings.at(k));
+      }
+    }
+  }
+  out << "end\n";
+}
+
+std::string checkpoint_to_string(const SearchCheckpoint& ck) {
+  std::ostringstream out;
+  write_checkpoint(out, ck);
+  return out.str();
+}
+
+SearchCheckpoint read_checkpoint(std::istream& in) {
+  detail::LineReader reader(in);
+  if (reader.next() != kMagic) {
+    throw std::invalid_argument("not a dalut-checkpoint v1 file");
+  }
+
+  SearchCheckpoint ck;
+  ck.algorithm = detail::expect_keyed_line(reader, "algorithm");
+  if (ck.algorithm != "bssa" && ck.algorithm != "dalta") {
+    detail::fail_at(reader.number(), "unknown algorithm '" +
+                                         detail::token_excerpt(ck.algorithm) +
+                                         "'");
+  }
+  ck.params_digest = detail::parse_unsigned(
+      detail::expect_keyed_line(reader, "digest"), reader.number(), "digest",
+      std::numeric_limits<std::uint64_t>::max(), /*base0=*/true);
+
+  const auto header = detail::tokens_of(reader.next());
+  ck.num_inputs = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(header, "inputs", reader.number()), reader.number(),
+      "inputs", 64));
+  ck.num_outputs = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(header, "outputs", reader.number()), reader.number(),
+      "outputs", 64));
+  if (ck.num_inputs < 2 || ck.num_inputs > 26 || ck.num_outputs < 1 ||
+      ck.num_outputs > 26) {
+    throw std::invalid_argument("implausible inputs/outputs header");
+  }
+
+  const auto cursor = detail::tokens_of(reader.next());
+  ck.round = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(cursor, "round", reader.number()), reader.number(),
+      "round", 1u << 20));
+  ck.bits_done = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(cursor, "bits-done", reader.number()),
+      reader.number(), "bits-done", ck.num_outputs));
+  if (ck.round < 1) {
+    detail::fail_at(reader.number(), "round must be >= 1");
+  }
+
+  const auto rng_line = detail::tokens_of(reader.next());
+  if (rng_line.size() != 5 || rng_line[0] != "rng") {
+    detail::fail_at(reader.number(), "expected 'rng <s0> <s1> <s2> <s3>'");
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    ck.rng_state[i] = detail::parse_unsigned(
+        rng_line[i + 1], reader.number(), "rng state",
+        std::numeric_limits<std::uint64_t>::max(), /*base0=*/true);
+  }
+
+  ck.partitions_evaluated = detail::parse_unsigned(
+      detail::expect_keyed_line(reader, "partitions"), reader.number(),
+      "partitions");
+  ck.elapsed_seconds =
+      detail::parse_double(detail::expect_keyed_line(reader, "elapsed"),
+                           reader.number(), "elapsed");
+  if (!(ck.elapsed_seconds >= 0.0)) {
+    detail::fail_at(reader.number(), "elapsed must be >= 0");
+  }
+
+  const auto num_beams = detail::parse_unsigned(
+      detail::expect_keyed_line(reader, "beams"), reader.number(), "beams",
+      kMaxBeams);
+  ck.beams.resize(static_cast<std::size_t>(num_beams));
+  for (auto& beam : ck.beams) {
+    const auto beam_line = detail::tokens_of(reader.next());
+    const auto line_no = reader.number();
+    if (beam_line.size() != 5 || beam_line[0] != "beam" ||
+        beam_line[1] != "error" || beam_line[3] != "decided") {
+      detail::fail_at(line_no, "expected 'beam error <e> decided <mask>'");
+    }
+    beam.error = detail::parse_double(beam_line[2], line_no, "beam error");
+    beam.decided = detail::parse_bits(beam_line[4], line_no);
+    if (beam.decided.size() != ck.num_outputs) {
+      detail::fail_at(line_no, "decided mask has wrong length");
+    }
+    beam.settings.resize(ck.num_outputs);
+    std::size_t expected = 0;
+    for (const auto d : beam.decided) expected += d != 0;
+    std::vector<bool> seen(ck.num_outputs, false);
+    for (std::size_t i = 0; i < expected; ++i) {
+      Setting s;
+      const unsigned k = detail::read_setting_record(reader, ck.num_inputs,
+                                                     ck.num_outputs, s);
+      if (!beam.decided[k] || seen[k]) {
+        detail::fail_at(reader.number(),
+                        "unexpected or duplicate bit " + std::to_string(k));
+      }
+      seen[k] = true;
+      beam.settings[k] = std::move(s);
+    }
+  }
+  if (reader.next() != "end") {
+    detail::fail_at(reader.number(), "expected 'end'");
+  }
+  return ck;
+}
+
+SearchCheckpoint checkpoint_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_checkpoint(in);
+}
+
+void save_checkpoint(const std::string& path, const SearchCheckpoint& ck) {
+  const std::string tmp = path + ".tmp";
+  {
+    // C stdio instead of ofstream: we need the file descriptor for fsync.
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) io_fail("cannot create checkpoint", tmp);
+    const std::string text = checkpoint_to_string(ck);
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+        std::fflush(file) == 0;
+#ifndef _WIN32
+    const bool synced = wrote && ::fsync(::fileno(file)) == 0;
+#else
+    const bool synced = wrote;
+#endif
+    if (std::fclose(file) != 0 || !synced) {
+      std::remove(tmp.c_str());
+      io_fail("cannot write checkpoint", tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    io_fail("cannot publish checkpoint", path);
+  }
+}
+
+SearchCheckpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) io_fail("cannot open checkpoint", path);
+  return read_checkpoint(in);
+}
+
+}  // namespace dalut::core

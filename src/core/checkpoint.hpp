@@ -1,0 +1,88 @@
+// Crash-safe search checkpoints (format "dalut-checkpoint v1").
+//
+// A SearchCheckpoint freezes a BS-SA or DALTA run at a bit-step boundary:
+// the cursor (round, bits completed inside the round), the master RNG
+// stream, and the beam population (round 1) or the current settings vector
+// (later rounds). Everything else the searches touch — per-beam approximate
+// value caches, cost arrays, the SA visited set — is either rebuilt from
+// the settings or lives entirely inside one bit step, which is what makes a
+// resumed run bit-identical to an uninterrupted one (docs/robustness.md).
+//
+// Files are written atomically: serialize to "<path>.tmp" in the same
+// directory, flush + fsync, then rename over the destination. A reader can
+// never observe a partial or torn checkpoint; a crash mid-write leaves the
+// previous checkpoint (or nothing) in place.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/setting.hpp"
+
+namespace dalut::core {
+
+/// One beam of the round-1 population (or the single settings vector of the
+/// refinement rounds). `decided[k] != 0` marks bits whose setting is live;
+/// undecided slots stay default-constructed, exactly as in a running search.
+struct BeamCheckpoint {
+  double error = 0.0;
+  std::vector<std::uint8_t> decided;  ///< one flag per output bit
+  std::vector<Setting> settings;      ///< one per output bit
+};
+
+struct SearchCheckpoint {
+  std::string algorithm;  ///< "bssa" | "dalta"
+  /// Fingerprint of every parameter that shapes the search trajectory;
+  /// resuming under different parameters is rejected up front instead of
+  /// silently diverging.
+  std::uint64_t params_digest = 0;
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  unsigned round = 1;      ///< 1-based round the cursor is inside
+  unsigned bits_done = 0;  ///< completed bit-steps inside `round`
+  std::array<std::uint64_t, 4> rng_state{};
+  std::uint64_t partitions_evaluated = 0;
+  double elapsed_seconds = 0.0;  ///< wall time burned before this checkpoint
+  std::vector<BeamCheckpoint> beams;
+};
+
+void write_checkpoint(std::ostream& out, const SearchCheckpoint& ck);
+std::string checkpoint_to_string(const SearchCheckpoint& ck);
+
+/// Parses a checkpoint; throws std::invalid_argument with a line-anchored
+/// message on malformed input.
+SearchCheckpoint read_checkpoint(std::istream& in);
+SearchCheckpoint checkpoint_from_string(const std::string& text);
+
+/// Atomically replaces `path` with `ck` (tmp file + fsync + rename).
+/// Throws std::runtime_error if any filesystem step fails; `path` then still
+/// holds its previous content.
+void save_checkpoint(const std::string& path, const SearchCheckpoint& ck);
+
+/// Loads a checkpoint file; std::runtime_error if unreadable,
+/// std::invalid_argument if malformed.
+SearchCheckpoint load_checkpoint(const std::string& path);
+
+/// Order-sensitive FNV-1a over a stream of words; the searches fold their
+/// parameters through this to build `params_digest`.
+class ParamsDigest {
+ public:
+  ParamsDigest& add(std::uint64_t word) noexcept {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash_ ^= (word >> shift) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+  ParamsDigest& add_double(double value) noexcept;
+  ParamsDigest& add_string(const std::string& s) noexcept;
+  std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace dalut::core

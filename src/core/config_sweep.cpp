@@ -97,7 +97,8 @@ std::vector<Setting> ConfigSweep::settings() const {
   return result;
 }
 
-std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep) {
+std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep,
+                                           util::RunControl* control) {
   sweep.set_all(0);
   const unsigned m = sweep.num_outputs();
 
@@ -113,6 +114,7 @@ std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep) {
   record();
 
   for (;;) {
+    if (control != nullptr && control->stop_requested()) break;
     double best_ratio = -1e300;
     int best_bit = -1;
     unsigned best_level = 0;

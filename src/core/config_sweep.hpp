@@ -14,6 +14,7 @@
 
 #include "core/decomposition.hpp"
 #include "core/evaluate.hpp"
+#include "util/run_control.hpp"
 
 namespace dalut::core {
 
@@ -77,7 +78,10 @@ struct FrontierPoint {
 /// Walks from all-level-0 to all-level-2, at each step taking the single
 /// upgrade (including level-0 -> level-2 jumps) with the best exact
 /// MED-reduction per extra cost. Returns one point per visited
-/// configuration, starting with all-level-0.
-std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep);
+/// configuration, starting with all-level-0. A tripped `control` ends the
+/// walk between upgrade steps; the points visited so far (each a complete,
+/// valid configuration) are returned.
+std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep,
+                                           util::RunControl* control = nullptr);
 
 }  // namespace dalut::core

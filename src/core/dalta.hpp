@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/algorithm_common.hpp"
 #include "core/bit_cost.hpp"
+#include "core/checkpoint.hpp"
 #include "core/input_distribution.hpp"
 #include "core/multi_output_function.hpp"
 #include "util/thread_pool.hpp"
@@ -22,6 +24,15 @@ struct DaltaParams {
   CostMetric metric = CostMetric::kMed;  ///< objective to minimize
   std::uint64_t seed = 1;
   util::ThreadPool* pool = nullptr;  ///< optional; null = sequential
+
+  /// Same robustness contract as BssaParams (see bssa.hpp): cooperative
+  /// stop polled at bit-step boundaries, checkpoints cut every
+  /// `checkpoint_every` completed bit-steps, and `resume` continues a
+  /// checkpointed run bit-identically to an uninterrupted one.
+  util::RunControl* control = nullptr;
+  unsigned checkpoint_every = 0;
+  std::function<void(const SearchCheckpoint&)> checkpoint_sink;
+  const SearchCheckpoint* resume = nullptr;
 };
 
 DecompositionResult run_dalta(const MultiOutputFunction& g,

@@ -96,7 +96,8 @@ MultiSharedSetting optimize_multi_shared(const Partition& partition,
                                          unsigned shared_count,
                                          const CostView& costs,
                                          const OptForPartParams& params,
-                                         util::Rng& rng) {
+                                         util::Rng& rng,
+                                         util::RunControl* control) {
   assert(shared_count < partition.bound_size());
   const auto bound = partition.bound_inputs();
 
@@ -107,6 +108,7 @@ MultiSharedSetting optimize_multi_shared(const Partition& partition,
   std::vector<unsigned> index(shared_count);
   for (unsigned i = 0; i < shared_count; ++i) index[i] = i;
   for (;;) {
+    if (control != nullptr && control->stop_requested()) break;
     for (unsigned i = 0; i < shared_count; ++i) combo[i] = bound[index[i]];
     auto trial =
         optimize_for_shared_set(partition, combo, costs, params, rng);

@@ -15,6 +15,7 @@
 #include "core/eval_workspace.hpp"
 #include "core/opt_for_part.hpp"
 #include "util/rng.hpp"
+#include "util/run_control.hpp"
 
 namespace dalut::core {
 
@@ -45,12 +46,15 @@ MultiSharedSetting optimize_for_shared_set(const Partition& partition,
                                            util::Rng& rng);
 
 /// Enumerates every size-`shared_count` subset of the bound set and returns
-/// the best setting (shared_count in [0, bound_size)).
+/// the best setting (shared_count in [0, bound_size)). A tripped `control`
+/// stops the enumeration between combinations; the best setting over the
+/// combinations tried so far is returned (invalid if none completed).
 MultiSharedSetting optimize_multi_shared(const Partition& partition,
                                          unsigned shared_count,
                                          const CostView& costs,
                                          const OptForPartParams& params,
-                                         util::Rng& rng);
+                                         util::Rng& rng,
+                                         util::RunControl* control = nullptr);
 
 inline MultiSharedSetting optimize_for_shared_set(
     const Partition& partition, std::span<const unsigned> shared,
@@ -60,14 +64,13 @@ inline MultiSharedSetting optimize_for_shared_set(
                                  rng);
 }
 
-inline MultiSharedSetting optimize_multi_shared(const Partition& partition,
-                                                unsigned shared_count,
-                                                std::span<const double> c0,
-                                                std::span<const double> c1,
-                                                const OptForPartParams& params,
-                                                util::Rng& rng) {
+inline MultiSharedSetting optimize_multi_shared(
+    const Partition& partition, unsigned shared_count,
+    std::span<const double> c0, std::span<const double> c1,
+    const OptForPartParams& params, util::Rng& rng,
+    util::RunControl* control = nullptr) {
   return optimize_multi_shared(partition, shared_count, CostView(c0, c1),
-                               params, rng);
+                               params, rng, control);
 }
 
 /// Functional realization: bound table over B plus 2^|C| free tables.

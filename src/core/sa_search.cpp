@@ -54,14 +54,15 @@ class SaSearch {
  public:
   SaSearch(unsigned num_inputs, unsigned bound_size, const CostView& costs,
            unsigned n_beam, const SaParams& params, util::ThreadPool* pool,
-           bool track_bto)
+           bool track_bto, util::RunControl* control)
       : num_inputs_(num_inputs),
         bound_size_(bound_size),
         costs_(costs),
         n_beam_(n_beam),
         params_(params),
         pool_(pool),
-        track_bto_(track_bto) {}
+        track_bto_(track_bto),
+        control_(control) {}
 
   SaSearchResult run(util::Rng& rng) {
     std::vector<Chain> chains(std::max(1u, params_.chains));
@@ -72,6 +73,10 @@ class SaSearch {
 
     bool any_active = true;
     while (any_active && state_.visited.size() < params_.partition_limit) {
+      // Cooperative stop, polled only here at the sweep boundary: every
+      // merged sweep is complete, so the tops are always a valid prefix of
+      // the uninterrupted search.
+      if (control_ != nullptr && control_->stop_requested()) break;
       // Phase 1 — propose. Serial and index-ordered: each chain draws only
       // from its own pre-forked RNG, so the proposal set is identical
       // regardless of pool presence or worker count.
@@ -111,8 +116,10 @@ class SaSearch {
       }
 
       // Phase 3 — one parallel evaluation of the whole batch; results merge
-      // into Phi in index order on this thread.
-      evaluate_batch(batch, rng);
+      // into Phi in index order on this thread. A control trip mid-batch
+      // discards the whole (partial) batch, leaving Phi at the previous
+      // sweep's state.
+      if (!evaluate_batch(batch, rng)) break;
 
       // Phase 4 — step every chain against the updated Phi (serial,
       // index-ordered; only chain-local RNG draws happen here).
@@ -128,6 +135,7 @@ class SaSearch {
     result.top = std::move(state_.top);
     result.top_bto = std::move(state_.top_bto);
     result.partitions_visited = state_.visited.size();
+    if (control_ != nullptr) result.status = control_->status();
     return result;
   }
 
@@ -135,8 +143,10 @@ class SaSearch {
   /// Evaluates a batch of distinct unvisited partitions (parallel when a
   /// pool is given) and merges the results into the shared state. Each item
   /// gets an RNG pre-forked in index order, and the merge is index-ordered,
-  /// so the outcome is independent of evaluation order.
-  void evaluate_batch(const std::vector<Partition>& batch, util::Rng& rng) {
+  /// so the outcome is independent of evaluation order. Returns false —
+  /// merging nothing — when the RunControl tripped before every item was
+  /// evaluated.
+  bool evaluate_batch(const std::vector<Partition>& batch, util::Rng& rng) {
     const OptForPartParams opt_params{params_.init_patterns, 64};
     std::vector<Setting> results(batch.size());
     std::vector<Setting> bto_results(batch.size());
@@ -163,10 +173,19 @@ class SaSearch {
         bto_results[i].types = std::move(bto.types);
       }
     };
-    if (pool_ != nullptr && batch.size() > 1) {
-      pool_->parallel_for(0, batch.size(), work);
-    } else {
-      for (std::size_t i = 0; i < batch.size(); ++i) work(i);
+    try {
+      if (pool_ != nullptr && batch.size() > 1) {
+        pool_->parallel_for(0, batch.size(), work, control_);
+      } else {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          if (control_ != nullptr && control_->stop_requested()) {
+            return false;
+          }
+          work(i);
+        }
+      }
+    } catch (const util::CancelledError&) {
+      return false;  // partial batch: results[] holes, do not merge
     }
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -177,6 +196,7 @@ class SaSearch {
         insert_top(state_.top_bto, std::move(bto_results[i]), n_beam_);
       }
     }
+    return true;
   }
 
   /// The decision half of one SA iteration (Algorithm 2 lines 5-19) for one
@@ -247,6 +267,7 @@ class SaSearch {
   SaParams params_;
   util::ThreadPool* pool_;
   bool track_bto_;
+  util::RunControl* control_;
   SharedState state_;
 };
 
@@ -255,9 +276,10 @@ class SaSearch {
 SaSearchResult find_best_settings(unsigned num_inputs, unsigned bound_size,
                                   const CostView& costs, unsigned n_beam,
                                   const SaParams& params, util::Rng& rng,
-                                  util::ThreadPool* pool, bool track_bto) {
+                                  util::ThreadPool* pool, bool track_bto,
+                                  util::RunControl* control) {
   SaSearch search(num_inputs, bound_size, costs, n_beam, params, pool,
-                  track_bto);
+                  track_bto, control);
   return search.run(rng);
 }
 

@@ -48,6 +48,9 @@ struct SaSearchResult {
   /// when `track_bto`; used for mode selection without a second search.
   std::vector<Setting> top_bto;
   std::size_t partitions_visited = 0;
+  /// kCompleted, or how a RunControl stopped the walk early (the tops then
+  /// hold the best settings of every *completed* sweep).
+  util::RunStatus status = util::RunStatus::kCompleted;
 };
 
 /// FindBestSettings over the cost arrays of one output bit.
@@ -55,10 +58,16 @@ struct SaSearchResult {
 /// Candidate evaluation routes through the EvalWorkspace engine; passing an
 /// epoch-stamped CostView (e.g. a BitCostArrays) lets later callers reuse
 /// this search's gathered matrices via the memo.
+///
+/// `control` (optional) is polled at sweep boundaries: a tripped control
+/// ends the walk after the last fully merged sweep, so the returned tops
+/// are always a valid (if shallower) search result and an untripped control
+/// never perturbs the bit-exact trajectory.
 SaSearchResult find_best_settings(unsigned num_inputs, unsigned bound_size,
                                   const CostView& costs, unsigned n_beam,
                                   const SaParams& params, util::Rng& rng,
-                                  util::ThreadPool* pool, bool track_bto);
+                                  util::ThreadPool* pool, bool track_bto,
+                                  util::RunControl* control = nullptr);
 
 inline SaSearchResult find_best_settings(unsigned num_inputs,
                                          unsigned bound_size,
@@ -68,9 +77,10 @@ inline SaSearchResult find_best_settings(unsigned num_inputs,
                                          const SaParams& params,
                                          util::Rng& rng,
                                          util::ThreadPool* pool,
-                                         bool track_bto) {
+                                         bool track_bto,
+                                         util::RunControl* control = nullptr) {
   return find_best_settings(num_inputs, bound_size, CostView(c0, c1), n_beam,
-                            params, rng, pool, track_bto);
+                            params, rng, pool, track_bto, control);
 }
 
 }  // namespace dalut::core

@@ -6,11 +6,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/serialize_detail.hpp"
+
 namespace dalut::core {
 
-namespace {
-
-constexpr const char* kMagic = "dalut-config v1";
+namespace detail {
 
 std::string bits_to_string(const std::vector<std::uint8_t>& bits) {
   std::string s;
@@ -32,8 +32,7 @@ std::vector<std::uint8_t> parse_bits(const std::string& s, std::size_t line) {
   std::vector<std::uint8_t> bits(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] != '0' && s[i] != '1') {
-      throw std::invalid_argument("line " + std::to_string(line) +
-                                  ": pattern must be 0/1");
+      fail_at(line, "pattern must be 0/1");
     }
     bits[i] = s[i] == '1';
   }
@@ -44,15 +43,14 @@ std::vector<RowType> parse_types(const std::string& s, std::size_t line) {
   std::vector<RowType> types(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (s[i] < '1' || s[i] > '4') {
-      throw std::invalid_argument("line " + std::to_string(line) +
-                                  ": types must be 1..4");
+      fail_at(line, "types must be 1..4");
     }
     types[i] = static_cast<RowType>(s[i] - '0');
   }
   return types;
 }
 
-const char* mode_name(DecompMode mode) {
+const char* mode_name(DecompMode mode) noexcept {
   switch (mode) {
     case DecompMode::kNormal:
       return "normal";
@@ -64,63 +62,103 @@ const char* mode_name(DecompMode mode) {
   return "?";
 }
 
-/// A line reader that tracks the line number for error messages.
-class LineReader {
- public:
-  explicit LineReader(std::istream& in) : in_(in) {}
-
-  /// Next non-empty, non-comment line; throws at EOF.
-  std::string next() {
-    std::string line;
-    while (std::getline(in_, line)) {
-      ++number_;
-      const auto hash = line.find('#');
-      if (hash != std::string::npos) line.erase(hash);
-      while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
-        line.pop_back();
-      }
-      if (!line.empty()) return line;
+void write_setting_record(std::ostream& out, unsigned k, const Setting& s) {
+  char bound[16];
+  std::snprintf(bound, sizeof bound, "0x%04x", s.partition.bound_mask());
+  out << "bit " << k << " mode " << mode_name(s.mode) << " bound " << bound;
+  if (s.mode == DecompMode::kNonDisjoint) {
+    out << " shared " << s.shared_bit;
+  }
+  out << " error " << s.error << "\n";
+  if (s.mode == DecompMode::kNonDisjoint) {
+    out << "pattern0 " << bits_to_string(s.pattern0) << "\n";
+    out << "types0 " << types_to_string(s.types0) << "\n";
+    out << "pattern1 " << bits_to_string(s.pattern1) << "\n";
+    out << "types1 " << types_to_string(s.types1) << "\n";
+  } else {
+    out << "pattern " << bits_to_string(s.pattern) << "\n";
+    if (s.mode == DecompMode::kNormal) {
+      out << "types " << types_to_string(s.types) << "\n";
     }
-    throw std::invalid_argument("unexpected end of config at line " +
-                                std::to_string(number_));
   }
-
-  std::size_t number() const noexcept { return number_; }
-
- private:
-  std::istream& in_;
-  std::size_t number_ = 0;
-};
-
-/// Splits a line into whitespace-separated tokens.
-std::vector<std::string> tokens_of(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream stream(line);
-  std::string token;
-  while (stream >> token) tokens.push_back(token);
-  return tokens;
 }
 
-/// Finds `key` in tokens and returns the following token.
-std::string value_after(const std::vector<std::string>& tokens,
-                        const std::string& key, std::size_t line) {
-  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-    if (tokens[i] == key) return tokens[i + 1];
+unsigned read_setting_record(LineReader& reader, unsigned num_inputs,
+                             unsigned num_outputs, Setting& out) {
+  const auto bit_line = tokens_of(reader.next());
+  const auto line_no = reader.number();
+  if (bit_line.size() < 2 || bit_line[0] != "bit") {
+    fail_at(line_no, "expected a 'bit' record");
   }
-  throw std::invalid_argument("line " + std::to_string(line) + ": missing '" +
-                              key + "'");
+  const auto k = static_cast<unsigned>(
+      parse_unsigned(bit_line[1], line_no, "bit index", num_outputs - 1));
+
+  Setting s;
+  const auto mode = value_after(bit_line, "mode", line_no);
+  const auto bound_mask = static_cast<std::uint32_t>(parse_unsigned(
+      value_after(bit_line, "bound", line_no), line_no, "bound mask",
+      std::numeric_limits<std::uint32_t>::max(), /*base0=*/true));
+  try {
+    s.partition = Partition(num_inputs, bound_mask);
+  } catch (const std::invalid_argument& e) {
+    fail_at(line_no, e.what());
+  }
+  s.error = parse_double(value_after(bit_line, "error", line_no), line_no,
+                         "error");
+
+  const std::size_t cols = s.partition.num_cols();
+  const std::size_t rows = s.partition.num_rows();
+  auto check_size = [&](std::size_t actual, std::size_t expected,
+                        const char* what) {
+    if (actual != expected) {
+      fail_at(reader.number(), std::string(what) + " has wrong length");
+    }
+  };
+
+  if (mode == "normal" || mode == "bto") {
+    s.mode = mode == "bto" ? DecompMode::kBto : DecompMode::kNormal;
+    s.pattern =
+        parse_bits(expect_keyed_line(reader, "pattern"), reader.number());
+    check_size(s.pattern.size(), cols, "pattern");
+    if (s.mode == DecompMode::kNormal) {
+      s.types =
+          parse_types(expect_keyed_line(reader, "types"), reader.number());
+      check_size(s.types.size(), rows, "types");
+    } else {
+      s.types.assign(rows, RowType::kPattern);
+    }
+  } else if (mode == "nd") {
+    s.mode = DecompMode::kNonDisjoint;
+    s.shared_bit = static_cast<unsigned>(
+        parse_unsigned(value_after(bit_line, "shared", line_no), line_no,
+                       "shared bit", num_inputs - 1));
+    if (!s.partition.in_bound_set(s.shared_bit)) {
+      fail_at(line_no, "shared bit not in bound set");
+    }
+    s.pattern0 =
+        parse_bits(expect_keyed_line(reader, "pattern0"), reader.number());
+    s.types0 =
+        parse_types(expect_keyed_line(reader, "types0"), reader.number());
+    s.pattern1 =
+        parse_bits(expect_keyed_line(reader, "pattern1"), reader.number());
+    s.types1 =
+        parse_types(expect_keyed_line(reader, "types1"), reader.number());
+    check_size(s.pattern0.size(), cols / 2, "pattern0");
+    check_size(s.pattern1.size(), cols / 2, "pattern1");
+    check_size(s.types0.size(), rows, "types0");
+    check_size(s.types1.size(), rows, "types1");
+  } else {
+    fail_at(line_no, "unknown mode '" + token_excerpt(mode) + "'");
+  }
+  out = std::move(s);
+  return k;
 }
 
-/// Expects the line to be "<key> <payload>" and returns the payload.
-std::string expect_keyed_line(LineReader& reader, const std::string& key) {
-  const auto line = reader.next();
-  const auto tokens = tokens_of(line);
-  if (tokens.size() != 2 || tokens[0] != key) {
-    throw std::invalid_argument("line " + std::to_string(reader.number()) +
-                                ": expected '" + key + " <value>'");
-  }
-  return tokens[1];
-}
+}  // namespace detail
+
+namespace {
+
+constexpr const char* kMagic = "dalut-config v1";
 
 }  // namespace
 
@@ -130,25 +168,7 @@ void write_config(std::ostream& out, const SerializedConfig& config) {
   out << "inputs " << config.num_inputs << " outputs " << config.num_outputs
       << "\n";
   for (unsigned k = config.num_outputs; k-- > 0;) {
-    const Setting& s = config.settings.at(k);
-    char bound[16];
-    std::snprintf(bound, sizeof bound, "0x%04x", s.partition.bound_mask());
-    out << "bit " << k << " mode " << mode_name(s.mode) << " bound " << bound;
-    if (s.mode == DecompMode::kNonDisjoint) {
-      out << " shared " << s.shared_bit;
-    }
-    out << " error " << s.error << "\n";
-    if (s.mode == DecompMode::kNonDisjoint) {
-      out << "pattern0 " << bits_to_string(s.pattern0) << "\n";
-      out << "types0 " << types_to_string(s.types0) << "\n";
-      out << "pattern1 " << bits_to_string(s.pattern1) << "\n";
-      out << "types1 " << types_to_string(s.types1) << "\n";
-    } else {
-      out << "pattern " << bits_to_string(s.pattern) << "\n";
-      if (s.mode == DecompMode::kNormal) {
-        out << "types " << types_to_string(s.types) << "\n";
-      }
-    }
+    detail::write_setting_record(out, k, config.settings.at(k));
   }
 }
 
@@ -159,17 +179,19 @@ std::string config_to_string(const SerializedConfig& config) {
 }
 
 SerializedConfig read_config(std::istream& in) {
-  LineReader reader(in);
+  detail::LineReader reader(in);
   if (reader.next() != kMagic) {
     throw std::invalid_argument("not a dalut-config v1 file");
   }
 
-  const auto header = tokens_of(reader.next());
+  const auto header = detail::tokens_of(reader.next());
   SerializedConfig config;
-  config.num_inputs = static_cast<unsigned>(
-      std::stoul(value_after(header, "inputs", reader.number())));
-  config.num_outputs = static_cast<unsigned>(
-      std::stoul(value_after(header, "outputs", reader.number())));
+  config.num_inputs = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(header, "inputs", reader.number()), reader.number(),
+      "inputs", 64));
+  config.num_outputs = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(header, "outputs", reader.number()), reader.number(),
+      "outputs", 64));
   if (config.num_inputs < 2 || config.num_inputs > 26 ||
       config.num_outputs < 1 || config.num_outputs > 26) {
     throw std::invalid_argument("implausible inputs/outputs header");
@@ -178,73 +200,13 @@ SerializedConfig read_config(std::istream& in) {
 
   std::vector<bool> seen(config.num_outputs, false);
   for (unsigned count = 0; count < config.num_outputs; ++count) {
-    const auto bit_line = tokens_of(reader.next());
-    const auto line_no = reader.number();
-    if (bit_line.size() < 2 || bit_line[0] != "bit") {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": expected a 'bit' record");
-    }
-    const auto k = static_cast<unsigned>(std::stoul(bit_line[1]));
-    if (k >= config.num_outputs || seen[k]) {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": bad or duplicate bit index");
+    Setting s;
+    const unsigned k = detail::read_setting_record(reader, config.num_inputs,
+                                                   config.num_outputs, s);
+    if (seen[k]) {
+      detail::fail_at(reader.number(), "duplicate bit " + std::to_string(k));
     }
     seen[k] = true;
-
-    Setting s;
-    const auto mode = value_after(bit_line, "mode", line_no);
-    const auto bound_mask = static_cast<std::uint32_t>(
-        std::stoul(value_after(bit_line, "bound", line_no), nullptr, 0));
-    s.partition = Partition(config.num_inputs, bound_mask);
-    s.error = std::stod(value_after(bit_line, "error", line_no));
-
-    const std::size_t cols = s.partition.num_cols();
-    const std::size_t rows = s.partition.num_rows();
-    auto check_size = [&](std::size_t actual, std::size_t expected,
-                          const char* what) {
-      if (actual != expected) {
-        throw std::invalid_argument(
-            "line " + std::to_string(reader.number()) + ": " + what +
-            " has wrong length");
-      }
-    };
-
-    if (mode == "normal" || mode == "bto") {
-      s.mode = mode == "bto" ? DecompMode::kBto : DecompMode::kNormal;
-      s.pattern = parse_bits(expect_keyed_line(reader, "pattern"),
-                             reader.number());
-      check_size(s.pattern.size(), cols, "pattern");
-      if (s.mode == DecompMode::kNormal) {
-        s.types =
-            parse_types(expect_keyed_line(reader, "types"), reader.number());
-        check_size(s.types.size(), rows, "types");
-      } else {
-        s.types.assign(rows, RowType::kPattern);
-      }
-    } else if (mode == "nd") {
-      s.mode = DecompMode::kNonDisjoint;
-      s.shared_bit = static_cast<unsigned>(
-          std::stoul(value_after(bit_line, "shared", line_no)));
-      if (!s.partition.in_bound_set(s.shared_bit)) {
-        throw std::invalid_argument("line " + std::to_string(line_no) +
-                                    ": shared bit not in bound set");
-      }
-      s.pattern0 = parse_bits(expect_keyed_line(reader, "pattern0"),
-                              reader.number());
-      s.types0 =
-          parse_types(expect_keyed_line(reader, "types0"), reader.number());
-      s.pattern1 = parse_bits(expect_keyed_line(reader, "pattern1"),
-                              reader.number());
-      s.types1 =
-          parse_types(expect_keyed_line(reader, "types1"), reader.number());
-      check_size(s.pattern0.size(), cols / 2, "pattern0");
-      check_size(s.pattern1.size(), cols / 2, "pattern1");
-      check_size(s.types0.size(), rows, "types0");
-      check_size(s.types1.size(), rows, "types1");
-    } else {
-      throw std::invalid_argument("line " + std::to_string(line_no) +
-                                  ": unknown mode '" + mode + "'");
-    }
     config.settings[k] = std::move(s);
   }
   return config;

@@ -5,23 +5,22 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/serialize_detail.hpp"
+
 namespace dalut::core {
 
 namespace {
 
 constexpr const char* kMagic = "dalut-table v1";
 
-/// Strips comments and returns the whitespace-tokenized remainder of `in`.
-std::string strip_comments(std::istream& in) {
-  std::string text, line;
-  while (std::getline(in, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    text += line;
-    text += '\n';
-  }
-  return text;
-}
+/// Widest table header accepted before any allocation happens: 2^26 entries
+/// of up to 26 bits each (~256 MiB of OutputWords) — far above every real
+/// benchmark, far below anything that could wedge the process. The bound is
+/// checked on the raw header integers with 64-bit arithmetic, so a hostile
+/// "inputs 4294967296" can neither overflow the shift nor trigger the
+/// allocation it describes.
+constexpr std::uint64_t kMaxInputs = 26;
+constexpr std::uint64_t kMaxOutputs = 26;
 
 }  // namespace
 
@@ -47,22 +46,28 @@ std::string function_to_string(const MultiOutputFunction& g) {
 }
 
 MultiOutputFunction read_function(std::istream& in) {
-  std::istringstream text(strip_comments(in));
+  detail::LineReader reader(in);
 
-  // Header: magic is two tokens.
-  std::string word1, word2;
-  if (!(text >> word1 >> word2) || word1 + " " + word2 != kMagic) {
+  // Header: magic is two tokens on one line.
+  if (reader.next() != kMagic) {
     throw std::invalid_argument("not a dalut-table v1 file");
   }
-  std::string key;
-  unsigned num_inputs = 0, num_outputs = 0;
-  if (!(text >> key >> num_inputs) || key != "inputs" ||
-      !(text >> key >> num_outputs) || key != "outputs") {
-    throw std::invalid_argument("expected 'inputs <n> outputs <m>' header");
+  const auto header = detail::tokens_of(reader.next());
+  const auto header_line = reader.number();
+  if (header.size() != 4 || header[0] != "inputs" || header[2] != "outputs") {
+    detail::fail_at(header_line, "expected 'inputs <n> outputs <m>' header");
   }
-  if (num_inputs < 2 || num_inputs > 26 || num_outputs < 1 ||
-      num_outputs > 26) {
-    throw std::invalid_argument("implausible inputs/outputs header");
+  // Parsed as full 64-bit values and range-checked *before* the domain size
+  // is computed or any storage is reserved.
+  const std::uint64_t num_inputs = detail::parse_unsigned(
+      header[1], header_line, "inputs", std::numeric_limits<std::uint64_t>::max());
+  const std::uint64_t num_outputs = detail::parse_unsigned(
+      header[3], header_line, "outputs", std::numeric_limits<std::uint64_t>::max());
+  if (num_inputs < 2 || num_inputs > kMaxInputs || num_outputs < 1 ||
+      num_outputs > kMaxOutputs) {
+    detail::fail_at(header_line,
+                    "implausible inputs/outputs header (accepted: 2..26 "
+                    "inputs, 1..26 outputs)");
   }
 
   const std::size_t domain = std::size_t{1} << num_inputs;
@@ -70,33 +75,48 @@ MultiOutputFunction read_function(std::istream& in) {
       static_cast<OutputWord>((std::uint64_t{1} << num_outputs) - 1);
   std::vector<OutputWord> values;
   values.reserve(domain);
-  std::string token;
-  while (text >> token) {
-    std::size_t consumed = 0;
-    unsigned long value = 0;
-    try {
-      value = std::stoul(token, &consumed, 16);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("bad hex word '" + token + "'");
+
+  // Body: hex words, streamed line by line so errors stay line-anchored and
+  // oversized files are rejected as soon as the count overruns the domain.
+  std::string line;
+  std::size_t line_no = reader.number();
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string token;
+    while (tokens >> token) {
+      std::size_t consumed = 0;
+      unsigned long long value = 0;
+      try {
+        value = std::stoull(token, &consumed, 16);
+      } catch (const std::exception&) {
+        detail::fail_at(line_no, "bad hex word '" +
+                                     detail::token_excerpt(token) + "'");
+      }
+      if (consumed != token.size()) {
+        detail::fail_at(line_no, "bad hex word '" +
+                                     detail::token_excerpt(token) + "'");
+      }
+      if ((value & ~static_cast<unsigned long long>(mask)) != 0) {
+        detail::fail_at(line_no, "value '" + detail::token_excerpt(token) +
+                                     "' exceeds the output width");
+      }
+      if (values.size() == domain) {
+        detail::fail_at(line_no, "too many table entries");
+      }
+      values.push_back(static_cast<OutputWord>(value));
     }
-    if (consumed != token.size()) {
-      throw std::invalid_argument("bad hex word '" + token + "'");
-    }
-    if ((value & ~static_cast<unsigned long>(mask)) != 0) {
-      throw std::invalid_argument("value '" + token +
-                                  "' exceeds the output width");
-    }
-    if (values.size() == domain) {
-      throw std::invalid_argument("too many table entries");
-    }
-    values.push_back(static_cast<OutputWord>(value));
   }
   if (values.size() != domain) {
     throw std::invalid_argument(
         "table has " + std::to_string(values.size()) + " entries, expected " +
         std::to_string(domain));
   }
-  return MultiOutputFunction(num_inputs, num_outputs, std::move(values));
+  return MultiOutputFunction(static_cast<unsigned>(num_inputs),
+                             static_cast<unsigned>(num_outputs),
+                             std::move(values));
 }
 
 MultiOutputFunction function_from_string(const std::string& text) {

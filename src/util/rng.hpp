@@ -5,6 +5,7 @@
 // every experiment is reproducible from its seed.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -67,6 +68,17 @@ class Rng {
 
   /// Derives an independent child generator (for per-thread / per-run use).
   Rng fork() noexcept;
+
+  /// Raw generator state, for checkpointing a stream mid-run. A generator
+  /// restored with set_state produces exactly the sequence the saved one
+  /// would have produced.
+  using State = std::array<std::uint64_t, 4>;
+  State state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const State& state) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   std::uint64_t state_[4];

@@ -1,0 +1,17 @@
+#include "util/run_control.hpp"
+
+namespace dalut::util {
+
+const char* to_string(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kDeadlineExpired:
+      return "deadline-expired";
+    case RunStatus::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+}  // namespace dalut::util

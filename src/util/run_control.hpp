@@ -1,0 +1,160 @@
+// Cooperative run control: cancellation, deadlines, and progress reporting
+// for long-running searches.
+//
+// A RunControl is owned by a driver (a CLI tool, a batch job, a test) and
+// passed by pointer into the search stack. Searches poll `stop_requested()`
+// at sweep/bit-step boundaries — never mid-evaluation — so a stopped run
+// still returns a valid best-so-far result and the bit-determinism
+// guarantees of the parallel engine are untouched (docs/robustness.md).
+//
+// `request_cancel()` is async-signal-safe (a relaxed atomic store), which is
+// what lets dalut_opt trip it from a SIGINT/SIGTERM handler. The deadline is
+// monotonic (steady_clock), so wall-clock adjustments cannot expire a run
+// early or extend it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+
+namespace dalut::util {
+
+/// How a controlled run ended.
+enum class RunStatus {
+  kCompleted,        ///< ran to its natural end
+  kDeadlineExpired,  ///< stopped at the monotonic deadline
+  kCancelled,        ///< stopped by request_cancel() (e.g. a signal)
+};
+
+const char* to_string(RunStatus status) noexcept;
+
+/// Thrown by ThreadPool::parallel_for when a RunControl trips mid-call and
+/// iterations were skipped: the loop's outputs are partial and the caller
+/// must discard them (searches discard the whole batch and fall back to the
+/// state of the previous sweep).
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("run cancelled") {}
+};
+
+/// Progress snapshot reported by searches at step boundaries.
+struct RunProgress {
+  const char* stage = "";      ///< e.g. "beam-search", "refine"
+  unsigned round = 0;          ///< 1-based optimization round
+  unsigned bit = 0;            ///< output bit just completed
+  std::size_t steps_done = 0;  ///< completed bit-steps so far
+  std::size_t steps_total = 0; ///< total bit-steps of the run (0 = unknown)
+  double best_error = 0.0;     ///< current objective value, if known
+};
+
+class RunControl {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunControl() = default;
+  RunControl(const RunControl&) = delete;
+  RunControl& operator=(const RunControl&) = delete;
+
+  /// Arms a monotonic deadline `budget` from now. Call before the run
+  /// starts (not concurrently with polling threads).
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    deadline_ = Clock::now() + budget;
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  bool has_deadline() const noexcept {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
+
+  /// Requests cooperative cancellation. Async-signal-safe and thread-safe.
+  void request_cancel() noexcept {
+    cancel_.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the run should stop; latches the first reason seen. Safe to
+  /// call from any thread (workers poll it at chunk boundaries).
+  bool stop_requested() const noexcept {
+    if (latched_.load(std::memory_order_relaxed) != kNone) return true;
+    if (cancel_.load(std::memory_order_relaxed)) {
+      latch(kCancelled);
+      return true;
+    }
+    if (has_deadline() && Clock::now() >= deadline_) {
+      latch(kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// True if a stop has already been latched (does not re-check the clock).
+  bool stopped() const noexcept {
+    return latched_.load(std::memory_order_relaxed) != kNone;
+  }
+
+  /// kCompleted while running / after an undisturbed run, otherwise the
+  /// latched stop reason.
+  RunStatus status() const noexcept {
+    switch (latched_.load(std::memory_order_relaxed)) {
+      case kDeadline:
+        return RunStatus::kDeadlineExpired;
+      case kCancelled:
+        return RunStatus::kCancelled;
+      default:
+        return RunStatus::kCompleted;
+    }
+  }
+
+  /// Installs a progress observer, invoked from the search thread at step
+  /// boundaries, at most once per `min_interval`. Not thread-safe against a
+  /// running search; install before the run starts.
+  void set_progress_callback(
+      std::function<void(const RunProgress&)> callback,
+      std::chrono::nanoseconds min_interval = std::chrono::nanoseconds{0}) {
+    progress_ = std::move(callback);
+    progress_interval_ = min_interval;
+    progress_reported_ = false;
+  }
+
+  /// Called by searches after each completed step; forwards to the observer
+  /// (throttled; the first report always fires). Must only be called from
+  /// the thread driving the search.
+  void report_progress(const RunProgress& progress) {
+    if (!progress_) return;
+    const auto now = Clock::now();
+    // A time_point::min() sentinel would overflow `now - last_progress_`,
+    // so first-report is tracked explicitly.
+    if (progress_reported_ && now - last_progress_ < progress_interval_) {
+      return;
+    }
+    progress_reported_ = true;
+    last_progress_ = now;
+    progress_(progress);
+  }
+
+ private:
+  enum Reason : int { kNone = 0, kDeadline = 1, kCancelled = 2 };
+
+  void latch(Reason reason) const noexcept {
+    int expected = kNone;
+    latched_.compare_exchange_strong(expected, reason,
+                                     std::memory_order_relaxed);
+  }
+
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> has_deadline_{false};
+  mutable std::atomic<int> latched_{kNone};
+  Clock::time_point deadline_{};
+
+  std::function<void(const RunProgress&)> progress_;
+  std::chrono::nanoseconds progress_interval_{0};
+  Clock::time_point last_progress_{};
+  bool progress_reported_ = false;
+};
+
+}  // namespace dalut::util

@@ -21,10 +21,12 @@ struct ParallelForState {
   /// Valid for the whole call: the caller blocks until every chunk has been
   /// claimed and finished, and only claimed chunks dereference it.
   const std::function<void(std::size_t)>* body = nullptr;
+  RunControl* control = nullptr;
 
   std::atomic<std::size_t> next_chunk{0};
   std::atomic<std::size_t> chunks_done{0};
   std::atomic<bool> cancelled{false};
+  std::atomic<std::size_t> chunks_skipped{0};
 
   std::mutex done_mutex;
   std::condition_variable done;
@@ -36,7 +38,10 @@ struct ParallelForState {
     for (;;) {
       const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) return;
-      if (!cancelled.load(std::memory_order_relaxed)) {
+      if (cancelled.load(std::memory_order_relaxed) ||
+          (control != nullptr && control->stop_requested())) {
+        chunks_skipped.fetch_add(1, std::memory_order_relaxed);
+      } else {
         const std::size_t lo = begin + c * chunk;
         const std::size_t hi = std::min(lo + chunk, end);
         try {
@@ -94,17 +99,24 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              RunControl* control) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
   if (workers_.empty() || total == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (control != nullptr && control->stop_requested()) {
+        throw CancelledError();  // iterations [i, end) were skipped
+      }
+      body(i);
+    }
     return;
   }
 
   auto state = std::make_shared<ParallelForState>();
   state->begin = begin;
   state->end = end;
+  state->control = control;
   // A few chunks per thread: large enough that claiming a chunk touches the
   // shared counter rarely, small enough to balance uneven bodies.
   const std::size_t threads = workers_.size() + 1;
@@ -133,6 +145,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   });
   if (state->first_exception != nullptr) {
     std::rethrow_exception(state->first_exception);
+  }
+  if (state->chunks_skipped.load(std::memory_order_relaxed) != 0) {
+    throw CancelledError();  // partial results: the caller must discard them
   }
 }
 

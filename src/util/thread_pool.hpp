@@ -31,6 +31,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/run_control.hpp"
+
 namespace dalut::util {
 
 class ThreadPool {
@@ -53,8 +55,17 @@ class ThreadPool {
   /// and rethrown on the calling thread after the range is quiesced; chunks
   /// not yet claimed at that point are skipped. Safe to call concurrently
   /// from multiple threads and from inside a running body (nested use).
+  ///
+  /// When `control` is given, it is polled at chunk boundaries: once it
+  /// trips, remaining chunks are skipped and — if any iteration was actually
+  /// skipped — CancelledError is thrown after the range quiesces, because
+  /// the loop's outputs are then partial and must be discarded. A trip that
+  /// arrives after every iteration ran returns normally (the results are
+  /// complete, so cancelled runs stay bit-identical up to the boundary). A
+  /// body exception takes precedence over CancelledError.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    RunControl* control = nullptr);
 
  private:
   void worker_loop();

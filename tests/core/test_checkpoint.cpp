@@ -1,0 +1,220 @@
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace dalut::core {
+namespace {
+
+Setting normal_setting(unsigned num_inputs, std::uint32_t bound_mask,
+                       double error) {
+  Setting s;
+  s.error = error;
+  s.partition = Partition(num_inputs, bound_mask);
+  s.mode = DecompMode::kNormal;
+  s.pattern.assign(s.partition.num_cols(), 0);
+  for (std::size_t c = 0; c < s.pattern.size(); c += 2) s.pattern[c] = 1;
+  s.types.assign(s.partition.num_rows(), RowType::kPattern);
+  s.types.front() = RowType::kAllZero;
+  return s;
+}
+
+/// A representative mid-round-1 checkpoint: 4-input, 3-output function,
+/// two beams, top two bits decided, awkward doubles in every float field.
+SearchCheckpoint sample_checkpoint() {
+  SearchCheckpoint ck;
+  ck.algorithm = "bssa";
+  ck.params_digest = 0xdeadbeefcafef00dull;
+  ck.num_inputs = 4;
+  ck.num_outputs = 3;
+  ck.round = 1;
+  ck.bits_done = 2;
+  ck.rng_state = {0x0123456789abcdefull, 0xfedcba9876543210ull, 1ull,
+                  0x8000000000000000ull};
+  ck.partitions_evaluated = 4242;
+  ck.elapsed_seconds = 17.25061980151415;
+
+  for (int b = 0; b < 2; ++b) {
+    BeamCheckpoint beam;
+    beam.error = 0.1 + 0.3 * b;  // not exactly representable
+    beam.decided = {0, 1, 1};
+    beam.settings.resize(3);
+    beam.settings[1] = normal_setting(4, 0b0011, 1.0 / 3.0 + b);
+    beam.settings[2] = normal_setting(4, 0b1010, 2.0 / 7.0 + b);
+    ck.beams.push_back(std::move(beam));
+  }
+  return ck;
+}
+
+void expect_same(const SearchCheckpoint& a, const SearchCheckpoint& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.params_digest, b.params_digest);
+  EXPECT_EQ(a.num_inputs, b.num_inputs);
+  EXPECT_EQ(a.num_outputs, b.num_outputs);
+  EXPECT_EQ(a.round, b.round);
+  EXPECT_EQ(a.bits_done, b.bits_done);
+  EXPECT_EQ(a.rng_state, b.rng_state);
+  EXPECT_EQ(a.partitions_evaluated, b.partitions_evaluated);
+  // Exact: the writer uses precision(17), enough for any double.
+  EXPECT_EQ(a.elapsed_seconds, b.elapsed_seconds);
+  ASSERT_EQ(a.beams.size(), b.beams.size());
+  for (std::size_t i = 0; i < a.beams.size(); ++i) {
+    EXPECT_EQ(a.beams[i].error, b.beams[i].error);
+    EXPECT_EQ(a.beams[i].decided, b.beams[i].decided);
+    ASSERT_EQ(a.beams[i].settings.size(), b.beams[i].settings.size());
+    for (std::size_t k = 0; k < a.beams[i].settings.size(); ++k) {
+      const auto& sa = a.beams[i].settings[k];
+      const auto& sb = b.beams[i].settings[k];
+      EXPECT_EQ(sa.valid(), sb.valid());
+      if (!sa.valid() || !sb.valid()) continue;
+      EXPECT_EQ(sa.error, sb.error);
+      EXPECT_EQ(sa.partition, sb.partition);
+      EXPECT_EQ(sa.mode, sb.mode);
+      EXPECT_EQ(sa.pattern, sb.pattern);
+      EXPECT_EQ(sa.types, sb.types);
+    }
+  }
+}
+
+TEST(Checkpoint, RoundTripIsExact) {
+  const auto ck = sample_checkpoint();
+  const auto parsed = checkpoint_from_string(checkpoint_to_string(ck));
+  expect_same(ck, parsed);
+}
+
+TEST(Checkpoint, RefinementRoundRoundTrips) {
+  auto ck = sample_checkpoint();
+  ck.algorithm = "dalta";
+  ck.round = 3;
+  ck.bits_done = 1;
+  ck.beams.resize(1);
+  ck.beams[0].decided = {1, 1, 1};
+  ck.beams[0].settings[0] = normal_setting(4, 0b0110, 0.5);
+  const auto parsed = checkpoint_from_string(checkpoint_to_string(ck));
+  expect_same(ck, parsed);
+}
+
+TEST(Checkpoint, RejectsBadMagic) {
+  EXPECT_THROW(checkpoint_from_string("dalut-config v1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(checkpoint_from_string(""), std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsUnknownAlgorithm) {
+  auto text = checkpoint_to_string(sample_checkpoint());
+  const auto at = text.find("algorithm bssa");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 14, "algorithm wild");
+  EXPECT_THROW(checkpoint_from_string(text), std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsTruncationAnywhere) {
+  const auto text = checkpoint_to_string(sample_checkpoint());
+  // Every proper prefix that drops at least one line must be rejected —
+  // a torn write can cut the file at any byte.
+  for (std::size_t cut = 0; cut + 1 < text.size(); cut += 7) {
+    EXPECT_THROW(checkpoint_from_string(text.substr(0, cut)),
+                 std::invalid_argument)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(Checkpoint, RejectsWrongDecidedMaskLength) {
+  auto text = checkpoint_to_string(sample_checkpoint());
+  const auto at = text.find("decided 011");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 11, "decided 0110");
+  EXPECT_THROW(checkpoint_from_string(text), std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsBitsDoneBeyondWidth) {
+  auto text = checkpoint_to_string(sample_checkpoint());
+  const auto at = text.find("bits-done 2");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 11, "bits-done 9");
+  EXPECT_THROW(checkpoint_from_string(text), std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsGarbageRngState) {
+  auto text = checkpoint_to_string(sample_checkpoint());
+  const auto at = text.find("rng 0x");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 6, "rng 0q");
+  EXPECT_THROW(checkpoint_from_string(text), std::invalid_argument);
+}
+
+TEST(Checkpoint, RejectsDecidedMaskWithoutMatchingRecords) {
+  auto text = checkpoint_to_string(sample_checkpoint());
+  // Claim bit 0 decided without providing a third record: the parser then
+  // consumes the following beam header as a setting record and rejects it.
+  const auto at = text.find("decided 011");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 11, "decided 111");
+  EXPECT_THROW(checkpoint_from_string(text), std::invalid_argument);
+}
+
+TEST(Checkpoint, ErrorsAreLineAnchored) {
+  auto text = checkpoint_to_string(sample_checkpoint());
+  const auto at = text.find("partitions 4242");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 15, "partitions abcd");
+  try {
+    checkpoint_from_string(text);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line "), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(Checkpoint, SaveIsAtomicAndLoadable) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "dalut_ck_test.dalut").string();
+  std::remove(path.c_str());
+
+  const auto ck = sample_checkpoint();
+  save_checkpoint(path, ck);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  expect_same(ck, load_checkpoint(path));
+
+  // Overwriting an existing checkpoint goes through the same tmp+rename.
+  auto ck2 = ck;
+  ck2.bits_done = 3;
+  ck2.beams[0].decided = {1, 1, 1};
+  ck2.beams[0].settings[0] = normal_setting(4, 0b0101, 0.25);
+  ck2.beams[1] = ck2.beams[0];
+  save_checkpoint(path, ck2);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  expect_same(ck2, load_checkpoint(path));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveIntoMissingDirectoryFails) {
+  const auto ck = sample_checkpoint();
+  EXPECT_THROW(save_checkpoint("/nonexistent-dir-zz/ck.dalut", ck),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, LoadMissingFileFails) {
+  EXPECT_THROW(load_checkpoint("/nonexistent-dir-zz/ck.dalut"),
+               std::runtime_error);
+}
+
+TEST(ParamsDigest, OrderAndContentSensitive) {
+  const auto d1 = ParamsDigest().add(1).add(2).value();
+  const auto d2 = ParamsDigest().add(2).add(1).value();
+  const auto d3 = ParamsDigest().add(1).add(2).value();
+  EXPECT_NE(d1, d2);
+  EXPECT_EQ(d1, d3);
+  EXPECT_NE(ParamsDigest().add_string("ab").value(),
+            ParamsDigest().add_string("ba").value());
+  EXPECT_NE(ParamsDigest().add_double(0.1).value(),
+            ParamsDigest().add_double(0.2).value());
+}
+
+}  // namespace
+}  // namespace dalut::core

@@ -151,6 +151,38 @@ TEST(Serialize, RejectsNdSharedBitOutsideBoundSet) {
   EXPECT_THROW(config_from_string(text), std::invalid_argument);
 }
 
+TEST(Serialize, RejectsOversizedHeaderBeforeAllocating) {
+  for (const char* header :
+       {"inputs 63 outputs 2", "inputs 2 outputs 63",
+        "inputs 18446744073709551616 outputs 2",
+        "inputs 4294967298 outputs 2"}) {
+    EXPECT_THROW(
+        config_from_string(std::string("dalut-config v1\n") + header + "\n"),
+        std::invalid_argument)
+        << header;
+  }
+}
+
+TEST(Serialize, RejectsNulAndGarbageBytes) {
+  const auto config = optimized_config(ModePolicy::normal_only(), 9);
+  auto text = config_to_string(config);
+  const auto at = text.find("types ");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 6] = '\0';
+  EXPECT_THROW(config_from_string(text), std::invalid_argument);
+}
+
+TEST(Serialize, ErrorMessageBoundsTokenEcho) {
+  const std::string bomb(2048, '\xff');
+  try {
+    config_from_string("dalut-config v1\ninputs " + bomb + " outputs 2\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // At most kMaxTokenEcho escaped bytes (4 chars each) plus the message.
+    EXPECT_LT(std::string(error.what()).size(), 300u);
+  }
+}
+
 TEST(Serialize, ToleratesCommentsAndBlankLines) {
   const auto config = optimized_config(ModePolicy::normal_only(), 8);
   auto text = config_to_string(config);

@@ -83,5 +83,66 @@ TEST(TableIo, RejectsImplausibleHeader) {
                std::invalid_argument);
 }
 
+TEST(TableIo, RejectsOversizedHeaderBeforeAllocating) {
+  // A hostile header must be rejected up front, not via a 2^n allocation.
+  // All of these parse as integers but exceed the 26-bit domain cap.
+  for (const char* header :
+       {"inputs 63 outputs 2", "inputs 2 outputs 63",
+        "inputs 4294967296 outputs 2",
+        "inputs 18446744073709551615 outputs 2",
+        "inputs 99999999999999999999999999 outputs 2"}) {
+    EXPECT_THROW(function_from_string(std::string("dalut-table v1\n") +
+                                      header + "\n0 1 2 3\n"),
+                 std::invalid_argument)
+        << header;
+  }
+}
+
+TEST(TableIo, RejectsNegativeHeaderField) {
+  EXPECT_THROW(
+      function_from_string("dalut-table v1\ninputs -2 outputs 2\n0 1 2 3\n"),
+      std::invalid_argument);
+}
+
+TEST(TableIo, RejectsEmbeddedNulAndControlBytes) {
+  std::string text = "dalut-table v1\ninputs 2 outputs 2\n0 1 2 3\n";
+  text[text.rfind('1')] = '\0';  // the '1' value token, not the magic
+  EXPECT_THROW(function_from_string(text), std::invalid_argument);
+  EXPECT_THROW(
+      function_from_string("dalut-table v1\ninputs 2 outputs 2\n0 \x01 2 3\n"),
+      std::invalid_argument);
+}
+
+TEST(TableIo, RejectsTruncatedMidBody) {
+  const auto g = MultiOutputFunction::from_eval(
+      4, 4, [](InputWord x) { return x ^ 5; });
+  auto text = function_to_string(g);
+  text.resize(text.size() * 2 / 3);
+  EXPECT_THROW(function_from_string(text), std::invalid_argument);
+}
+
+TEST(TableIo, ErrorMessageBoundsTokenEcho) {
+  // A kilobyte of garbage in one token must not be echoed verbatim into the
+  // exception message.
+  const std::string bomb(1024, 'z');
+  try {
+    function_from_string("dalut-table v1\ninputs 2 outputs 2\n" + bomb +
+                         " 1 2 3\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_LT(std::string(error.what()).size(), 200u);
+  }
+}
+
+TEST(TableIo, ErrorMessagesAreLineAnchored) {
+  try {
+    function_from_string("dalut-table v1\ninputs 2 outputs 2\n0 1\n2 xx\n");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("line 4"), std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
 }  // namespace dalut::core

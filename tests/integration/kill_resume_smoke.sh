@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for dalut_opt (docs/robustness.md).
+#
+# SIGKILL the optimizer mid-search — the one signal it cannot intercept —
+# then resume from its crash-safe checkpoint and require the emitted
+# configuration to be byte-identical to an uninterrupted reference run.
+#
+# Timing-tolerant by design: the kill lands at ~half the reference runtime.
+# If the machine is so fast the first run finishes before the kill, the
+# finished run already deleted its checkpoint and the resume run starts
+# fresh; either way the final config must match the reference exactly.
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 <path-to-dalut_opt>" >&2
+  exit 2
+fi
+dalut_opt=$1
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+args=(--benchmark log2 --width 14 --rounds 3 --seed 11 --threads 4)
+ck="$workdir/ck.dalut"
+
+# 1. Uninterrupted reference.
+start=$(date +%s%N)
+"$dalut_opt" "${args[@]}" --config-out "$workdir/ref.cfg"
+elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+echo "reference run: ${elapsed_ms} ms"
+
+# 2. Same run with checkpointing, SIGKILLed at ~50% of the reference time.
+"$dalut_opt" "${args[@]}" --checkpoint "$ck" --checkpoint-every 2 \
+    --config-out "$workdir/out.cfg" &
+pid=$!
+sleep "$(awk "BEGIN { print $elapsed_ms / 2000 }")"
+kill -9 "$pid" 2>/dev/null || true
+status=0
+wait "$pid" || status=$?
+echo "killed run exit status: $status"
+
+if [[ $status -eq 0 ]]; then
+  echo "note: run finished before the kill landed; checkpoint already" \
+       "deleted, resume below starts fresh"
+else
+  rm -f "$workdir/out.cfg"
+  [[ -f "$ck" ]] && echo "checkpoint survived the kill"
+fi
+
+# 3. Resume (or re-run, see above) must reproduce the reference exactly.
+"$dalut_opt" "${args[@]}" --checkpoint "$ck" --resume \
+    --config-out "$workdir/out.cfg"
+
+if [[ -f "$ck" ]]; then
+  echo "FAIL: completed run left a stale checkpoint behind" >&2
+  exit 1
+fi
+if ! cmp "$workdir/ref.cfg" "$workdir/out.cfg"; then
+  echo "FAIL: resumed configuration differs from the uninterrupted run" >&2
+  exit 1
+fi
+echo "PASS: resumed run is byte-identical to the uninterrupted reference"

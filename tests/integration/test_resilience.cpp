@@ -1,0 +1,253 @@
+// Robustness integration: cooperative deadlines/cancellation and
+// crash-safe checkpoint/resume (docs/robustness.md).
+//
+// The core contract under test: a run that is stopped at an arbitrary
+// checkpoint and resumed from it produces output BIT-IDENTICAL to an
+// uninterrupted run with the same parameters — across both algorithms and
+// regardless of the worker count on either side of the interruption.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bssa.hpp"
+#include "core/checkpoint.hpp"
+#include "core/dalta.hpp"
+#include "func/registry.hpp"
+#include "util/run_control.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dalut {
+namespace {
+
+constexpr unsigned kWidth = 8;
+
+core::MultiOutputFunction make_function() {
+  const auto spec = *func::benchmark_by_name("cos", kWidth);
+  return core::MultiOutputFunction::from_eval(spec.num_inputs,
+                                              spec.num_outputs, spec.eval);
+}
+
+core::BssaParams bssa_params(util::ThreadPool* pool) {
+  core::BssaParams params;
+  params.bound_size = 4;
+  params.rounds = 3;
+  params.beam_width = 2;
+  params.sa.partition_limit = 12;
+  params.sa.init_patterns = 6;
+  params.sa.chains = 3;
+  params.modes = core::ModePolicy::bto_normal_nd(0.05, 0.2);
+  params.seed = 99;
+  params.pool = pool;
+  return params;
+}
+
+core::DaltaParams dalta_params(util::ThreadPool* pool) {
+  core::DaltaParams params;
+  params.bound_size = 4;
+  params.rounds = 2;
+  params.partition_limit = 20;
+  params.init_patterns = 6;
+  params.seed = 7;
+  params.pool = pool;
+  return params;
+}
+
+void expect_identical_settings(const std::vector<core::Setting>& a,
+                               const std::vector<core::Setting>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    SCOPED_TRACE(k);
+    ASSERT_TRUE(a[k].valid());
+    ASSERT_TRUE(b[k].valid());
+    EXPECT_EQ(a[k].error, b[k].error);  // exact, not approximate
+    EXPECT_EQ(a[k].partition, b[k].partition);
+    EXPECT_EQ(a[k].mode, b[k].mode);
+    EXPECT_EQ(a[k].pattern, b[k].pattern);
+    EXPECT_EQ(a[k].types, b[k].types);
+    EXPECT_EQ(a[k].shared_bit, b[k].shared_bit);
+    EXPECT_EQ(a[k].pattern0, b[k].pattern0);
+    EXPECT_EQ(a[k].pattern1, b[k].pattern1);
+    EXPECT_EQ(a[k].types0, b[k].types0);
+    EXPECT_EQ(a[k].types1, b[k].types1);
+  }
+}
+
+TEST(Resilience, BssaResumeFromEveryCheckpointIsBitIdentical) {
+  const auto g = make_function();
+  const auto dist = core::InputDistribution::uniform(kWidth);
+  util::ThreadPool pool(4);
+  util::ThreadPool pool1(1);
+
+  const auto reference = core::run_bssa(g, dist, bssa_params(&pool));
+  ASSERT_EQ(reference.status, util::RunStatus::kCompleted);
+
+  // Capture a checkpoint every 2 bit-steps over an undisturbed run. The
+  // round trip through the text format is part of the contract.
+  std::vector<core::SearchCheckpoint> checkpoints;
+  {
+    auto params = bssa_params(&pool);
+    params.checkpoint_every = 2;
+    params.checkpoint_sink = [&](const core::SearchCheckpoint& ck) {
+      checkpoints.push_back(
+          core::checkpoint_from_string(core::checkpoint_to_string(ck)));
+    };
+    const auto watched = core::run_bssa(g, dist, params);
+    expect_identical_settings(reference.settings, watched.settings);
+    EXPECT_EQ(reference.med, watched.med);
+  }
+  ASSERT_GE(checkpoints.size(), 8u);  // 3 rounds x 8 bits / every 2
+
+  // Resuming from ANY checkpoint — on a different worker count — must land
+  // on the exact same result as the uninterrupted reference.
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    SCOPED_TRACE("checkpoint " + std::to_string(i));
+    auto params = bssa_params(i % 2 == 0 ? &pool1 : &pool);
+    params.resume = &checkpoints[i];
+    const auto resumed = core::run_bssa(g, dist, params);
+    EXPECT_TRUE(resumed.resumed);
+    expect_identical_settings(reference.settings, resumed.settings);
+    EXPECT_EQ(reference.med, resumed.med);
+  }
+}
+
+TEST(Resilience, DaltaResumeFromEveryCheckpointIsBitIdentical) {
+  const auto g = make_function();
+  const auto dist = core::InputDistribution::uniform(kWidth);
+  util::ThreadPool pool(4);
+  util::ThreadPool pool1(1);
+
+  const auto reference = core::run_dalta(g, dist, dalta_params(&pool));
+
+  std::vector<core::SearchCheckpoint> checkpoints;
+  {
+    auto params = dalta_params(&pool);
+    params.checkpoint_every = 2;
+    params.checkpoint_sink = [&](const core::SearchCheckpoint& ck) {
+      checkpoints.push_back(
+          core::checkpoint_from_string(core::checkpoint_to_string(ck)));
+    };
+    const auto watched = core::run_dalta(g, dist, params);
+    expect_identical_settings(reference.settings, watched.settings);
+  }
+  ASSERT_GE(checkpoints.size(), 6u);  // 2 rounds x 8 bits / every 2
+
+  for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+    SCOPED_TRACE("checkpoint " + std::to_string(i));
+    auto params = dalta_params(i % 2 == 0 ? &pool1 : &pool);
+    params.resume = &checkpoints[i];
+    const auto resumed = core::run_dalta(g, dist, params);
+    EXPECT_TRUE(resumed.resumed);
+    expect_identical_settings(reference.settings, resumed.settings);
+    EXPECT_EQ(reference.med, resumed.med);
+  }
+}
+
+TEST(Resilience, CancelledBssaRunResumesToIdenticalResult) {
+  // The kill-and-resume scenario in-process: cancel from the checkpoint
+  // sink (i.e. at a bit-step boundary, as a signal would latch), then
+  // resume from the last published checkpoint.
+  const auto g = make_function();
+  const auto dist = core::InputDistribution::uniform(kWidth);
+  util::ThreadPool pool(4);
+
+  const auto reference = core::run_bssa(g, dist, bssa_params(&pool));
+
+  util::RunControl control;
+  std::vector<core::SearchCheckpoint> checkpoints;
+  auto params = bssa_params(&pool);
+  params.control = &control;
+  params.checkpoint_every = 2;
+  params.checkpoint_sink = [&](const core::SearchCheckpoint& ck) {
+    checkpoints.push_back(ck);
+    if (checkpoints.size() == 3) control.request_cancel();
+  };
+  const auto interrupted = core::run_bssa(g, dist, params);
+  EXPECT_EQ(interrupted.status, util::RunStatus::kCancelled);
+  ASSERT_EQ(checkpoints.size(), 3u);
+  // Graceful degradation: even the interrupted result is fully realizable.
+  for (const auto& setting : interrupted.settings) {
+    EXPECT_TRUE(setting.valid());
+  }
+  interrupted.realize(g.num_inputs());
+
+  auto resume_params = bssa_params(&pool);
+  resume_params.resume = &checkpoints.back();
+  const auto resumed = core::run_bssa(g, dist, resume_params);
+  EXPECT_EQ(resumed.status, util::RunStatus::kCompleted);
+  expect_identical_settings(reference.settings, resumed.settings);
+  EXPECT_EQ(reference.med, resumed.med);
+}
+
+TEST(Resilience, PreExpiredDeadlineStillYieldsValidSettings) {
+  const auto g = make_function();
+  const auto dist = core::InputDistribution::uniform(kWidth);
+  util::ThreadPool pool(4);
+
+  for (const char* flavour : {"bssa", "bssa-normal-only", "dalta"}) {
+    SCOPED_TRACE(flavour);
+    const bool use_dalta = std::string(flavour) == "dalta";
+    const bool normal_only = std::string(flavour) != "bssa";
+    util::RunControl control;
+    control.set_deadline_after(std::chrono::nanoseconds{0});
+    core::DecompositionResult result;
+    if (use_dalta) {
+      auto params = dalta_params(&pool);
+      params.control = &control;
+      result = core::run_dalta(g, dist, params);
+    } else {
+      auto params = bssa_params(&pool);
+      if (normal_only) params.modes = core::ModePolicy::normal_only();
+      params.control = &control;
+      result = core::run_bssa(g, dist, params);
+    }
+    EXPECT_EQ(result.status, util::RunStatus::kDeadlineExpired);
+    ASSERT_EQ(result.settings.size(), g.num_outputs());
+    for (const auto& setting : result.settings) {
+      EXPECT_TRUE(setting.valid());
+      // Fallback settings must stay inside the run's mode policy — a
+      // normal-only target architecture rejects anything else.
+      if (normal_only) EXPECT_EQ(setting.mode, core::DecompMode::kNormal);
+    }
+    // The degraded result still realizes and carries a finite error report.
+    result.realize(g.num_inputs());
+    EXPECT_TRUE(std::isfinite(result.med));
+  }
+}
+
+TEST(Resilience, ResumeRejectsMismatchedParameters) {
+  const auto g = make_function();
+  const auto dist = core::InputDistribution::uniform(kWidth);
+  util::ThreadPool pool(2);
+
+  std::vector<core::SearchCheckpoint> checkpoints;
+  auto params = bssa_params(&pool);
+  params.checkpoint_every = 2;
+  params.checkpoint_sink = [&](const core::SearchCheckpoint& ck) {
+    checkpoints.push_back(ck);
+  };
+  core::run_bssa(g, dist, params);
+  ASSERT_FALSE(checkpoints.empty());
+
+  // Different seed -> different trajectory -> digest mismatch.
+  auto wrong_seed = bssa_params(&pool);
+  wrong_seed.seed = 123456;
+  wrong_seed.resume = &checkpoints.front();
+  EXPECT_THROW(core::run_bssa(g, dist, wrong_seed), std::invalid_argument);
+
+  // Different SA budget is just as trajectory-shaping.
+  auto wrong_budget = bssa_params(&pool);
+  wrong_budget.sa.partition_limit += 1;
+  wrong_budget.resume = &checkpoints.front();
+  EXPECT_THROW(core::run_bssa(g, dist, wrong_budget), std::invalid_argument);
+
+  // A BS-SA checkpoint cannot resume a DALTA run.
+  auto wrong_algo = dalta_params(&pool);
+  wrong_algo.resume = &checkpoints.front();
+  EXPECT_THROW(core::run_dalta(g, dist, wrong_algo), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dalut

@@ -1,0 +1,248 @@
+#include "util/run_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace dalut::util {
+namespace {
+
+TEST(RunControl, DefaultNeverStops) {
+  RunControl control;
+  EXPECT_FALSE(control.stop_requested());
+  EXPECT_FALSE(control.stopped());
+  EXPECT_EQ(control.status(), RunStatus::kCompleted);
+}
+
+TEST(RunControl, CancelLatchesAndReportsReason) {
+  RunControl control;
+  control.request_cancel();
+  EXPECT_TRUE(control.stop_requested());
+  EXPECT_TRUE(control.stopped());
+  EXPECT_EQ(control.status(), RunStatus::kCancelled);
+}
+
+TEST(RunControl, ExpiredDeadlineLatchesDeadlineReason) {
+  RunControl control;
+  control.set_deadline_after(std::chrono::nanoseconds{0});
+  EXPECT_TRUE(control.stop_requested());
+  EXPECT_EQ(control.status(), RunStatus::kDeadlineExpired);
+}
+
+TEST(RunControl, FarDeadlineDoesNotStop) {
+  RunControl control;
+  control.set_deadline_after(std::chrono::hours{24});
+  EXPECT_FALSE(control.stop_requested());
+  EXPECT_EQ(control.status(), RunStatus::kCompleted);
+}
+
+TEST(RunControl, FirstReasonWins) {
+  // A deadline latched first is not overwritten by a later cancel.
+  RunControl control;
+  control.set_deadline_after(std::chrono::nanoseconds{0});
+  ASSERT_TRUE(control.stop_requested());
+  control.request_cancel();
+  EXPECT_TRUE(control.stop_requested());
+  EXPECT_EQ(control.status(), RunStatus::kDeadlineExpired);
+}
+
+TEST(RunControl, StoppedDoesNotRecheckClock) {
+  RunControl control;
+  control.set_deadline_after(std::chrono::nanoseconds{0});
+  EXPECT_FALSE(control.stopped());  // nothing latched yet
+  EXPECT_TRUE(control.stop_requested());
+  EXPECT_TRUE(control.stopped());
+}
+
+TEST(RunControl, ProgressCallbackThrottled) {
+  RunControl control;
+  int calls = 0;
+  control.set_progress_callback([&](const RunProgress&) { ++calls; },
+                                std::chrono::hours{1});
+  RunProgress progress;
+  for (int i = 0; i < 100; ++i) control.report_progress(progress);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunControl, ProgressWithoutCallbackIsNoop) {
+  RunControl control;
+  control.report_progress(RunProgress{});  // must not crash
+}
+
+TEST(RunControl, ToStringCoversEveryStatus) {
+  EXPECT_STREQ(to_string(RunStatus::kCompleted), "completed");
+  EXPECT_STREQ(to_string(RunStatus::kDeadlineExpired), "deadline-expired");
+  EXPECT_STREQ(to_string(RunStatus::kCancelled), "cancelled");
+}
+
+TEST(ParallelForCancel, PreTrippedControlRunsNoBody) {
+  ThreadPool pool(4);
+  RunControl control;
+  control.request_cancel();
+  std::atomic<int> hits{0};
+  EXPECT_THROW(pool.parallel_for(
+                   0, 100, [&](std::size_t) { hits.fetch_add(1); }, &control),
+               CancelledError);
+  EXPECT_EQ(hits.load(), 0);
+}
+
+TEST(ParallelForCancel, TripMidLoopSkipsRemainingChunks) {
+  ThreadPool pool(4);
+  RunControl control;
+  std::atomic<int> hits{0};
+  // A large range so the trip (fired from the body) leaves later chunks
+  // unclaimed. Exact counts depend on chunking; only the invariants hold:
+  // some bodies ran, some were skipped, and CancelledError surfaced.
+  EXPECT_THROW(pool.parallel_for(
+                   0, 100000,
+                   [&](std::size_t) {
+                     if (hits.fetch_add(1) == 50) control.request_cancel();
+                   },
+                   &control),
+               CancelledError);
+  EXPECT_GT(hits.load(), 0);
+  EXPECT_LT(hits.load(), 100000);
+}
+
+TEST(ParallelForCancel, UntrippedControlIsTransparent) {
+  ThreadPool pool(4);
+  RunControl control;
+  std::vector<std::atomic<int>> per_index(512);
+  pool.parallel_for(
+      0, per_index.size(),
+      [&](std::size_t i) { per_index[i].fetch_add(1); }, &control);
+  for (const auto& hit : per_index) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForCancel, TripAfterLastIterationCompletesNormally) {
+  // A control that trips after every iteration already ran must NOT throw:
+  // the results are complete, so the caller may keep them.
+  ThreadPool pool(1);
+  RunControl control;
+  std::atomic<int> hits{0};
+  pool.parallel_for(
+      0, 10,
+      [&](std::size_t i) {
+        hits.fetch_add(1);
+        if (i == 9) control.request_cancel();
+      },
+      &control);
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ParallelForCancel, BodyExceptionBeatsCancellation) {
+  // When a body throws AND the control trips, the body's exception is what
+  // the caller sees (CancelledError would hide the root cause).
+  ThreadPool pool(4);
+  RunControl control;
+  try {
+    pool.parallel_for(
+        0, 1000,
+        [&](std::size_t i) {
+          if (i == 3) {
+            control.request_cancel();
+            throw std::runtime_error("body failure");
+          }
+        },
+        &control);
+    FAIL() << "expected the body exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "body failure");
+  }
+}
+
+TEST(ParallelForCancel, SerialPathHonoursControl) {
+  ThreadPool pool(1);  // single worker runs the loop inline
+  RunControl control;
+  std::atomic<int> hits{0};
+  EXPECT_THROW(pool.parallel_for(
+                   0, 100,
+                   [&](std::size_t) {
+                     if (hits.fetch_add(1) == 10) control.request_cancel();
+                   },
+                   &control),
+               CancelledError);
+  EXPECT_EQ(hits.load(), 11);
+}
+
+TEST(ParallelForCancel, NestedCancellationPropagates) {
+  ThreadPool pool(4);
+  RunControl control;
+  std::atomic<int> outer_done{0};
+  std::atomic<bool> inner_cancelled{false};
+  try {
+    pool.parallel_for(
+        0, 8,
+        [&](std::size_t) {
+          try {
+            pool.parallel_for(
+                0, 10000,
+                [&](std::size_t j) {
+                  if (j == 100) control.request_cancel();
+                },
+                &control);
+          } catch (const CancelledError&) {
+            inner_cancelled.store(true);
+            throw;
+          }
+          outer_done.fetch_add(1);
+        },
+        &control);
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError&) {
+  }
+  EXPECT_TRUE(inner_cancelled.load());
+  EXPECT_LT(outer_done.load(), 8);
+}
+
+TEST(ParallelForCancel, PoolFullyUsableAfterCancelledCall) {
+  // No task leak: a cancelled call must leave no stale work behind that
+  // could touch a destroyed body, and the pool must keep functioning.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    RunControl control;
+    control.request_cancel();
+    std::atomic<int> hits{0};
+    EXPECT_THROW(pool.parallel_for(
+                     0, 64, [&](std::size_t) { hits.fetch_add(1); },
+                     &control),
+                 CancelledError);
+    EXPECT_EQ(hits.load(), 0);
+
+    std::vector<std::atomic<int>> per_index(64);
+    pool.parallel_for(0, per_index.size(),
+                      [&](std::size_t i) { per_index[i].fetch_add(1); });
+    for (const auto& hit : per_index) ASSERT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelForCancel, CancelFromAnotherThread) {
+  ThreadPool pool(4);
+  RunControl control;
+  std::atomic<int> hits{0};
+  std::thread cancer([&] {
+    while (hits.load() == 0) std::this_thread::yield();
+    control.request_cancel();
+  });
+  try {
+    pool.parallel_for(
+        0, 2000000,
+        [&](std::size_t) {
+          hits.fetch_add(1);
+          std::this_thread::yield();
+        },
+        &control);
+  } catch (const CancelledError&) {
+  }
+  cancer.join();
+  EXPECT_GT(hits.load(), 0);
+}
+
+}  // namespace
+}  // namespace dalut::util

@@ -5,17 +5,39 @@
 //   configuration file, a synthesis-style cost report, Verilog, and a
 //   self-checking testbench.
 //
+// Robustness contract (docs/robustness.md):
+//   --deadline    bounds the run; on expiry the search stops cooperatively
+//                 and the best-so-far result is realized and emitted.
+//   SIGINT/SIGTERM request the same graceful stop (SIGKILL, of course,
+//                 cannot be intercepted; use --checkpoint to survive it).
+//   --checkpoint  cuts an atomic, crash-safe snapshot of the search every
+//                 --checkpoint-every bit-steps; --resume continues from it
+//                 bit-identically to an uninterrupted run. A run that
+//                 completes deletes its checkpoint.
+//
+// Exit codes: 0 success, 1 fatal error, 2 usage error, 3 input parse
+// error, 4 deadline expired (valid best-so-far emitted), 5 cancelled by
+// signal (valid best-so-far emitted).
+//
 // Examples:
 //   dalut_opt --benchmark cos --width 12 --arch bto-normal-nd --report
 //   dalut_opt --table f.dalut --algorithm dalta --config-out f.cfg
 //   dalut_opt --benchmark multiplier --verilog-out mult.v
 //             --testbench-out mult_tb.v --tech my45nm.tech
+//   dalut_opt --benchmark log2 --deadline 30s --checkpoint ck.dalut
+//   dalut_opt --benchmark log2 --checkpoint ck.dalut --resume
+#include <cctype>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <optional>
+#include <stdexcept>
 
 #include "core/bound_size.hpp"
 #include "core/bssa.hpp"
+#include "core/checkpoint.hpp"
 #include "core/dalta.hpp"
 #include "core/serialize.hpp"
 #include "core/table_io.hpp"
@@ -26,11 +48,25 @@
 #include "hw/tech_io.hpp"
 #include "hw/verilog.hpp"
 #include "util/cli.hpp"
+#include "util/run_control.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace dalut;
+
+constexpr int kExitOk = 0;
+constexpr int kExitFatal = 1;
+// kExitUsage = 2 is produced by CliParser directly (std::exit in parse()).
+constexpr int kExitParse = 3;
+constexpr int kExitDeadline = 4;
+constexpr int kExitCancelled = 5;
+
+// The RunControl outlives main()'s locals so the signal handler can reach
+// it; request_cancel() is a relaxed atomic store, hence async-signal-safe.
+util::RunControl g_control;
+
+extern "C" void handle_stop_signal(int) { g_control.request_cancel(); }
 
 std::optional<core::MultiOutputFunction> load_function(
     const util::CliParser& cli) {
@@ -66,9 +102,44 @@ core::CostMetric parse_metric(const std::string& name) {
   return core::CostMetric::kMed;
 }
 
-}  // namespace
+/// "30" or "30s" = seconds, "5m" = minutes, "2h" = hours.
+std::chrono::nanoseconds parse_deadline(const std::string& text) {
+  std::string number = text;
+  double scale = 1.0;
+  if (!number.empty()) {
+    switch (number.back()) {
+      case 's':
+        number.pop_back();
+        break;
+      case 'm':
+        scale = 60.0;
+        number.pop_back();
+        break;
+      case 'h':
+        scale = 3600.0;
+        number.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  std::size_t pos = 0;
+  double seconds = 0.0;
+  try {
+    seconds = std::stod(number, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (number.empty() || pos != number.size() || seconds <= 0.0) {
+    throw std::invalid_argument("--deadline wants a positive duration like "
+                                "'45', '30s', '5m', or '1h', got '" +
+                                text + "'");
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds * scale));
+}
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   util::CliParser cli(
       "dalut_opt - optimize an approximate LUT decomposition and emit "
       "configuration / report / RTL");
@@ -100,10 +171,70 @@ int main(int argc, char** argv) {
                "probe every bound-set size first and pick the best "
                "within --med-budget (0 = most accurate)");
   cli.add_option("med-budget", "0", "MED budget for --sweep-bound");
-  if (!cli.parse(argc, argv)) return 0;
+  cli.add_option("deadline", "",
+                 "wall-clock budget ('30s', '5m', '1h'); on expiry the "
+                 "best-so-far result is emitted and exit code is 4");
+  cli.add_option("checkpoint", "",
+                 "crash-safe search checkpoint file, rewritten atomically "
+                 "during the run and deleted on success");
+  cli.add_option("checkpoint-every", "2",
+                 "bit-steps between checkpoints (with --checkpoint)");
+  cli.add_flag("resume",
+               "continue from --checkpoint (bit-identical to an "
+               "uninterrupted run); fresh start if the file is missing");
+  if (!cli.parse(argc, argv)) return kExitOk;
+
+  // --- Run control: deadline + signals. ---
+  util::RunControl& control = g_control;
+  if (const auto deadline = cli.str("deadline"); !deadline.empty()) {
+    control.set_deadline_after(parse_deadline(deadline));
+  }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  control.set_progress_callback(
+      [](const util::RunProgress& p) {
+        std::fprintf(stderr,
+                     "progress: %s round %u bit %u (step %zu/%zu, best "
+                     "%.4f)\n",
+                     p.stage, p.round, p.bit, p.steps_done, p.steps_total,
+                     p.best_error);
+      },
+      std::chrono::seconds(5));
+
+  // --- Checkpoint / resume. ---
+  const auto checkpoint_path = cli.str("checkpoint");
+  const auto checkpoint_every =
+      static_cast<unsigned>(cli.integer("checkpoint-every"));
+  if (cli.flag("resume") && checkpoint_path.empty()) {
+    std::fprintf(stderr, "error: --resume needs --checkpoint <file>\n");
+    return kExitFatal;
+  }
+  std::optional<core::SearchCheckpoint> resume_state;
+  if (cli.flag("resume")) {
+    std::ifstream probe(checkpoint_path);
+    if (probe) {
+      resume_state = core::load_checkpoint(checkpoint_path);
+      std::fprintf(stderr,
+                   "resuming from %s (%s, round %u, %u bits done, %.2f s "
+                   "elapsed)\n",
+                   checkpoint_path.c_str(), resume_state->algorithm.c_str(),
+                   resume_state->round, resume_state->bits_done,
+                   resume_state->elapsed_seconds);
+    } else {
+      std::fprintf(stderr,
+                   "note: checkpoint '%s' not found, starting fresh\n",
+                   checkpoint_path.c_str());
+    }
+  }
+  std::function<void(const core::SearchCheckpoint&)> sink;
+  if (!checkpoint_path.empty()) {
+    sink = [&checkpoint_path](const core::SearchCheckpoint& ck) {
+      core::save_checkpoint(checkpoint_path, ck);
+    };
+  }
 
   const auto function = load_function(cli);
-  if (!function) return 1;
+  if (!function) return kExitFatal;
   const auto& g = *function;
   const auto dist = core::InputDistribution::uniform(g.num_inputs());
   util::ThreadPool pool(static_cast<std::size_t>(cli.integer("threads")));
@@ -124,6 +255,7 @@ int main(int argc, char** argv) {
     sweep.probe.sa.chains = static_cast<unsigned>(cli.integer("chains"));
     sweep.probe.seed = static_cast<std::uint64_t>(cli.integer("seed"));
     sweep.probe.pool = &pool;
+    sweep.probe.control = &control;
     double budget = cli.real("med-budget");
     if (budget <= 0.0) budget = -1.0;  // unreachable -> most accurate size
     const auto chosen = core::choose_bound_size(g, dist, budget, sweep);
@@ -145,7 +277,7 @@ int main(int argc, char** argv) {
                                             cli.real("delta-prime"));
   } else if (arch_name != "dalta") {
     std::fprintf(stderr, "error: unknown arch '%s'\n", arch_name.c_str());
-    return 1;
+    return kExitFatal;
   }
 
   // --- Optimize. ---
@@ -154,7 +286,7 @@ int main(int argc, char** argv) {
     if (arch != hw::ArchKind::kDalta) {
       std::fprintf(stderr,
                    "error: the DALTA algorithm only supports --arch dalta\n");
-      return 1;
+      return kExitFatal;
     }
     core::DaltaParams params;
     params.bound_size = bound;
@@ -164,6 +296,10 @@ int main(int argc, char** argv) {
     params.metric = parse_metric(cli.str("metric"));
     params.seed = static_cast<std::uint64_t>(cli.integer("seed"));
     params.pool = &pool;
+    params.control = &control;
+    params.checkpoint_every = sink ? checkpoint_every : 0;
+    params.checkpoint_sink = sink;
+    params.resume = resume_state ? &*resume_state : nullptr;
     result = core::run_dalta(g, dist, params);
   } else if (cli.str("algorithm") == "bssa") {
     core::BssaParams params;
@@ -178,13 +314,23 @@ int main(int argc, char** argv) {
     params.metric = parse_metric(cli.str("metric"));
     params.seed = static_cast<std::uint64_t>(cli.integer("seed"));
     params.pool = &pool;
+    params.control = &control;
+    params.checkpoint_every = sink ? checkpoint_every : 0;
+    params.checkpoint_sink = sink;
+    params.resume = resume_state ? &*resume_state : nullptr;
     result = core::run_bssa(g, dist, params);
   } else {
     std::fprintf(stderr, "error: unknown algorithm '%s'\n",
                  cli.str("algorithm").c_str());
-    return 1;
+    return kExitFatal;
   }
 
+  if (result.status != util::RunStatus::kCompleted) {
+    std::fprintf(stderr,
+                 "note: run stopped early (%s); emitting the best-so-far "
+                 "result\n",
+                 util::to_string(result.status));
+  }
   std::printf(
       "optimized %u->%u-bit function: MED %.4f, MSE %.4f, error rate %.4f, "
       "max ED %g\n",
@@ -205,7 +351,7 @@ int main(int argc, char** argv) {
     if (!in) {
       std::fprintf(stderr, "error: cannot open tech file '%s'\n",
                    tech_path.c_str());
-      return 1;
+      return kExitFatal;
     }
     tech = hw::read_technology(in);
   }
@@ -219,7 +365,7 @@ int main(int argc, char** argv) {
   if (sim.mismatches != 0) {
     std::fprintf(stderr, "FATAL: %zu hardware/functional mismatches\n",
                  sim.mismatches);
-    return 1;
+    return kExitFatal;
   }
   std::printf("hardware verified (1024 reads), avg %.0f fJ/read\n",
               sim.avg_read_energy);
@@ -246,5 +392,33 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cli.integer("seed")));
     std::printf("wrote testbench to %s\n", path.c_str());
   }
-  return 0;
+
+  switch (result.status) {
+    case util::RunStatus::kDeadlineExpired:
+      return kExitDeadline;
+    case util::RunStatus::kCancelled:
+      return kExitCancelled;
+    case util::RunStatus::kCompleted:
+      break;
+  }
+  // A finished run leaves no stale checkpoint behind; a later --resume then
+  // simply starts fresh (and lands on the identical result).
+  if (!checkpoint_path.empty()) std::remove(checkpoint_path.c_str());
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& error) {
+    // Malformed inputs (truth tables, configurations, checkpoints, option
+    // values) raise invalid_argument with line-anchored messages.
+    std::fprintf(stderr, "parse error: %s\n", error.what());
+    return kExitParse;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fatal: %s\n", error.what());
+    return kExitFatal;
+  }
 }
