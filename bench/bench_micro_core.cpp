@@ -13,6 +13,8 @@
 #include "core/sa_search.hpp"
 #include "func/registry.hpp"
 #include "hw/simulator.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_writer.hpp"
 
 namespace {
 
@@ -175,6 +177,37 @@ void BM_FindBestSettings(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FindBestSettings)->Arg(10)->Arg(40);
+
+void BM_TelemetryOverhead(benchmark::State& state) {
+  // The instrumented SA hot path — find_best_settings drives OptForPart per
+  // candidate and carries the sa.* counters and sweep spans — with telemetry
+  // off (Arg 0) vs. metrics + tracing on (Arg 1). The delta between the two
+  // rows is the telemetry tax; the acceptance bound is < 2%
+  // (docs/observability.md).
+  const unsigned width = 10;
+  const auto g = make_cos(width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  core::SaParams params;
+  params.partition_limit = 20;
+  params.init_patterns = 8;
+  params.chains = 3;
+  const bool enabled = state.range(0) != 0;
+  util::telemetry::set_metrics_enabled(enabled);
+  util::telemetry::set_tracing_enabled(enabled);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    auto result = core::find_best_settings(width, 6, costs.c0, costs.c1, 3,
+                                           params, rng, nullptr, false);
+    benchmark::DoNotOptimize(result.top.data());
+  }
+  util::telemetry::set_metrics_enabled(false);
+  util::telemetry::set_tracing_enabled(false);
+  util::telemetry::reset_metrics_for_test();
+  util::telemetry::reset_tracing_for_test();
+}
+BENCHMARK(BM_TelemetryOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // ---- Parallel scaling: Arg is the pool worker count (0 = no pool). ----
 // Run with several Args to measure speedup; results are bit-identical

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "util/trace_writer.hpp"
+
 namespace dalut::core {
 
 namespace {
@@ -37,6 +39,7 @@ BitCostArrays build_bit_costs(const MultiOutputFunction& g,
                               unsigned k, LsbModel model,
                               const InputDistribution& dist,
                               CostMetric metric, util::ThreadPool* pool) {
+  const util::telemetry::Span span("build_bit_costs");
   assert(k < g.num_outputs());
   assert(approx_values.size() == g.domain_size());
   assert(dist.num_inputs() == g.num_inputs());

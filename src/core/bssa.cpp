@@ -9,11 +9,28 @@
 
 #include "core/bit_cost.hpp"
 #include "core/partition_opt.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
+#include "util/trace_writer.hpp"
 
 namespace dalut::core {
 
 namespace {
+
+/// Write-only registry handles for the BS-SA driver.
+struct BssaMetrics {
+  util::telemetry::Counter bit_steps =
+      util::telemetry::Counter::get("bssa.bit_steps");
+  util::telemetry::Counter beam_candidates =
+      util::telemetry::Counter::get("bssa.beam_candidates");
+  util::telemetry::Counter nd_trials =
+      util::telemetry::Counter::get("bssa.nd_trials");
+};
+
+BssaMetrics& bssa_metrics() {
+  static BssaMetrics metrics;
+  return metrics;
+}
 
 /// One beam of the first-round search: a partial setting sequence (bits
 /// m-1..k already decided), the realized approximate values of those bits,
@@ -206,6 +223,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
         interrupted = true;
         break;
       }
+      const util::telemetry::Span bit_span("bssa.beam_bit");
       // Each beam's cost build + FindBestSettings is independent of the
       // others, so beams extend in parallel. RNGs are pre-forked in beam
       // order and results merge in beam order, keeping the outcome identical
@@ -260,6 +278,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
         interrupted = true;  // no search produced a candidate
         break;
       }
+      bssa_metrics().beam_candidates.add(extended.size());
       // FindTops: keep the N_beam sequences with the least error. Stable so
       // equal-error sequences keep their (deterministic) build order.
       std::stable_sort(
@@ -269,6 +288,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
         extended.resize(params.beam_width);
       }
       beams = std::move(extended);
+      bssa_metrics().bit_steps.add(1);
 
       report("beam-search", 1, k, beams.front().error);
       if (checkpoint_due()) {
@@ -293,6 +313,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
           interrupted = true;
           break;
         }
+        const util::telemetry::Span bit_span("bssa.refine_bit");
         const auto costs =
             build_bit_costs(g, best.cache, k, LsbModel::kCurrentApprox, dist,
                             params.metric, params.pool);
@@ -330,6 +351,8 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
 
           Setting nd;  // best ND over the top normal partitions
           if (params.modes.allow_nd && !found.top.empty()) {
+            const util::telemetry::Span nd_span("bssa.nd_round");
+            bssa_metrics().nd_trials.add(found.top.size());
             // Every candidate's shared-bit enumeration is independent:
             // pre-fork the RNGs, evaluate in parallel, reduce in index
             // order.
@@ -409,6 +432,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
         best.settings[k] = std::move(chosen);
         write_bit_to_cache(best.cache, k, best.settings[k]);
         best.error = best.settings[k].error;
+        bssa_metrics().bit_steps.add(1);
         if (debug_bssa) {
           std::fprintf(stderr,
                        "round=%u k=%u inc(mode=%d,e=%.4f) chosen(mode=%d,"

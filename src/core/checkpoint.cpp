@@ -9,6 +9,8 @@
 #include <stdexcept>
 
 #include "core/serialize_detail.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_writer.hpp"
 
 #ifdef _WIN32
 #include <io.h>
@@ -185,12 +187,23 @@ SearchCheckpoint checkpoint_from_string(const std::string& text) {
 }
 
 void save_checkpoint(const std::string& path, const SearchCheckpoint& ck) {
+  const util::telemetry::Span span("checkpoint.save");
+  static const util::telemetry::Counter saves =
+      util::telemetry::Counter::get("checkpoint.saves");
+  static const util::telemetry::Counter bytes =
+      util::telemetry::Counter::get("checkpoint.bytes");
+  static const util::telemetry::Histogram save_ms =
+      util::telemetry::Histogram::get(
+          "checkpoint.save_ms", {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100});
+  const auto start = std::chrono::steady_clock::now();
   const std::string tmp = path + ".tmp";
+  std::size_t written = 0;
   {
     // C stdio instead of ofstream: we need the file descriptor for fsync.
     std::FILE* file = std::fopen(tmp.c_str(), "wb");
     if (file == nullptr) io_fail("cannot create checkpoint", tmp);
     const std::string text = checkpoint_to_string(ck);
+    written = text.size();
     const bool wrote =
         std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
         std::fflush(file) == 0;
@@ -208,6 +221,11 @@ void save_checkpoint(const std::string& path, const SearchCheckpoint& ck) {
     std::remove(tmp.c_str());
     io_fail("cannot publish checkpoint", path);
   }
+  saves.add(1);
+  bytes.add(written);
+  save_ms.observe(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
 }
 
 SearchCheckpoint load_checkpoint(const std::string& path) {

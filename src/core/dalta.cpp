@@ -6,11 +6,26 @@
 #include <utility>
 
 #include "core/partition_opt.hpp"
+#include "util/telemetry.hpp"
 #include "util/timer.hpp"
+#include "util/trace_writer.hpp"
 
 namespace dalut::core {
 
 namespace {
+
+/// Write-only registry handles for the DALTA driver.
+struct DaltaMetrics {
+  util::telemetry::Counter bit_steps =
+      util::telemetry::Counter::get("dalta.bit_steps");
+  util::telemetry::Counter candidates =
+      util::telemetry::Counter::get("dalta.candidates");
+};
+
+DaltaMetrics& dalta_metrics() {
+  static DaltaMetrics metrics;
+  return metrics;
+}
 
 std::uint64_t dalta_digest(const MultiOutputFunction& g,
                            const DaltaParams& params) {
@@ -151,6 +166,7 @@ DecompositionResult run_dalta(const MultiOutputFunction& g,
         interrupted = true;
         break;
       }
+      const util::telemetry::Span bit_span("dalta.bit");
       const auto costs =
           build_bit_costs(g, cache, k, model, dist, params.metric,
                           params.pool);
@@ -187,6 +203,8 @@ DecompositionResult run_dalta(const MultiOutputFunction& g,
         break;
       }
       result.partitions_evaluated += candidates.size();
+      dalta_metrics().bit_steps.add(1);
+      dalta_metrics().candidates.add(candidates.size());
 
       std::size_t best = 0;
       for (std::size_t i = 1; i < settings.size(); ++i) {

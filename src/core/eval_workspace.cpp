@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "util/bits.hpp"
+#include "util/telemetry.hpp"
 
 namespace dalut::core {
 
@@ -35,6 +36,7 @@ struct MemoStats {
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
   std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> pending_evictions{0};
   std::atomic<std::uint64_t> gathers{0};
   std::atomic<std::uint64_t> slices{0};
 };
@@ -42,6 +44,29 @@ struct MemoStats {
 MemoStats& memo_stats() {
   static MemoStats stats;
   return stats;
+}
+
+/// Registry mirrors of the MemoStats atomics. The atomics stay authoritative
+/// for eval_cache_stats() (reset_eval_cache zeroes them without touching the
+/// registry); these write-only counters feed the exported snapshot.
+struct MemoMetrics {
+  util::telemetry::Counter hits =
+      util::telemetry::Counter::get("evalcache.hits");
+  util::telemetry::Counter misses =
+      util::telemetry::Counter::get("evalcache.misses");
+  util::telemetry::Counter evictions =
+      util::telemetry::Counter::get("evalcache.evictions");
+  util::telemetry::Counter pending_evictions =
+      util::telemetry::Counter::get("evalcache.pending_evictions");
+  util::telemetry::Counter gathers =
+      util::telemetry::Counter::get("evalcache.gathers");
+  util::telemetry::Counter slices =
+      util::telemetry::Counter::get("evalcache.slices");
+};
+
+MemoMetrics& memo_metrics() {
+  static MemoMetrics metrics;
+  return metrics;
 }
 
 std::size_t default_capacity() {
@@ -86,9 +111,14 @@ class GatherMemo {
       // Evict a small arbitrary batch rather than flushing the whole set, so
       // an overflow only delays admission for a handful of pending keys.
       auto it = seen_.begin();
+      std::uint64_t evicted = 0;
       for (unsigned i = 0; i < 64 && it != seen_.end(); ++i) {
         it = seen_.erase(it);
+        ++evicted;
       }
+      memo_stats().pending_evictions.fetch_add(evicted,
+                                               std::memory_order_relaxed);
+      memo_metrics().pending_evictions.add(evicted);
     }
     seen_.insert(key);
     return false;
@@ -142,6 +172,7 @@ class GatherMemo {
     memo_stats().hits = 0;
     memo_stats().misses = 0;
     memo_stats().evictions = 0;
+    memo_stats().pending_evictions = 0;
     memo_stats().gathers = 0;
     memo_stats().slices = 0;
   }
@@ -177,6 +208,7 @@ class GatherMemo {
     recycle(std::move(oldest->second.matrix));
     map_.erase(oldest);
     memo_stats().evictions.fetch_add(1, std::memory_order_relaxed);
+    memo_metrics().evictions.add(1);
   }
 
   static constexpr std::size_t kMaxFree = 16;
@@ -199,6 +231,8 @@ EvalCacheStats eval_cache_stats() {
   stats.hits = counters.hits.load(std::memory_order_relaxed);
   stats.misses = counters.misses.load(std::memory_order_relaxed);
   stats.evictions = counters.evictions.load(std::memory_order_relaxed);
+  stats.pending_evictions =
+      counters.pending_evictions.load(std::memory_order_relaxed);
   stats.gathers = counters.gathers.load(std::memory_order_relaxed);
   stats.slices = counters.slices.load(std::memory_order_relaxed);
   GatherMemo::instance().snapshot(stats);
@@ -304,6 +338,7 @@ void EvalWorkspace::gather_into(InterleavedCostMatrix& out,
     }
   }
   memo_stats().gathers.fetch_add(1, std::memory_order_relaxed);
+  memo_metrics().gathers.add(1);
 }
 
 MatrixRef EvalWorkspace::full_matrix(const Partition& partition,
@@ -313,9 +348,11 @@ MatrixRef EvalWorkspace::full_matrix(const Partition& partition,
     const MemoKey key{costs.epoch, partition.bound_mask()};
     if (auto cached = memo.find(key)) {
       memo_stats().hits.fetch_add(1, std::memory_order_relaxed);
+      memo_metrics().hits.add(1);
       return MatrixRef(std::move(cached));
     }
     memo_stats().misses.fetch_add(1, std::memory_order_relaxed);
+    memo_metrics().misses.add(1);
     if (memo.promote(key)) {
       auto fresh = memo.acquire();
       gather_into(*fresh, partition, costs);
@@ -370,6 +407,7 @@ const InterleavedCostMatrix& EvalWorkspace::conditioned(
     }
   }
   memo_stats().slices.fetch_add(1, std::memory_order_relaxed);
+  memo_metrics().slices.add(1);
   return cond_scratch_;
 }
 

@@ -120,6 +120,7 @@ struct EvalCacheStats {
   std::uint64_t hits = 0;        ///< full-matrix builds served from the memo
   std::uint64_t misses = 0;      ///< memo lookups that had to gather
   std::uint64_t evictions = 0;   ///< entries dropped to stay under the cap
+  std::uint64_t pending_evictions = 0;  ///< two-touch pending keys batch-evicted
   std::uint64_t gathers = 0;     ///< scattered full-matrix gathers performed
   std::uint64_t slices = 0;      ///< conditioned matrices sliced
   std::uint64_t entries = 0;     ///< live memo entries

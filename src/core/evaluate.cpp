@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/trace_writer.hpp"
+
 namespace dalut::core {
 
 namespace {
@@ -67,6 +69,7 @@ ErrorReport error_report(const MultiOutputFunction& g,
                          const std::vector<OutputWord>& approx_values,
                          const InputDistribution& dist,
                          util::ThreadPool* pool) {
+  const util::telemetry::Span span("error_report");
   assert(approx_values.size() == g.domain_size());
   const std::size_t domain = g.domain_size();
 

@@ -7,9 +7,43 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/telemetry.hpp"
+#include "util/trace_writer.hpp"
+
 namespace dalut::core {
 
 namespace {
+
+/// Registry handles for the SA search. Write-only: nothing here is ever read
+/// back, so the trajectory is bit-identical with telemetry on or off.
+struct SaMetrics {
+  util::telemetry::Counter sweeps = util::telemetry::Counter::get("sa.sweeps");
+  util::telemetry::Counter proposals =
+      util::telemetry::Counter::get("sa.proposals");
+  util::telemetry::Counter evaluated =
+      util::telemetry::Counter::get("sa.evaluated");
+  util::telemetry::Counter dedup_skipped =
+      util::telemetry::Counter::get("sa.dedup_skipped");
+  util::telemetry::Counter moves_downhill =
+      util::telemetry::Counter::get("sa.moves_downhill");
+  util::telemetry::Counter moves_uphill =
+      util::telemetry::Counter::get("sa.moves_uphill");
+  util::telemetry::Counter moves_rejected =
+      util::telemetry::Counter::get("sa.moves_rejected");
+  util::telemetry::Counter chains_finished =
+      util::telemetry::Counter::get("sa.chains_finished");
+  util::telemetry::Histogram batch_size = util::telemetry::Histogram::get(
+      "sa.batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256, 512});
+  util::telemetry::Gauge temperature =
+      util::telemetry::Gauge::get("sa.temperature");
+  util::telemetry::Gauge best_error =
+      util::telemetry::Gauge::get("sa.best_error");
+};
+
+SaMetrics& sa_metrics() {
+  static SaMetrics metrics;
+  return metrics;
+}
 
 /// Keeps `top` sorted ascending by error with at most `limit` entries and at
 /// most one entry per partition.
@@ -77,6 +111,8 @@ class SaSearch {
       // merged sweep is complete, so the tops are always a valid prefix of
       // the uninterrupted search.
       if (control_ != nullptr && control_->stop_requested()) break;
+      const util::telemetry::Span sweep_span("sa.sweep");
+      sa_metrics().sweeps.add(1);
       // Phase 1 — propose. Serial and index-ordered: each chain draws only
       // from its own pre-forked RNG, so the proposal set is identical
       // regardless of pool presence or worker count.
@@ -103,10 +139,12 @@ class SaSearch {
       std::vector<Partition> batch;
       std::unordered_set<std::uint32_t> fresh_masks;
       for (const auto& chain : chains) {
+        sa_metrics().proposals.add(chain.pending.size());
         for (const auto& p : chain.pending) {
           if (batch.size() >= room) break;
           const std::uint32_t mask = p.bound_mask();
           if (state_.visited.contains(mask) || fresh_masks.contains(mask)) {
+            sa_metrics().dedup_skipped.add(1);
             continue;
           }
           fresh_masks.insert(mask);
@@ -114,6 +152,8 @@ class SaSearch {
         }
         if (batch.size() >= room) break;
       }
+      sa_metrics().evaluated.add(batch.size());
+      sa_metrics().batch_size.observe(static_cast<double>(batch.size()));
 
       // Phase 3 — one parallel evaluation of the whole batch; results merge
       // into Phi in index order on this thread. A control trip mid-batch
@@ -124,10 +164,20 @@ class SaSearch {
       // Phase 4 — step every chain against the updated Phi (serial,
       // index-ordered; only chain-local RNG draws happen here).
       any_active = false;
+      double hottest_tau = 0.0;
       for (auto& chain : chains) {
         if (chain.done) continue;
         step(chain, fresh_masks);
-        if (!chain.done) any_active = true;
+        if (chain.done) {
+          sa_metrics().chains_finished.add(1);
+        } else {
+          any_active = true;
+          hottest_tau = std::max(hottest_tau, chain.tau);
+        }
+      }
+      if (any_active) sa_metrics().temperature.set(hottest_tau);
+      if (std::isfinite(state_.best_error)) {
+        sa_metrics().best_error.set(state_.best_error);
       }
     }
 
@@ -241,6 +291,7 @@ class SaSearch {
       if (best_nb_error <= chain.current_error) {
         chain.current = *best_nb;
         chain.current_error = best_nb_error;
+        sa_metrics().moves_downhill.add(1);
       } else {
         const double denom = std::max(chain.tau * state_.best_error, 1e-300);
         const double accept =
@@ -248,6 +299,9 @@ class SaSearch {
         if (chain.rng.next_double() < accept) {
           chain.current = *best_nb;
           chain.current_error = best_nb_error;
+          sa_metrics().moves_uphill.add(1);
+        } else {
+          sa_metrics().moves_rejected.add(1);
         }
       }
       chain.tau *= params_.cooling;

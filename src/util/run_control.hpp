@@ -123,13 +123,19 @@ class RunControl {
 
   /// Called by searches after each completed step; forwards to the observer
   /// (throttled; the first report always fires). Must only be called from
-  /// the thread driving the search.
-  void report_progress(const RunProgress& progress) {
+  /// the thread driving the search. An at-completion report
+  /// (steps_done >= steps_total with a known total) bypasses the throttle,
+  /// as does `force = true`, so the final state of a run is never silently
+  /// dropped.
+  void report_progress(const RunProgress& progress, bool force = false) {
     if (!progress_) return;
+    const bool at_completion =
+        progress.steps_total != 0 && progress.steps_done >= progress.steps_total;
     const auto now = Clock::now();
     // A time_point::min() sentinel would overflow `now - last_progress_`,
     // so first-report is tracked explicitly.
-    if (progress_reported_ && now - last_progress_ < progress_interval_) {
+    if (!force && !at_completion && progress_reported_ &&
+        now - last_progress_ < progress_interval_) {
       return;
     }
     progress_reported_ = true;

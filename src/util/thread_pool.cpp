@@ -2,12 +2,29 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+
+#include "util/telemetry.hpp"
 
 namespace dalut::util {
 
 namespace {
+
+/// Write-only pool counters. `pool.tasks` and `pool.idle_ns` are registered
+/// with per-thread detail, so snapshots carry a per-worker breakdown.
+struct PoolMetrics {
+  telemetry::Counter calls = telemetry::Counter::get("pool.parallel_for_calls");
+  telemetry::Counter chunks = telemetry::Counter::get("pool.chunks");
+  telemetry::Counter tasks = telemetry::Counter::get("pool.tasks", true);
+  telemetry::Counter idle_ns = telemetry::Counter::get("pool.idle_ns", true);
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics metrics;
+  return metrics;
+}
 
 /// Shared state of one parallel_for call. Every queued task holds this by
 /// shared_ptr, so a task popped after the call returned finds all chunks
@@ -42,6 +59,7 @@ struct ParallelForState {
           (control != nullptr && control->stop_requested())) {
         chunks_skipped.fetch_add(1, std::memory_order_relaxed);
       } else {
+        pool_metrics().chunks.add(1);
         const std::size_t lo = begin + c * chunk;
         const std::size_t hi = std::min(lo + chunk, end);
         try {
@@ -85,15 +103,28 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  using Clock = std::chrono::steady_clock;
   for (;;) {
     std::function<void()> task;
     {
+      // Idle time is measured only while metrics are on: two clock reads
+      // around the wait, charged to this worker's shard. The duration never
+      // reaches the search — it exists only in exported snapshots.
+      const bool timed = telemetry::metrics_enabled();
+      const auto wait_start = timed ? Clock::now() : Clock::time_point{};
       std::unique_lock lock(mutex_);
       work_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (timed) {
+        pool_metrics().idle_ns.add(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - wait_start)
+                .count()));
+      }
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    pool_metrics().tasks.add(1);
     task();
   }
 }
@@ -102,6 +133,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body,
                               RunControl* control) {
   if (begin >= end) return;
+  pool_metrics().calls.add(1);
   const std::size_t total = end - begin;
   if (workers_.empty() || total == 1) {
     for (std::size_t i = begin; i < end; ++i) {

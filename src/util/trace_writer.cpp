@@ -1,0 +1,217 @@
+#include "util/trace_writer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/telemetry.hpp"
+
+namespace dalut::util::telemetry {
+
+std::atomic<bool> detail::g_tracing_enabled{false};
+
+namespace {
+
+std::atomic<std::size_t> g_ring_capacity{16384};
+
+/// First-span anchor (steady-clock ns since epoch). Timestamps are offsets
+/// from it so traces start near t=0. Set once, lock-free, by whichever
+/// thread records first.
+std::atomic<std::int64_t> g_anchor{0};
+
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Fixed-capacity ring of one thread's spans. Pushes come only from the
+/// owning thread; the writer thread reads under `mutex`, which the owner
+/// also takes per push (uncontended in steady state — the writer runs after
+/// the search quiesces).
+struct SpanRing {
+  explicit SpanRing(std::uint32_t id, std::size_t capacity)
+      : tid(id), slots(capacity) {}
+
+  /// Returns true when the push overwrote (dropped) the oldest span.
+  bool push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+    std::lock_guard lock(mutex);
+    if (slots.empty()) return false;
+    const bool overwrote = total >= slots.size();
+    if (overwrote) ++dropped;  // overwrites the oldest span
+    slots[head] = {name, start_ns, dur_ns};
+    head = (head + 1) % slots.size();
+    ++total;
+    return overwrote;
+  }
+
+  /// Appends the retained spans, oldest first.
+  void collect(std::vector<SpanRecord>& out) {
+    std::lock_guard lock(mutex);
+    const std::size_t kept = std::min(total, slots.size());
+    for (std::size_t i = 0; i < kept; ++i) {
+      out.push_back(slots[(head + slots.size() - kept + i) % slots.size()]);
+    }
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex);
+    head = 0;
+    total = 0;
+    dropped = 0;
+  }
+
+  std::uint64_t dropped_count() {
+    std::lock_guard lock(mutex);
+    return dropped;
+  }
+
+  const std::uint32_t tid;
+  std::mutex mutex;
+  std::vector<SpanRecord> slots;
+  std::size_t head = 0;    ///< next write position
+  std::size_t total = 0;   ///< spans ever pushed
+  std::uint64_t dropped = 0;
+};
+
+class TraceStore {
+ public:
+  static TraceStore& instance() {
+    static TraceStore* store = new TraceStore();  // never destroyed: rings
+    return *store;  // of late-exiting threads may outlive main()
+  }
+
+  std::shared_ptr<SpanRing> adopt_ring() {
+    std::lock_guard lock(mutex_);
+    auto ring = std::make_shared<SpanRing>(
+        next_tid_++, g_ring_capacity.load(std::memory_order_relaxed));
+    rings_.push_back(ring);
+    return ring;
+  }
+
+  std::vector<std::shared_ptr<SpanRing>> rings() {
+    std::lock_guard lock(mutex_);
+    return rings_;
+  }
+
+  void reset() {
+    std::lock_guard lock(mutex_);
+    // Live rings (still owned by a thread_local) survive with cleared
+    // contents; rings whose thread exited are dropped entirely.
+    std::vector<std::shared_ptr<SpanRing>> kept;
+    for (auto& ring : rings_) {
+      if (ring.use_count() > 1) {
+        ring->clear();
+        kept.push_back(ring);
+      }
+    }
+    rings_ = std::move(kept);
+  }
+
+ private:
+  TraceStore() = default;
+
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<SpanRing>> rings_;
+  std::uint32_t next_tid_ = 1;
+};
+
+SpanRing& local_ring() {
+  thread_local std::shared_ptr<SpanRing> ring =
+      TraceStore::instance().adopt_ring();
+  return *ring;
+}
+
+}  // namespace
+
+std::uint64_t detail::trace_now_ns() noexcept {
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  std::int64_t anchor = g_anchor.load(std::memory_order_acquire);
+  if (anchor == 0) {
+    std::int64_t expected = 0;
+    g_anchor.compare_exchange_strong(expected, now,
+                                     std::memory_order_acq_rel);
+    anchor = g_anchor.load(std::memory_order_acquire);
+  }
+  return static_cast<std::uint64_t>(now - anchor);
+}
+
+void detail::record_span(const char* name, std::uint64_t start_ns,
+                         std::uint64_t dur_ns) noexcept {
+  if (local_ring().push(name, start_ns, dur_ns)) {
+    static const Counter dropped = Counter::get("trace.dropped_spans");
+    dropped.add(1);
+  }
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t dropped_span_count() noexcept {
+  std::uint64_t total = 0;
+  for (const auto& ring : TraceStore::instance().rings()) {
+    total += ring->dropped_count();
+  }
+  return total;
+}
+
+void set_span_ring_capacity(std::size_t spans_per_thread) noexcept {
+  g_ring_capacity.store(spans_per_thread, std::memory_order_relaxed);
+}
+
+void reset_tracing_for_test() {
+  TraceStore::instance().reset();
+  g_anchor.store(0, std::memory_order_release);
+}
+
+namespace {
+
+/// Nanoseconds as fixed-point microseconds ("123456.789") — ostream default
+/// precision would round long-run timestamps.
+std::string format_us(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out) {
+  out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const auto& ring : TraceStore::instance().rings()) {
+    std::vector<SpanRecord> spans;
+    ring->collect(spans);
+    if (!spans.empty()) {
+      // Thread-name metadata event so Perfetto labels the track.
+      out << (first ? "\n" : ",\n")
+          << "    {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+             "\"tid\": "
+          << ring->tid << ", \"args\": {\"name\": \"thread-" << ring->tid
+          << "\"}}";
+      first = false;
+    }
+    for (const auto& span : spans) {
+      out << ",\n    {\"name\": \"" << json_escape(span.name)
+          << "\", \"cat\": \"dalut\", \"ph\": \"X\", \"ts\": "
+          << format_us(span.start_ns) << ", \"dur\": "
+          << format_us(span.dur_ns) << ", \"pid\": 1, \"tid\": " << ring->tid
+          << "}";
+    }
+  }
+  out << "\n  ],\n  \"dropped_spans\": " << dropped_span_count()
+      << "\n}\n";
+}
+
+}  // namespace dalut::util::telemetry

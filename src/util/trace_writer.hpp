@@ -1,0 +1,84 @@
+// Scoped span tracing with Chrome trace-event JSON export.
+//
+// Spans are recorded into per-thread ring buffers: starting/ending a span is
+// two steady_clock reads and one slot write in the owning thread's ring, so
+// tracing can wrap sweep-, batch-, and bit-level sections of the searches
+// without perturbing them. When a ring fills, the oldest spans are dropped
+// first (the tail of a long run is what you usually debug) and the drop is
+// counted — per ring and, when metrics are on, in the
+// `trace.dropped_spans` counter of util/telemetry.hpp.
+//
+// write_chrome_trace() emits the collected spans as Chrome trace-event JSON
+// ("X" complete events, microsecond timestamps relative to the first span
+// anchor) loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Rings of exited threads are retained until reset, so a
+// trace survives worker churn.
+//
+// Like the metrics registry, tracing is write-only for the searches:
+// nothing reads a span back, timestamps land only in the exported artifact,
+// and a disabled tracer reduces Span construction to a relaxed load and a
+// branch. Search results are bit-identical with tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+
+namespace dalut::util::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+std::uint64_t trace_now_ns() noexcept;
+void record_span(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns) noexcept;
+}  // namespace detail
+
+/// Turns span recording on or off process-wide (default: off).
+void set_tracing_enabled(bool on) noexcept;
+
+inline bool tracing_enabled() noexcept {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII span. `name` must outlive the trace (string literals only — the
+/// ring stores the pointer, not a copy).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept
+      : name_(name), start_ns_(0), active_(tracing_enabled()) {
+    if (active_) start_ns_ = detail::trace_now_ns();
+  }
+
+  ~Span() {
+    if (active_) {
+      detail::record_span(name_, start_ns_,
+                          detail::trace_now_ns() - start_ns_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_;
+  bool active_;
+};
+
+/// Emits every retained span (live and retired rings) as a Chrome
+/// trace-event JSON document.
+void write_chrome_trace(std::ostream& out);
+
+/// Spans dropped to ring overflow so far, across all rings.
+std::uint64_t dropped_span_count() noexcept;
+
+/// Ring capacity (spans per thread) for rings created after the call.
+/// Default: 16384. Exists so tests can force overflow cheaply.
+void set_span_ring_capacity(std::size_t spans_per_thread) noexcept;
+
+/// Drops retired rings and clears live ones. Only safe while no other
+/// thread is recording spans (tests and benchmarks).
+void reset_tracing_for_test();
+
+}  // namespace dalut::util::telemetry

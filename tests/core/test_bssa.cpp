@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "func/registry.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace_writer.hpp"
 
 namespace dalut::core {
 namespace {
@@ -178,6 +180,41 @@ TEST(Bssa, BitIdenticalAcrossWorkerCounts) {
         << workers << " workers";
     expect_settings_identical(serial.settings, par.settings);
   }
+}
+
+TEST(Bssa, BitIdenticalWithTelemetryEnabled) {
+  // The observability acceptance gate: metrics + tracing are write-only for
+  // the search, so enabling both must leave settings, MED, and the
+  // partition count bit-identical at any worker count
+  // (docs/observability.md).
+  const auto g = benchmark("cos", 8);
+  const auto dist = InputDistribution::uniform(8);
+  auto params = small_params(17);
+  params.beam_width = 3;
+  params.modes = ModePolicy::bto_normal_nd(0.01, 0.1);
+  const auto baseline = run_bssa(g, dist, params);
+
+  util::telemetry::reset_metrics_for_test();
+  util::telemetry::reset_tracing_for_test();
+  util::telemetry::set_metrics_enabled(true);
+  util::telemetry::set_tracing_enabled(true);
+  for (const std::size_t workers : {1u, 8u}) {
+    util::ThreadPool pool(workers);
+    params.pool = workers == 1 ? nullptr : &pool;
+    const auto traced = run_bssa(g, dist, params);
+    EXPECT_EQ(baseline.med, traced.med) << workers << " workers";
+    EXPECT_EQ(baseline.partitions_evaluated, traced.partitions_evaluated)
+        << workers << " workers";
+    expect_settings_identical(baseline.settings, traced.settings);
+  }
+  // The run did feed the registry — telemetry was live, not bypassed.
+  const auto snap = util::telemetry::snapshot_metrics();
+  EXPECT_GT(snap.counter_value("bssa.bit_steps"), 0u);
+  EXPECT_GT(snap.counter_value("sa.sweeps"), 0u);
+  util::telemetry::set_metrics_enabled(false);
+  util::telemetry::set_tracing_enabled(false);
+  util::telemetry::reset_metrics_for_test();
+  util::telemetry::reset_tracing_for_test();
 }
 
 TEST(Bssa, PoolMatchesSequential) {

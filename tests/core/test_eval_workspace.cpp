@@ -14,6 +14,7 @@
 #include "core/multi_shared.hpp"
 #include "core/partition_opt.hpp"
 #include "util/rng.hpp"
+#include "util/telemetry.hpp"
 
 namespace dalut::core {
 namespace {
@@ -314,6 +315,11 @@ TEST(EvalWorkspaceCache, RevisitedPartitionSkipsTheGather) {
   const auto p = Partition::random(fx.num_inputs, 4, rng);
   const CostView stamped = fx.stamped();
 
+  // The registry mirrors of the memo counters must advance in lock-step
+  // with the MemoStats the cache itself reports.
+  util::telemetry::reset_metrics_for_test();
+  util::telemetry::set_metrics_enabled(true);
+
   // Two-touch admission: the first sighting stays in thread-local scratch,
   // the second publishes the gather, and every later access is a hit that
   // skips the gather entirely.
@@ -345,8 +351,50 @@ TEST(EvalWorkspaceCache, RevisitedPartitionSkipsTheGather) {
   const auto m5 = workspace.full_matrix(p, fx.stamped());
   const auto after_fresh = eval_cache_stats();
   EXPECT_EQ(after_fresh.hits, 2u);
+  EXPECT_EQ(after_fresh.misses, 3u);
   EXPECT_EQ(after_fresh.gathers, 3u);
   expect_same_matrix(m5, CostMatrix::build(p, fx.c0, fx.c1));
+
+  // Registry counters saw the same stream (reset_eval_cache zeroes only the
+  // MemoStats atomics; the registry was reset at the top of the test).
+  const auto snap = util::telemetry::snapshot_metrics();
+  EXPECT_EQ(snap.counter_value("evalcache.hits"), 2u);
+  EXPECT_EQ(snap.counter_value("evalcache.misses"), 3u);
+  EXPECT_EQ(snap.counter_value("evalcache.gathers"), 3u);
+  EXPECT_EQ(snap.counter_value("evalcache.evictions"), 0u);
+  util::telemetry::set_metrics_enabled(false);
+  util::telemetry::reset_metrics_for_test();
+  reset_eval_cache();
+}
+
+TEST(EvalWorkspaceCache, PendingSetOverflowEvictsABoundedBatch) {
+  // Overflow the two-touch pending set: every distinct epoch creates a new
+  // (epoch, mask) key that is seen once and never promoted. One insert past
+  // kMaxSeen (1 << 17) evicts exactly one bounded batch of 64 pending keys.
+  const CostFixture fx(4, 23);  // 16-entry domain keeps each gather trivial
+  util::Rng rng(14);
+  auto& workspace = EvalWorkspace::local();
+  const auto p = Partition::random(fx.num_inputs, 2, rng);
+
+  util::telemetry::reset_metrics_for_test();
+  util::telemetry::set_metrics_enabled(true);
+  reset_eval_cache();
+
+  constexpr std::size_t kMaxSeen = std::size_t{1} << 17;
+  for (std::size_t i = 0; i < kMaxSeen + 1; ++i) {
+    (void)workspace.full_matrix(p, fx.stamped());
+  }
+  const auto stats = eval_cache_stats();
+  EXPECT_EQ(stats.pending_evictions, 64u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, kMaxSeen + 1);
+  EXPECT_EQ(stats.entries, 0u);  // nothing was ever sighted twice
+  EXPECT_EQ(util::telemetry::snapshot_metrics().counter_value(
+                "evalcache.pending_evictions"),
+            64u);
+
+  util::telemetry::set_metrics_enabled(false);
+  util::telemetry::reset_metrics_for_test();
   reset_eval_cache();
 }
 

@@ -75,6 +75,60 @@ TEST(RunControl, ProgressWithoutCallbackIsNoop) {
   control.report_progress(RunProgress{});  // must not crash
 }
 
+TEST(RunControl, FinalReportBypassesThrottle) {
+  // Regression: the last step of a run used to be silently dropped when it
+  // landed inside progress_interval_ of the previous report.
+  RunControl control;
+  int calls = 0;
+  double last_error = -1.0;
+  control.set_progress_callback(
+      [&](const RunProgress& p) {
+        ++calls;
+        last_error = p.best_error;
+      },
+      std::chrono::hours{1});
+  RunProgress progress;
+  progress.steps_total = 10;
+  for (std::size_t i = 1; i <= 9; ++i) {
+    progress.steps_done = i;
+    progress.best_error = 1.0 / static_cast<double>(i);
+    control.report_progress(progress);
+  }
+  EXPECT_EQ(calls, 1);  // first fires, the rest are throttled
+  progress.steps_done = 10;
+  progress.best_error = 0.0625;
+  control.report_progress(progress);
+  EXPECT_EQ(calls, 2);  // at-completion report is never dropped
+  EXPECT_EQ(last_error, 0.0625);
+}
+
+TEST(RunControl, ForcedReportBypassesThrottle) {
+  RunControl control;
+  int calls = 0;
+  control.set_progress_callback([&](const RunProgress&) { ++calls; },
+                                std::chrono::hours{1});
+  RunProgress progress;  // steps_total unknown: no automatic bypass
+  for (int i = 0; i < 5; ++i) control.report_progress(progress);
+  EXPECT_EQ(calls, 1);
+  control.report_progress(progress, /*force=*/true);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RunControl, OverrunPastTotalStillBypassesThrottle) {
+  // steps_done > steps_total (e.g. a recount after resume) must behave like
+  // completion, not fall back into the throttle.
+  RunControl control;
+  int calls = 0;
+  control.set_progress_callback([&](const RunProgress&) { ++calls; },
+                                std::chrono::hours{1});
+  RunProgress progress;
+  progress.steps_total = 4;
+  progress.steps_done = 5;
+  control.report_progress(progress);
+  control.report_progress(progress);
+  EXPECT_EQ(calls, 2);
+}
+
 TEST(RunControl, ToStringCoversEveryStatus) {
   EXPECT_STREQ(to_string(RunStatus::kCompleted), "completed");
   EXPECT_STREQ(to_string(RunStatus::kDeadlineExpired), "deadline-expired");

@@ -6,8 +6,10 @@
 // the time differs) — plus the gather-memo hit path, steady-state heap
 // allocations per call (counted by a global operator new hook in this
 // binary), and an end-to-end BS-SA / DALTA subset of the table-2 experiment
-// with candidates/sec. Results land in a JSON file (BENCH_PR2.json in the
-// repo records the PR-2 numbers; see docs/performance.md to regenerate).
+// with candidates/sec, and a telemetry-overhead comparison of the
+// instrumented SA hot path with metrics + tracing off vs. on. Results go to
+// stdout or to `--out <path>` (BENCH_PR2.json / BENCH_PR4.json in the repo
+// record past PR numbers; see docs/performance.md to regenerate).
 //
 // CI runs `dalut_bench_report --micro-only --runs 1` as a smoke check.
 #include <algorithm>
@@ -24,11 +26,14 @@
 #include "core/eval_workspace.hpp"
 #include "core/opt_for_part.hpp"
 #include "core/partition_opt.hpp"
+#include "core/sa_search.hpp"
 #include "core/two_dim_table.hpp"
 #include "func/registry.hpp"
 #include "util/cli.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
+#include "util/trace_writer.hpp"
 
 // ---- Allocation counting hook -------------------------------------------
 // Replaces the global allocation functions for this binary only. Counting
@@ -236,6 +241,53 @@ CacheResult bench_gather_cache(unsigned width, unsigned runs) {
   return result;
 }
 
+struct TelemetryOverheadResult {
+  unsigned width = 0;
+  double off_ns = 0.0;
+  double on_ns = 0.0;
+};
+
+TelemetryOverheadResult bench_telemetry_overhead(unsigned width,
+                                                 unsigned runs) {
+  // The instrumented SA hot path: find_best_settings drives OptForPart per
+  // candidate and carries the sa.* counters and sweep spans. Timed with
+  // telemetry off, then with metrics + tracing on; the acceptance bound on
+  // the delta is < 2% (docs/observability.md).
+  const auto g = make_function("cos", width);
+  const auto dist = core::InputDistribution::uniform(width);
+  const auto costs = core::build_bit_costs(
+      g, g.values(), width - 1, core::LsbModel::kPredictive, dist);
+  core::SaParams params;
+  params.partition_limit = 20;
+  params.init_patterns = 8;
+  params.chains = 3;
+  auto body = [&] {
+    // Fresh RNG per call: off and on time the exact same search, so the
+    // delta is pure telemetry cost, not seed-dependent search variance.
+    util::Rng rng(6);
+    auto found = core::find_best_settings(width, bound_size_for(width),
+                                          costs.c0, costs.c1, 3, params, rng,
+                                          nullptr, false);
+    volatile double sink = found.top.empty() ? 0.0 : found.top[0].error;
+    (void)sink;
+  };
+  const std::size_t iters = 4;
+
+  TelemetryOverheadResult result;
+  result.width = width;
+  util::telemetry::set_metrics_enabled(false);
+  util::telemetry::set_tracing_enabled(false);
+  result.off_ns = time_ns(runs, iters, body);
+  util::telemetry::set_metrics_enabled(true);
+  util::telemetry::set_tracing_enabled(true);
+  result.on_ns = time_ns(runs, iters, body);
+  util::telemetry::set_metrics_enabled(false);
+  util::telemetry::set_tracing_enabled(false);
+  util::telemetry::reset_metrics_for_test();
+  util::telemetry::reset_tracing_for_test();
+  return result;
+}
+
 std::vector<Table2Result> bench_table2(unsigned width, unsigned runs,
                                        util::ThreadPool& pool) {
   // A subset of the table-2 function set, scaled down from the paper's
@@ -290,10 +342,11 @@ std::vector<Table2Result> bench_table2(unsigned width, unsigned runs,
 
 void write_json(std::FILE* out, const std::vector<MicroResult>& micro,
                 const std::vector<CacheResult>& cache,
+                const TelemetryOverheadResult& telemetry,
                 const std::vector<Table2Result>& table2, unsigned runs,
                 bool micro_only, std::size_t workers) {
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"dalut-bench-report-v1\",\n");
+  std::fprintf(out, "  \"schema\": \"dalut-bench-report-v2\",\n");
   std::fprintf(out,
                "  \"config\": {\"runs\": %u, \"micro_only\": %s, "
                "\"pool_workers\": %zu},\n",
@@ -326,6 +379,16 @@ void write_json(std::FILE* out, const std::vector<MicroResult>& micro,
   }
   std::fprintf(out, "  ],\n");
 
+  std::fprintf(out,
+               "  \"telemetry_overhead\": {\"width\": %u, "
+               "\"off_ns_per_call\": %.1f, \"on_ns_per_call\": %.1f, "
+               "\"overhead_percent\": %.3f},\n",
+               telemetry.width, telemetry.off_ns, telemetry.on_ns,
+               telemetry.off_ns > 0
+                   ? 100.0 * (telemetry.on_ns - telemetry.off_ns) /
+                         telemetry.off_ns
+                   : 0.0);
+
   std::fprintf(out, "  \"table2\": [\n");
   for (std::size_t i = 0; i < table2.size(); ++i) {
     const auto& t = table2[i];
@@ -350,7 +413,7 @@ int main(int argc, char** argv) {
   util::CliParser cli(
       "Times the candidate-evaluation kernels old vs. new and emits a "
       "machine-readable JSON performance report.");
-  cli.add_option("out", "BENCH_PR2.json", "output JSON path ('-' = stdout)");
+  cli.add_option("out", "-", "output JSON path ('-' = stdout)");
   cli.add_option("runs", "3", "timed repetitions per kernel (best is kept)");
   cli.add_option("width", "12", "bit width of the end-to-end table-2 subset");
   cli.add_flag("micro-only", "skip the end-to-end table-2 subset (CI smoke)");
@@ -372,6 +435,8 @@ int main(int argc, char** argv) {
   std::vector<CacheResult> cache;
   cache.push_back(bench_gather_cache(14, runs));
 
+  const TelemetryOverheadResult telemetry = bench_telemetry_overhead(10, runs);
+
   std::vector<Table2Result> table2;
   std::size_t workers = 0;
   if (!micro_only) {
@@ -385,6 +450,12 @@ int main(int argc, char** argv) {
                  m.name.c_str(), m.width, m.old_ns, m.new_ns,
                  m.new_ns > 0 ? m.old_ns / m.new_ns : 0.0);
   }
+  std::fprintf(stderr, "telemetry      n=%-2u  off %10.0f ns  on  %10.0f ns  %+.2f%%\n",
+               telemetry.width, telemetry.off_ns, telemetry.on_ns,
+               telemetry.off_ns > 0
+                   ? 100.0 * (telemetry.on_ns - telemetry.off_ns) /
+                         telemetry.off_ns
+                   : 0.0);
 
   const std::string out_path = cli.str("out");
   std::FILE* out =
@@ -393,7 +464,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  write_json(out, micro, cache, table2, runs, micro_only, workers);
+  write_json(out, micro, cache, telemetry, table2, runs, micro_only, workers);
   if (out != stdout) {
     std::fclose(out);
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());

@@ -39,6 +39,7 @@
 #include "core/bssa.hpp"
 #include "core/checkpoint.hpp"
 #include "core/dalta.hpp"
+#include "core/eval_workspace.hpp"
 #include "core/serialize.hpp"
 #include "core/table_io.hpp"
 #include "func/extended.hpp"
@@ -49,7 +50,9 @@
 #include "hw/verilog.hpp"
 #include "util/cli.hpp"
 #include "util/run_control.hpp"
+#include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace_writer.hpp"
 
 namespace {
 
@@ -182,6 +185,15 @@ int run(int argc, char** argv) {
   cli.add_flag("resume",
                "continue from --checkpoint (bit-identical to an "
                "uninterrupted run); fresh start if the file is missing");
+  cli.add_option("metrics-out", "",
+                 "write the aggregated metrics snapshot + per-bit "
+                 "best-error trajectory here as JSON (enables metrics)");
+  cli.add_option("trace-out", "",
+                 "write a Chrome trace-event JSON of the run here, loadable "
+                 "in Perfetto or chrome://tracing (enables span tracing)");
+  cli.add_flag("progress",
+               "print a human-readable progress line (throttled, plus the "
+               "final at-completion report) to stderr");
   if (!cli.parse(argc, argv)) return kExitOk;
 
   // --- Run control: deadline + signals. ---
@@ -191,15 +203,32 @@ int run(int argc, char** argv) {
   }
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
-  control.set_progress_callback(
-      [](const util::RunProgress& p) {
-        std::fprintf(stderr,
-                     "progress: %s round %u bit %u (step %zu/%zu, best "
-                     "%.4f)\n",
-                     p.stage, p.round, p.bit, p.steps_done, p.steps_total,
-                     p.best_error);
-      },
-      std::chrono::seconds(5));
+
+  // --- Observability: metrics registry, span tracing, progress. ---
+  // Telemetry is write-only for the searches, so enabling it cannot change
+  // the emitted settings or MEDs (docs/observability.md).
+  const auto metrics_out = cli.str("metrics-out");
+  const auto trace_out = cli.str("trace-out");
+  if (!metrics_out.empty()) util::telemetry::set_metrics_enabled(true);
+  if (!trace_out.empty()) util::telemetry::set_tracing_enabled(true);
+  std::function<void(const util::RunProgress&)> progress_line;
+  if (cli.flag("progress")) {
+    progress_line = [](const util::RunProgress& p) {
+      std::fprintf(stderr,
+                   "progress: %s round %u bit %u (step %zu/%zu, best "
+                   "%.4f)\n",
+                   p.stage, p.round, p.bit, p.steps_done, p.steps_total,
+                   p.best_error);
+    };
+  }
+  util::telemetry::SnapshotPump pump;
+  if (!metrics_out.empty()) {
+    // The pump observes every report (for the trajectory) and applies the
+    // progress line's own 5 s throttle when forwarding.
+    pump.attach(control, progress_line, std::chrono::seconds(5));
+  } else if (progress_line) {
+    control.set_progress_callback(progress_line, std::chrono::seconds(5));
+  }
 
   // --- Checkpoint / resume. ---
   const auto checkpoint_path = cli.str("checkpoint");
@@ -391,6 +420,56 @@ int run(int argc, char** argv) {
         static_cast<std::size_t>(cli.integer("tb-vectors")),
         static_cast<std::uint64_t>(cli.integer("seed")));
     std::printf("wrote testbench to %s\n", path.c_str());
+  }
+
+  // --- Telemetry artifacts (also emitted for early-stopped runs). ---
+  if (!metrics_out.empty()) {
+    // Cache occupancy is a point-in-time value, published as gauges just
+    // before export.
+    const auto cache = core::eval_cache_stats();
+    util::telemetry::Gauge::get("evalcache.entries")
+        .set(static_cast<double>(cache.entries));
+    util::telemetry::Gauge::get("evalcache.bytes")
+        .set(static_cast<double>(cache.bytes));
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   metrics_out.c_str());
+      return kExitFatal;
+    }
+    out << "{\n  \"schema\": \"dalut-metrics-v1\",\n  \"run\": {\n"
+        << "    \"algorithm\": \"" << cli.str("algorithm") << "\",\n"
+        << "    \"arch\": \"" << arch_name << "\",\n    \"function\": \""
+        << util::telemetry::json_escape(
+               cli.str("table").empty() ? cli.str("benchmark")
+                                        : cli.str("table"))
+        << "\",\n    \"num_inputs\": " << g.num_inputs()
+        << ",\n    \"num_outputs\": " << g.num_outputs()
+        << ",\n    \"threads\": " << cli.integer("threads")
+        << ",\n    \"seed\": " << cli.integer("seed")
+        << ",\n    \"status\": \"" << util::to_string(result.status)
+        << "\",\n    \"med\": ";
+    char med_buf[64];
+    std::snprintf(med_buf, sizeof med_buf, "%.17g", result.med);
+    out << med_buf << ",\n    \"runtime_seconds\": "
+        << result.runtime_seconds << ",\n    \"partitions_evaluated\": "
+        << result.partitions_evaluated << "\n  },\n  \"metrics\":\n";
+    util::telemetry::write_metrics_json(out, util::telemetry::snapshot_metrics(),
+                                        2);
+    out << ",\n  \"trajectory\":\n";
+    pump.write_trajectory_json(out, 2);
+    out << "\n}\n";
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      return kExitFatal;
+    }
+    util::telemetry::write_chrome_trace(out);
+    std::printf("wrote trace to %s\n", trace_out.c_str());
   }
 
   switch (result.status) {
