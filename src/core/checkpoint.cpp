@@ -234,4 +234,9 @@ SearchCheckpoint load_checkpoint(const std::string& path) {
   return read_checkpoint(in);
 }
 
+void remove_checkpoint(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
 }  // namespace dalut::core

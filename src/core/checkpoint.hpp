@@ -63,8 +63,16 @@ SearchCheckpoint checkpoint_from_string(const std::string& text);
 void save_checkpoint(const std::string& path, const SearchCheckpoint& ck);
 
 /// Loads a checkpoint file; std::runtime_error if unreadable,
-/// std::invalid_argument if malformed.
+/// std::invalid_argument if malformed. Only `path` itself is ever read —
+/// a stale "<path>.tmp" left by a crash mid-save is ignored (and the next
+/// save_checkpoint overwrites it).
 SearchCheckpoint load_checkpoint(const std::string& path);
+
+/// Removes a run's checkpoint *and* any stale "<path>.tmp" beside it (a
+/// crash between the tmp write and the rename leaves one behind). Callers
+/// use this instead of a bare remove(path) when a run completes, so crashed
+/// predecessors cannot leak tmp files forever. Missing files are fine.
+void remove_checkpoint(const std::string& path);
 
 /// Order-sensitive FNV-1a over a stream of words; the searches fold their
 /// parameters through this to build `params_digest`.

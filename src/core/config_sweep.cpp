@@ -135,6 +135,15 @@ std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep,
     if (best_bit < 0) break;  // everything at the top level
     sweep.set_level(static_cast<unsigned>(best_bit), best_level);
     record();
+    if (control != nullptr) {
+      util::RunProgress progress;
+      progress.stage = "frontier";
+      progress.bit = static_cast<unsigned>(best_bit);
+      progress.steps_done = frontier.size() - 1;  // upgrades taken so far
+      progress.steps_total = 2u * m;              // level-0 -> level-2 per bit
+      progress.best_error = sweep.current_med();
+      control->report_progress(progress);
+    }
   }
   return frontier;
 }

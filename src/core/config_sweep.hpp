@@ -80,7 +80,8 @@ struct FrontierPoint {
 /// MED-reduction per extra cost. Returns one point per visited
 /// configuration, starting with all-level-0. A tripped `control` ends the
 /// walk between upgrade steps; the points visited so far (each a complete,
-/// valid configuration) are returned.
+/// valid configuration) are returned. Progress (stage "frontier") is
+/// reported through `control` after every upgrade.
 std::vector<FrontierPoint> greedy_frontier(ConfigSweep& sweep,
                                            util::RunControl* control = nullptr);
 

@@ -1,0 +1,301 @@
+#include "suite/result_cache.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/checkpoint.hpp"
+#include "core/serialize_detail.hpp"
+#include "util/telemetry.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace dalut::suite {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMagic = "dalut-result v1";
+constexpr unsigned kMaxSettings = 4096;
+
+/// Write-only cache counters (docs/observability.md naming scheme).
+struct CacheMetrics {
+  util::telemetry::Counter hits =
+      util::telemetry::Counter::get("suite.cache.hits");
+  util::telemetry::Counter misses =
+      util::telemetry::Counter::get("suite.cache.misses");
+  util::telemetry::Counter stores =
+      util::telemetry::Counter::get("suite.cache.stores");
+  util::telemetry::Counter evictions =
+      util::telemetry::Counter::get("suite.cache.evictions");
+};
+
+CacheMetrics& cache_metrics() {
+  static CacheMetrics metrics;
+  return metrics;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+void write_result(std::ostream& out, const ResultRecord& record) {
+  out.precision(17);  // round-trip doubles exactly
+  out << kMagic << "\n";
+  out << "algorithm " << record.algorithm << "\n";
+  out << "inputs " << record.num_inputs << " outputs " << record.num_outputs
+      << "\n";
+  out << "med " << record.med << "\n";
+  out << "mse " << record.mse << "\n";
+  out << "error-rate " << record.error_rate << "\n";
+  out << "max-ed " << record.max_ed << "\n";
+  out << "runtime " << record.runtime_seconds << "\n";
+  out << "partitions " << record.partitions_evaluated << "\n";
+  out << "stored-bits " << record.stored_bits << "\n";
+  std::size_t valid = 0;
+  for (const auto& s : record.settings) valid += s.valid() ? 1 : 0;
+  out << "settings " << valid << "\n";
+  // Decided bits MSB-first, mirroring the config and checkpoint formats.
+  for (unsigned k = record.num_outputs; k-- > 0;) {
+    if (k < record.settings.size() && record.settings[k].valid()) {
+      core::detail::write_setting_record(out, k, record.settings[k]);
+    }
+  }
+  out << "end\n";
+}
+
+std::string result_to_string(const ResultRecord& record) {
+  std::ostringstream out;
+  write_result(out, record);
+  return out.str();
+}
+
+ResultRecord read_result(std::istream& in) {
+  namespace detail = core::detail;
+  detail::LineReader reader(in);
+  if (reader.next() != kMagic) {
+    throw std::invalid_argument("not a dalut-result v1 file");
+  }
+
+  ResultRecord record;
+  record.algorithm = detail::expect_keyed_line(reader, "algorithm");
+  if (record.algorithm != "bssa" && record.algorithm != "dalta" &&
+      record.algorithm != "round-in" && record.algorithm != "round-out") {
+    detail::fail_at(reader.number(),
+                    "unknown algorithm '" +
+                        detail::token_excerpt(record.algorithm) + "'");
+  }
+  const auto header = detail::tokens_of(reader.next());
+  record.num_inputs = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(header, "inputs", reader.number()), reader.number(),
+      "inputs", 64));
+  record.num_outputs = static_cast<unsigned>(detail::parse_unsigned(
+      detail::value_after(header, "outputs", reader.number()), reader.number(),
+      "outputs", 64));
+  if (record.num_inputs < 2 || record.num_inputs > 26 ||
+      record.num_outputs < 1 || record.num_outputs > 26) {
+    throw std::invalid_argument("implausible inputs/outputs header");
+  }
+  record.med = detail::parse_double(detail::expect_keyed_line(reader, "med"),
+                                    reader.number(), "med");
+  record.mse = detail::parse_double(detail::expect_keyed_line(reader, "mse"),
+                                    reader.number(), "mse");
+  record.error_rate =
+      detail::parse_double(detail::expect_keyed_line(reader, "error-rate"),
+                           reader.number(), "error-rate");
+  record.max_ed =
+      detail::parse_double(detail::expect_keyed_line(reader, "max-ed"),
+                           reader.number(), "max-ed");
+  record.runtime_seconds =
+      detail::parse_double(detail::expect_keyed_line(reader, "runtime"),
+                           reader.number(), "runtime");
+  record.partitions_evaluated = detail::parse_unsigned(
+      detail::expect_keyed_line(reader, "partitions"), reader.number(),
+      "partitions");
+  record.stored_bits = detail::parse_unsigned(
+      detail::expect_keyed_line(reader, "stored-bits"), reader.number(),
+      "stored-bits");
+
+  const auto num_settings = detail::parse_unsigned(
+      detail::expect_keyed_line(reader, "settings"), reader.number(),
+      "settings", std::min(kMaxSettings, record.num_outputs));
+  if (num_settings > 0) {
+    record.settings.resize(record.num_outputs);
+    std::vector<bool> seen(record.num_outputs, false);
+    for (std::uint64_t i = 0; i < num_settings; ++i) {
+      core::Setting s;
+      const unsigned k = detail::read_setting_record(
+          reader, record.num_inputs, record.num_outputs, s);
+      if (seen[k]) {
+        detail::fail_at(reader.number(),
+                        "duplicate bit " + std::to_string(k));
+      }
+      seen[k] = true;
+      record.settings[k] = std::move(s);
+    }
+  }
+  if (reader.next() != "end") {
+    detail::fail_at(reader.number(), "expected 'end'");
+  }
+  return record;
+}
+
+ResultRecord result_from_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_result(in);
+}
+
+std::uint64_t result_key(const SuiteJob& job,
+                         const core::MultiOutputFunction& g) {
+  core::ParamsDigest d;
+  d.add_string(kMagic);
+  d.add_string(job.algorithm);
+  // Full truth-table content: two functions that differ in any output word
+  // can never share a cached result, whatever they are called.
+  d.add(g.num_inputs()).add(g.num_outputs());
+  for (const auto word : g.values()) d.add(word);
+  d.add_string("uniform");  // input distribution (the only one suites use)
+
+  if (job.algorithm == "round-in" || job.algorithm == "round-out") {
+    d.add(job.drop);
+    return d.value();
+  }
+  // Search parameters, normalized per algorithm: fields an algorithm never
+  // reads (e.g. beams for DALTA) stay out of its key, so editing them in a
+  // manifest does not invalidate unrelated cached rows.
+  d.add(job.bound).add(job.rounds).add(job.partitions).add(job.patterns);
+  d.add_string(job.metric);
+  d.add(job.seed);
+  if (job.algorithm == "bssa") {
+    d.add(job.beams).add(job.chains).add(job.nd_candidates);
+    d.add_string(job.arch);
+    d.add_double(job.delta).add_double(job.delta_prime);
+  }
+  return d.value();
+}
+
+ResultCache::ResultCache(std::string dir, std::size_t max_entries)
+    : dir_(std::move(dir)), max_entries_(max_entries) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("cannot create result-cache directory '" + dir_ +
+                             "': " + ec.message());
+  }
+}
+
+std::string ResultCache::path_of(std::uint64_t key) const {
+  return dir_ + "/" + hex64(key) + ".result";
+}
+
+std::optional<ResultRecord> ResultCache::load(std::uint64_t key) {
+  const std::string path = path_of(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::lock_guard lock(mutex_);
+    ++stats_.misses;
+    cache_metrics().misses.add(1);
+    return std::nullopt;
+  }
+  try {
+    ResultRecord record = read_result(in);
+    std::lock_guard lock(mutex_);
+    ++stats_.hits;
+    cache_metrics().hits.add(1);
+    return record;
+  } catch (const std::invalid_argument&) {
+    // A corrupt entry (torn disk, format drift) behaves like a miss; remove
+    // it so the next store heals the slot.
+    std::remove(path.c_str());
+    std::lock_guard lock(mutex_);
+    ++stats_.misses;
+    cache_metrics().misses.add(1);
+    return std::nullopt;
+  }
+}
+
+void ResultCache::store(std::uint64_t key, const ResultRecord& record) {
+  std::lock_guard lock(mutex_);
+  const std::string path = path_of(key);
+  const std::string tmp = path + ".tmp";
+  {
+    // Same atomic-publish discipline as checkpoints: tmp + fsync + rename.
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) io_fail("cannot create result entry", tmp);
+    const std::string text = result_to_string(record);
+    const bool wrote =
+        std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
+        std::fflush(file) == 0;
+#ifndef _WIN32
+    const bool synced = wrote && ::fsync(::fileno(file)) == 0;
+#else
+    const bool synced = wrote;
+#endif
+    if (std::fclose(file) != 0 || !synced) {
+      std::remove(tmp.c_str());
+      io_fail("cannot write result entry", tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    io_fail("cannot publish result entry", path);
+  }
+  ++stats_.stores;
+  cache_metrics().stores.add(1);
+  trim_locked();
+}
+
+void ResultCache::trim_locked() {
+  if (max_entries_ == 0) return;
+  struct Entry {
+    fs::file_time_type mtime;
+    fs::path path;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& it : fs::directory_iterator(dir_, ec)) {
+    if (it.path().extension() != ".result") continue;
+    std::error_code stat_ec;
+    const auto mtime = fs::last_write_time(it.path(), stat_ec);
+    if (stat_ec) continue;
+    entries.push_back({mtime, it.path()});
+  }
+  if (ec || entries.size() <= max_entries_) return;
+  // Oldest first; ties break on the path so eviction order is stable.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.path < b.path;
+  });
+  for (std::size_t i = 0; i + max_entries_ < entries.size(); ++i) {
+    std::error_code rm_ec;
+    if (fs::remove(entries[i].path, rm_ec) && !rm_ec) {
+      ++stats_.evictions;
+      cache_metrics().evictions.add(1);
+    }
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dalut::suite

@@ -1,0 +1,105 @@
+// Persistent on-disk result cache for suite runs (format "dalut-result v1").
+//
+// A completed job's outcome — error metrics, stored-bit count, and the
+// optimized per-bit settings — is keyed by a 64-bit FNV-1a digest folding
+// every parameter that shapes the search trajectory *plus* the content of
+// the function's truth table (same digest family as the checkpoint
+// params_digest, extended with the function/table words). Re-running a
+// manifest after a code-irrelevant edit, or adding one row to a table, then
+// serves the unchanged jobs from disk instead of re-optimizing them.
+//
+// One file per key ("<16-hex-digits>.result") in the cache directory,
+// written atomically (tmp + fsync + rename, like checkpoints), so readers
+// never observe a torn entry and a crash mid-store leaves the previous
+// entry (or nothing) behind. Only *completed* runs are cached; cancelled or
+// deadline-stopped results are never served back.
+//
+// Hits, misses, stores, and evictions flow into the telemetry registry as
+// `suite.cache.*` counters.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/multi_output_function.hpp"
+#include "core/setting.hpp"
+#include "suite/manifest.hpp"
+
+namespace dalut::suite {
+
+/// The cached outcome of one completed job. Every field is a pure function
+/// of the job parameters and the function content (bit-deterministic at any
+/// worker count), except `runtime_seconds`, which records what the original
+/// computation cost and is excluded from deterministic reports.
+struct ResultRecord {
+  std::string algorithm;  ///< bssa | dalta | round-in | round-out
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  double med = 0.0;
+  double mse = 0.0;
+  double error_rate = 0.0;
+  double max_ed = 0.0;
+  double runtime_seconds = 0.0;
+  std::uint64_t partitions_evaluated = 0;
+  std::uint64_t stored_bits = 0;  ///< LUT bits the realized table stores
+  /// One setting per output bit for bssa/dalta results; empty for the
+  /// rounding baselines (they carry no decomposition settings).
+  std::vector<core::Setting> settings;
+};
+
+void write_result(std::ostream& out, const ResultRecord& record);
+std::string result_to_string(const ResultRecord& record);
+
+/// Parses a record; throws std::invalid_argument with a line-anchored
+/// message on malformed input.
+ResultRecord read_result(std::istream& in);
+ResultRecord result_from_string(const std::string& text);
+
+/// The cache key of `job` run against `g`: job parameters (normalized per
+/// algorithm, so editing a field the algorithm ignores does not spill the
+/// cache) folded with the full truth-table content.
+std::uint64_t result_key(const SuiteJob& job,
+                         const core::MultiOutputFunction& g);
+
+class ResultCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// Opens (creating if needed) the cache directory. `max_entries == 0`
+  /// means unbounded; otherwise stores evict the oldest entries (by file
+  /// modification time) down to the cap. Throws std::runtime_error if the
+  /// directory cannot be created.
+  explicit ResultCache(std::string dir, std::size_t max_entries = 0);
+
+  /// Looks `key` up; returns the record on a hit, nullopt on a miss or an
+  /// unreadable/corrupt entry (a corrupt entry counts as a miss and is
+  /// removed so the slot heals on the next store). Thread-safe.
+  std::optional<ResultRecord> load(std::uint64_t key);
+
+  /// Atomically writes `record` under `key`, then trims the cache to
+  /// `max_entries`. Thread-safe. Throws std::runtime_error on I/O failure.
+  void store(std::uint64_t key, const ResultRecord& record);
+
+  Stats stats() const;
+  const std::string& dir() const noexcept { return dir_; }
+  std::string path_of(std::uint64_t key) const;
+
+ private:
+  void trim_locked();
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  std::size_t max_entries_;
+  Stats stats_;
+};
+
+}  // namespace dalut::suite

@@ -1,0 +1,500 @@
+#include "suite/suite_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+#include "baseline/round_in.hpp"
+#include "baseline/round_out.hpp"
+#include "core/bssa.hpp"
+#include "core/checkpoint.hpp"
+#include "core/dalta.hpp"
+#include "core/evaluate.hpp"
+#include "core/input_distribution.hpp"
+#include "core/table_io.hpp"
+#include "func/extended.hpp"
+#include "func/registry.hpp"
+#include "util/telemetry.hpp"
+#include "util/timer.hpp"
+#include "util/trace_writer.hpp"
+
+namespace dalut::suite {
+
+namespace {
+
+/// Write-only suite counters.
+struct SuiteMetrics {
+  util::telemetry::Counter jobs = util::telemetry::Counter::get("suite.jobs");
+  util::telemetry::Counter completed =
+      util::telemetry::Counter::get("suite.jobs_completed");
+  util::telemetry::Counter failed =
+      util::telemetry::Counter::get("suite.jobs_failed");
+  util::telemetry::Counter resumed =
+      util::telemetry::Counter::get("suite.jobs_resumed");
+};
+
+SuiteMetrics& suite_metrics() {
+  static SuiteMetrics metrics;
+  return metrics;
+}
+
+core::MultiOutputFunction load_job_function(const SuiteJob& job) {
+  if (!job.table.empty()) {
+    std::ifstream in(job.table);
+    if (!in) {
+      throw std::runtime_error("cannot open table '" + job.table + "'");
+    }
+    return core::read_function(in);
+  }
+  if (auto spec = func::benchmark_by_name(job.benchmark, job.width)) {
+    return core::MultiOutputFunction::from_eval(spec->num_inputs,
+                                                spec->num_outputs, spec->eval);
+  }
+  for (const auto& spec : func::extended_suite(job.width)) {
+    if (spec.name == job.benchmark) {
+      return core::MultiOutputFunction::from_eval(
+          spec.num_inputs, spec.num_outputs, spec.eval);
+    }
+  }
+  throw std::invalid_argument("unknown benchmark '" + job.benchmark + "'");
+}
+
+core::CostMetric metric_of(const std::string& name) {
+  if (name == "mse") return core::CostMetric::kMse;
+  if (name == "er") return core::CostMetric::kErrorRate;
+  return core::CostMetric::kMed;
+}
+
+unsigned effective_bound(const SuiteJob& job, unsigned num_inputs) {
+  if (job.bound != 0) return job.bound;
+  return std::max(2u, std::min(num_inputs - 1, (9u * num_inputs + 8) / 16));
+}
+
+/// Shared mutable state of one run_suite call (trajectory rows arrive from
+/// whichever worker carries each job).
+struct SuiteState {
+  const SuiteOptions* options = nullptr;
+  std::chrono::steady_clock::time_point start;
+  std::mutex trajectory_mutex;
+  std::vector<SuiteTrajectoryRow> trajectory;
+};
+
+/// Observes one job's RunControl: records every report into the suite
+/// trajectory and forwards to the human-facing callback under the per-job
+/// throttle (first and at-completion reports always pass).
+struct JobProgressRelay {
+  SuiteState* state = nullptr;
+  std::string job_name;
+  std::chrono::steady_clock::time_point last_forward{};
+  bool forwarded = false;
+
+  void install(util::RunControl& control) {
+    control.set_progress_callback(
+        [this](const util::RunProgress& p) { deliver(p); },
+        std::chrono::nanoseconds{0});
+  }
+
+  void deliver(const util::RunProgress& p) {
+    const auto now = std::chrono::steady_clock::now();
+    {
+      SuiteTrajectoryRow row;
+      row.job = job_name;
+      row.elapsed_seconds =
+          std::chrono::duration<double>(now - state->start).count();
+      row.stage = p.stage;
+      row.round = p.round;
+      row.bit = p.bit;
+      row.steps_done = p.steps_done;
+      row.steps_total = p.steps_total;
+      row.best_error = p.best_error;
+      std::lock_guard lock(state->trajectory_mutex);
+      state->trajectory.push_back(std::move(row));
+    }
+    if (!state->options->progress) return;
+    const bool final_step =
+        p.steps_total != 0 && p.steps_done >= p.steps_total;
+    if (forwarded && !final_step &&
+        now - last_forward < state->options->progress_interval) {
+      return;
+    }
+    forwarded = true;
+    last_forward = now;
+    state->options->progress(job_name, p);
+  }
+};
+
+void run_rounding_job(const SuiteJob& job, const core::MultiOutputFunction& g,
+                      const core::InputDistribution& dist,
+                      util::ThreadPool* pool, JobOutcome& out) {
+  const unsigned n = g.num_inputs();
+  const unsigned m = g.num_outputs();
+  std::vector<core::OutputWord> values;
+  std::uint64_t stored = 0;
+  if (job.algorithm == "round-in") {
+    if (job.drop < 1 || job.drop >= n) {
+      throw std::invalid_argument("round-in drop must be in [1, " +
+                                  std::to_string(n - 1) + "]");
+    }
+    const baseline::RoundIn lut(g, job.drop);
+    values = lut.values();
+    stored = static_cast<std::uint64_t>(lut.table_entries()) * m;
+  } else {
+    if (job.drop >= m) {
+      throw std::invalid_argument("round-out drop must be < " +
+                                  std::to_string(m));
+    }
+    const baseline::RoundOut lut(g, job.drop);
+    values = lut.values();
+    stored = static_cast<std::uint64_t>(lut.table_entries()) * lut.stored_bits();
+  }
+  const auto report = core::error_report(g, values, dist, pool);
+  out.record.med = report.med;
+  out.record.mse = report.mse;
+  out.record.error_rate = report.error_rate;
+  out.record.max_ed = report.max_ed;
+  out.record.stored_bits = stored;
+  out.status = util::RunStatus::kCompleted;
+}
+
+void run_search_job(const SuiteJob& job, const core::MultiOutputFunction& g,
+                    const core::InputDistribution& dist, SuiteState& state,
+                    util::RunControl& control, JobOutcome& out) {
+  const SuiteOptions& options = *state.options;
+  const unsigned bound = effective_bound(job, g.num_inputs());
+
+  std::string checkpoint_path;
+  std::function<void(const core::SearchCheckpoint&)> sink;
+  if (!options.checkpoint_dir.empty()) {
+    checkpoint_path = options.checkpoint_dir + "/" + job.name + ".ck";
+    sink = [checkpoint_path](const core::SearchCheckpoint& ck) {
+      core::save_checkpoint(checkpoint_path, ck);
+    };
+  }
+  std::optional<core::SearchCheckpoint> resume_state;
+  if (!checkpoint_path.empty()) {
+    std::ifstream probe(checkpoint_path);
+    if (probe) {
+      try {
+        resume_state = core::read_checkpoint(probe);
+      } catch (const std::invalid_argument&) {
+        // A malformed file cannot have come from save_checkpoint's atomic
+        // publish; treat it as absent rather than failing the job.
+        resume_state.reset();
+      }
+    }
+  }
+
+  auto run_once = [&](const core::SearchCheckpoint* resume) {
+    if (job.algorithm == "dalta") {
+      core::DaltaParams params;
+      params.bound_size = bound;
+      params.rounds = job.rounds;
+      params.partition_limit = job.partitions;
+      params.init_patterns = job.patterns;
+      params.metric = metric_of(job.metric);
+      params.seed = job.seed;
+      params.pool = options.pool;
+      params.control = &control;
+      params.checkpoint_every = sink ? options.checkpoint_every : 0;
+      params.checkpoint_sink = sink;
+      params.resume = resume;
+      return core::run_dalta(g, dist, params);
+    }
+    core::BssaParams params;
+    params.bound_size = bound;
+    params.rounds = job.rounds;
+    params.beam_width = job.beams;
+    params.sa.partition_limit = job.partitions;
+    params.sa.init_patterns = job.patterns;
+    params.sa.chains = job.chains;
+    params.nd_candidates = job.nd_candidates;
+    if (job.arch == "bto-normal") {
+      params.modes = core::ModePolicy::bto_normal(job.delta);
+    } else if (job.arch == "bto-normal-nd") {
+      params.modes =
+          core::ModePolicy::bto_normal_nd(job.delta, job.delta_prime);
+    } else {
+      params.modes = core::ModePolicy::normal_only();
+    }
+    params.metric = metric_of(job.metric);
+    params.seed = job.seed;
+    params.pool = options.pool;
+    params.control = &control;
+    params.checkpoint_every = sink ? options.checkpoint_every : 0;
+    params.checkpoint_sink = sink;
+    params.resume = resume;
+    return core::run_bssa(g, dist, params);
+  };
+
+  core::DecompositionResult result;
+  try {
+    result = run_once(resume_state ? &*resume_state : nullptr);
+  } catch (const std::invalid_argument&) {
+    if (!resume_state) throw;
+    // The checkpoint predates a manifest edit (digest mismatch). The edit
+    // changed the job, so its old partial state is worthless: discard it
+    // and start the job fresh.
+    core::remove_checkpoint(checkpoint_path);
+    resume_state.reset();
+    result = run_once(nullptr);
+  }
+
+  out.status = result.status;
+  out.resumed = result.resumed;
+  out.record.med = result.report.med;
+  out.record.mse = result.report.mse;
+  out.record.error_rate = result.report.error_rate;
+  out.record.max_ed = result.report.max_ed;
+  out.record.runtime_seconds = result.runtime_seconds;
+  out.record.partitions_evaluated = result.partitions_evaluated;
+  out.record.stored_bits = result.realize(g.num_inputs()).stored_entries();
+  out.record.settings = result.settings;
+  if (result.status == util::RunStatus::kCompleted &&
+      !checkpoint_path.empty()) {
+    core::remove_checkpoint(checkpoint_path);
+  }
+}
+
+void run_one_job(const SuiteJob& job, SuiteState& state, ResultCache* cache,
+                 JobOutcome& out) {
+  const util::telemetry::Span span("suite.job");
+  const util::WallTimer timer;
+  const auto g = load_job_function(job);
+  out.key = result_key(job, g);
+  out.record.algorithm = job.algorithm;
+  out.record.num_inputs = g.num_inputs();
+  out.record.num_outputs = g.num_outputs();
+
+  if (cache != nullptr) {
+    if (auto hit = cache->load(out.key)) {
+      out.record = std::move(*hit);
+      out.from_cache = true;
+      out.status = util::RunStatus::kCompleted;
+      return;
+    }
+  }
+
+  const auto dist = core::InputDistribution::uniform(g.num_inputs());
+  util::RunControl control;
+  control.chain_to(state.options->control);
+  JobProgressRelay relay{&state, job.name};
+  relay.install(control);
+
+  if (job.algorithm == "round-in" || job.algorithm == "round-out") {
+    run_rounding_job(job, g, dist, state.options->pool, out);
+  } else {
+    run_search_job(job, g, dist, state, control, out);
+  }
+  if (out.record.runtime_seconds == 0.0) {
+    out.record.runtime_seconds = timer.seconds();
+  }
+  // Only completed results enter the cache: a best-so-far from a stopped
+  // run must never masquerade as the converged answer on the next run.
+  if (cache != nullptr && out.status == util::RunStatus::kCompleted) {
+    cache->store(out.key, out.record);
+  }
+}
+
+}  // namespace
+
+SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options) {
+  if (options.pool == nullptr) {
+    throw std::invalid_argument("run_suite needs a thread pool");
+  }
+  std::unique_ptr<ResultCache> cache;
+  if (!options.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(options.cache_dir,
+                                          options.cache_max_entries);
+  }
+  if (!options.checkpoint_dir.empty()) {
+    // Reuse the cache's directory bootstrap for the checkpoint directory.
+    ResultCache bootstrap(options.checkpoint_dir);
+  }
+
+  SuiteState state;
+  state.options = &options;
+  state.start = std::chrono::steady_clock::now();
+  const util::WallTimer timer;
+
+  SuiteReport report;
+  report.outcomes.resize(manifest.jobs.size());
+  suite_metrics().jobs.add(manifest.jobs.size());
+
+  // Jobs shard across the pool; each job body may itself call parallel_for
+  // on the same pool (nested calls drain on the job's worker). Per-job
+  // failures are captured, never thrown, so one bad job cannot cancel its
+  // siblings; only the master control stops the suite early.
+  options.pool->parallel_for(
+      0, manifest.jobs.size(), [&](std::size_t i) {
+        JobOutcome& out = report.outcomes[i];
+        out.job = manifest.jobs[i];
+        if (options.control != nullptr && options.control->stop_requested()) {
+          out.status = options.control->status();
+          return;  // never started; reported as skipped
+        }
+        out.started = true;
+        try {
+          run_one_job(manifest.jobs[i], state, cache.get(), out);
+          suite_metrics().completed.add(
+              out.status == util::RunStatus::kCompleted ? 1 : 0);
+          suite_metrics().resumed.add(out.resumed ? 1 : 0);
+        } catch (const std::exception& error) {
+          out.error = error.what();
+          suite_metrics().failed.add(1);
+        }
+      });
+
+  {
+    std::lock_guard lock(state.trajectory_mutex);
+    report.trajectory = std::move(state.trajectory);
+  }
+  // Rows arrive in worker completion order; sort by time (ties: job, then
+  // step) so the exported trajectory reads chronologically.
+  std::stable_sort(report.trajectory.begin(), report.trajectory.end(),
+                   [](const SuiteTrajectoryRow& a, const SuiteTrajectoryRow& b) {
+                     if (a.elapsed_seconds != b.elapsed_seconds) {
+                       return a.elapsed_seconds < b.elapsed_seconds;
+                     }
+                     if (a.job != b.job) return a.job < b.job;
+                     return a.steps_done < b.steps_done;
+                   });
+  if (cache) {
+    const auto stats = cache->stats();
+    report.cache_hits = stats.hits;
+    report.cache_misses = stats.misses;
+  }
+  for (const auto& out : report.outcomes) {
+    if (!out.error.empty()) report.any_failed = true;
+  }
+  report.status = options.control != nullptr ? options.control->status()
+                                             : util::RunStatus::kCompleted;
+  report.runtime_seconds = timer.seconds();
+  return report;
+}
+
+// ---- Reports -------------------------------------------------------------
+
+namespace {
+
+/// Exact round-trip formatting for the deterministic CSV; doubles from two
+/// bit-identical runs must print byte-identically.
+std::string csv_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+const char* status_cell(const JobOutcome& out) {
+  if (!out.error.empty()) return "failed";
+  if (!out.started) return "skipped";
+  return util::to_string(out.status);
+}
+
+}  // namespace
+
+void write_suite_csv(std::ostream& out, const SuiteReport& report) {
+  out << "job,benchmark,width,inputs,outputs,algorithm,arch,seed,status,"
+         "med,mse,error_rate,max_ed,stored_bits,partitions,budget,"
+         "within_budget\n";
+  for (const auto& o : report.outcomes) {
+    const SuiteJob& job = o.job;
+    const bool has_result = o.started && o.error.empty();
+    const bool search = job.algorithm == "bssa" || job.algorithm == "dalta";
+    out << csv_escape(job.name) << ','
+        << csv_escape(job.table.empty() ? job.benchmark : job.table) << ','
+        << job.width << ',';
+    if (has_result) {
+      out << o.record.num_inputs << ',' << o.record.num_outputs << ',';
+    } else {
+      out << ",,";
+    }
+    out << job.algorithm << ','
+        << (job.algorithm == "bssa" ? job.arch
+                                    : (job.algorithm == "dalta" ? "dalta"
+                                                                : "-"))
+        << ',' << job.seed << ',' << status_cell(o) << ',';
+    if (has_result) {
+      out << csv_double(o.record.med) << ',' << csv_double(o.record.mse)
+          << ',' << csv_double(o.record.error_rate) << ','
+          << csv_double(o.record.max_ed) << ',' << o.record.stored_bits << ','
+          << (search ? std::to_string(o.record.partitions_evaluated) : "-");
+    } else {
+      out << ",,,,,";
+    }
+    out << ',';
+    if (job.budget > 0.0) {
+      out << csv_double(job.budget) << ','
+          << (has_result ? (o.record.med <= job.budget ? "yes" : "no") : "");
+    } else {
+      out << "-,-";
+    }
+    out << '\n';
+  }
+}
+
+void write_suite_jobs_json(std::ostream& out, const SuiteReport& report,
+                           int indent) {
+  using util::telemetry::json_escape;
+  using util::telemetry::json_number;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out << pad << "[";
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const auto& o = report.outcomes[i];
+    char key_buf[24];
+    std::snprintf(key_buf, sizeof key_buf, "0x%016llx",
+                  static_cast<unsigned long long>(o.key));
+    out << (i == 0 ? "\n" : ",\n") << pad << "  {\"name\": \""
+        << json_escape(o.job.name) << "\", \"algorithm\": \""
+        << json_escape(o.job.algorithm) << "\", \"key\": \"" << key_buf
+        << "\", \"status\": \"" << status_cell(o) << "\", \"from_cache\": "
+        << (o.from_cache ? "true" : "false")
+        << ", \"resumed\": " << (o.resumed ? "true" : "false")
+        << ", \"med\": " << json_number(o.record.med)
+        << ", \"stored_bits\": " << o.record.stored_bits
+        << ", \"partitions_evaluated\": " << o.record.partitions_evaluated
+        << ", \"runtime_seconds\": " << json_number(o.record.runtime_seconds);
+    if (!o.error.empty()) {
+      out << ", \"error\": \"" << json_escape(o.error) << "\"";
+    }
+    out << "}";
+  }
+  out << "\n" << pad << "]";
+}
+
+void write_suite_trajectory_json(std::ostream& out, const SuiteReport& report,
+                                 int indent) {
+  using util::telemetry::json_escape;
+  using util::telemetry::json_number;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  out << pad << "[";
+  for (std::size_t i = 0; i < report.trajectory.size(); ++i) {
+    const auto& row = report.trajectory[i];
+    out << (i == 0 ? "\n" : ",\n") << pad << "  {\"job\": \""
+        << json_escape(row.job) << "\", \"elapsed_seconds\": "
+        << json_number(row.elapsed_seconds) << ", \"stage\": \""
+        << json_escape(row.stage) << "\", \"round\": " << row.round
+        << ", \"bit\": " << row.bit << ", \"step\": " << row.steps_done
+        << ", \"steps_total\": " << row.steps_total
+        << ", \"best_error\": " << json_number(row.best_error) << "}";
+  }
+  out << "\n" << pad << "]";
+}
+
+}  // namespace dalut::suite

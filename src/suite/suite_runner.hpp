@@ -1,0 +1,111 @@
+// Sharded suite execution: every job of a manifest runs through one shared
+// ThreadPool, with per-job run control, checkpointing, and telemetry
+// multiplexed over the PR-1..4 single-run machinery.
+//
+// Scheduling: jobs shard across the pool via parallel_for (manifest order,
+// deterministic chunking), and each job's search internally reuses the same
+// pool through nested parallel_for calls — a 4-job suite on 8 workers keeps
+// all 8 busy, first across jobs, then inside the stragglers. Job results
+// are bit-deterministic at any worker count (the PR-1 engine guarantee), so
+// the deterministic report below is byte-identical for `-j1` and `-j8`.
+//
+// Resume: with a checkpoint directory, each unfinished job periodically
+// snapshots to "<dir>/<job-name>.ck" (atomic, crash-safe). A killed suite
+// re-run serves finished jobs from the result cache and resumes unfinished
+// ones from their checkpoints bit-identically; completed jobs delete their
+// checkpoint (and any stale *.tmp beside it).
+//
+// Reports: write_suite_csv emits only fields that are pure functions of the
+// manifest and the deterministic results — no wall-clock, no cache/resume
+// provenance — so an interrupted-and-resumed run and an uninterrupted run
+// produce byte-identical CSVs, and so does an all-cache-hits re-run.
+// Provenance and timing live in the JSON jobs section and the metrics
+// registry instead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "suite/manifest.hpp"
+#include "suite/result_cache.hpp"
+#include "util/run_control.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dalut::suite {
+
+struct SuiteOptions {
+  util::ThreadPool* pool = nullptr;  ///< required; shared by jobs and suite
+  /// Master control: a deadline or cancel here fans out to every job's
+  /// chained per-job control at its next poll boundary.
+  util::RunControl* control = nullptr;
+  std::string cache_dir;           ///< "" = result cache off
+  std::size_t cache_max_entries = 0;  ///< 0 = unbounded
+  std::string checkpoint_dir;      ///< "" = per-job checkpoints off
+  unsigned checkpoint_every = 2;   ///< bit-steps between job checkpoints
+  /// Human-facing progress forwarding, labeled with the job name; throttled
+  /// per job by `progress_interval` (at-completion reports always pass).
+  std::function<void(const std::string&, const util::RunProgress&)> progress;
+  std::chrono::nanoseconds progress_interval = std::chrono::seconds(5);
+};
+
+/// One delivered progress report, labeled with its job (the suite analogue
+/// of telemetry::TrajectoryRow).
+struct SuiteTrajectoryRow {
+  std::string job;
+  double elapsed_seconds = 0.0;  ///< since run_suite started
+  std::string stage;
+  unsigned round = 0;
+  unsigned bit = 0;
+  std::size_t steps_done = 0;
+  std::size_t steps_total = 0;
+  double best_error = 0.0;
+};
+
+struct JobOutcome {
+  SuiteJob job;
+  std::uint64_t key = 0;      ///< result-cache key
+  util::RunStatus status = util::RunStatus::kCompleted;
+  bool started = false;       ///< false: the master tripped before this job
+  bool from_cache = false;    ///< served from the result cache
+  bool resumed = false;       ///< restored from a checkpoint
+  std::string error;          ///< non-empty: the job failed with this error
+  ResultRecord record;        ///< valid when started && error.empty()
+};
+
+struct SuiteReport {
+  std::vector<JobOutcome> outcomes;  ///< manifest order
+  std::vector<SuiteTrajectoryRow> trajectory;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// kCompleted unless the master control stopped the suite early.
+  util::RunStatus status = util::RunStatus::kCompleted;
+  double runtime_seconds = 0.0;
+  bool any_failed = false;
+};
+
+/// Executes every job of `manifest` on `options.pool`. Never throws for
+/// per-job failures (they land in JobOutcome::error); throws
+/// std::invalid_argument / std::runtime_error only for suite-level
+/// misconfiguration (no pool, unusable cache/checkpoint directory).
+SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options);
+
+/// Deterministic aggregate report: one CSV row per job, manifest order,
+/// doubles at exact 17-digit round-trip precision. Contains no wall-clock
+/// or provenance fields (see the file comment).
+void write_suite_csv(std::ostream& out, const SuiteReport& report);
+
+/// The per-job section of the dalut-metrics-v1 artifact: a JSON array with
+/// provenance (cache/resume), timing, and metrics per job. `indent` spaces
+/// prefix every line.
+void write_suite_jobs_json(std::ostream& out, const SuiteReport& report,
+                           int indent = 0);
+
+/// The suite trajectory (job-labeled progress rows) as a JSON array.
+void write_suite_trajectory_json(std::ostream& out, const SuiteReport& report,
+                                 int indent = 0);
+
+}  // namespace dalut::suite

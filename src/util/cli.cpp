@@ -6,6 +6,44 @@
 
 namespace dalut::util {
 
+std::chrono::nanoseconds parse_duration(const std::string& text,
+                                        const std::string& what) {
+  std::string number = text;
+  double scale = 1.0;
+  if (!number.empty()) {
+    switch (number.back()) {
+      case 's':
+        number.pop_back();
+        break;
+      case 'm':
+        scale = 60.0;
+        number.pop_back();
+        break;
+      case 'h':
+        scale = 3600.0;
+        number.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  std::size_t pos = 0;
+  double seconds = 0.0;
+  try {
+    seconds = std::stod(number, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (number.empty() || pos != number.size() || seconds <= 0.0) {
+    throw std::invalid_argument(what +
+                                " wants a positive duration like '45', "
+                                "'30s', '5m', or '1h', got '" +
+                                text + "'");
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(seconds * scale));
+}
+
 CliParser::CliParser(std::string program_description)
     : description_(std::move(program_description)) {
   add_flag("help", "Show this help message");

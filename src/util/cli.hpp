@@ -4,6 +4,7 @@
 // arguments abort with a usage message listing the registered options.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -11,6 +12,12 @@
 #include <vector>
 
 namespace dalut::util {
+
+/// Parses a human wall-clock duration: "30" or "30s" = seconds, "5m" =
+/// minutes, "2h" = hours. Throws std::invalid_argument (mentioning `what`,
+/// e.g. "--deadline") for anything that is not a positive duration.
+std::chrono::nanoseconds parse_duration(const std::string& text,
+                                        const std::string& what);
 
 class CliParser {
  public:

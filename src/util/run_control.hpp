@@ -77,6 +77,15 @@ class RunControl {
     return cancel_.load(std::memory_order_relaxed);
   }
 
+  /// Links this control to a parent whose trips propagate here: once the
+  /// parent stops (deadline or cancel), this control latches the same
+  /// reason at its next poll. The suite runner fans one master control out
+  /// to per-job controls this way — each job needs its own control for
+  /// progress reporting, but stop requests (a signal, the suite deadline)
+  /// are global. The parent must outlive this control; install before the
+  /// run starts (not concurrently with polling threads).
+  void chain_to(const RunControl* parent) noexcept { parent_ = parent; }
+
   /// True once the run should stop; latches the first reason seen. Safe to
   /// call from any thread (workers poll it at chunk boundaries).
   bool stop_requested() const noexcept {
@@ -87,6 +96,11 @@ class RunControl {
     }
     if (has_deadline() && Clock::now() >= deadline_) {
       latch(kDeadline);
+      return true;
+    }
+    if (parent_ != nullptr && parent_->stop_requested()) {
+      latch(parent_->status() == RunStatus::kDeadlineExpired ? kDeadline
+                                                             : kCancelled);
       return true;
     }
     return false;
@@ -156,6 +170,7 @@ class RunControl {
   std::atomic<bool> has_deadline_{false};
   mutable std::atomic<int> latched_{kNone};
   Clock::time_point deadline_{};
+  const RunControl* parent_ = nullptr;
 
   std::function<void(const RunProgress&)> progress_;
   std::chrono::nanoseconds progress_interval_{0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <ostream>
@@ -258,9 +259,12 @@ void detail::histogram_observe(std::uint32_t id, double value) noexcept {
   const std::vector<double>* bounds = Registry::instance().hist_bounds(id);
   if (bounds == nullptr) return;
   auto& slot = local_shard().hists[id];
-  std::size_t bucket = bounds->size();  // overflow unless a bound catches it
+  // Half-open [lo, hi) buckets: a value exactly on an upper edge belongs to
+  // the bucket above it, and a value on the last edge is overflow. Strict
+  // `<` keeps every call site consistent however it quantizes its values.
+  std::size_t bucket = bounds->size();  // overflow unless an edge catches it
   for (std::size_t b = 0; b < bounds->size(); ++b) {
-    if (value <= (*bounds)[b]) {
+    if (value < (*bounds)[b]) {
       bucket = b;
       break;
     }
@@ -357,13 +361,16 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
-namespace {
-
-std::string format_double(double value) {
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.9g", value);
   return buf;
 }
+
+namespace {
+
+std::string format_double(double value) { return json_number(value); }
 
 }  // namespace
 

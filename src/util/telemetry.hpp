@@ -98,9 +98,11 @@ class Gauge {
   std::uint32_t id_;
 };
 
-/// Fixed-bucket histogram: `bounds` are ascending upper bounds; one overflow
-/// bucket catches everything above the last bound. Count and sum are
-/// tracked alongside the buckets.
+/// Fixed-bucket histogram: `bounds` are ascending upper edges with half-open
+/// `[lo, hi)` semantics — bucket b counts values in [bounds[b-1], bounds[b])
+/// (the first bucket is unbounded below), and a value landing exactly on an
+/// edge belongs to the bucket *above* it. One overflow bucket catches
+/// [bounds.back(), +inf). Count and sum are tracked alongside the buckets.
 class Histogram {
  public:
   static Histogram get(std::string_view name, std::vector<double> bounds);
@@ -135,7 +137,7 @@ struct GaugeValue {
 
 struct HistogramValue {
   std::string name;
-  std::vector<double> bounds;          ///< upper bounds, ascending
+  std::vector<double> bounds;  ///< half-open [lo, hi) upper edges, ascending
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
   std::uint64_t count = 0;
   double sum = 0.0;
@@ -218,5 +220,11 @@ class SnapshotPump {
 
 /// Minimal JSON string escaping for names/stages embedded in artifacts.
 std::string json_escape(std::string_view text);
+
+/// Formats a double as a JSON number token. Non-finite values (a gauge that
+/// was set to infinity, a best-MED read before the first report) serialize
+/// as `null` — bare `nan`/`inf` are not valid JSON and break downstream
+/// parsers.
+std::string json_number(double value);
 
 }  // namespace dalut::util::telemetry

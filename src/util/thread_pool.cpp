@@ -83,10 +83,22 @@ struct ParallelForState {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t worker_count) {
-  if (worker_count == 0) {
-    worker_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+std::size_t resolve_worker_count(std::int64_t requested) noexcept {
+  if (requested <= 0) {
+    // hardware_concurrency() is allowed to return 0 ("unknown"); an empty
+    // pool would have parallel_for enqueue helpers nobody drains, so the
+    // floor of one (the calling thread) is load-bearing, not cosmetic.
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return std::min(std::max<std::size_t>(1, hw), kMaxWorkerCount);
   }
+  return std::min(static_cast<std::size_t>(requested), kMaxWorkerCount);
+}
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  worker_count = worker_count > kMaxWorkerCount
+                     ? kMaxWorkerCount
+                     : resolve_worker_count(static_cast<std::int64_t>(
+                           worker_count));
   // The calling thread participates in parallel_for, so spawn one fewer.
   for (std::size_t i = 1; i < worker_count; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

@@ -25,6 +25,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -34,6 +35,18 @@
 #include "util/run_control.hpp"
 
 namespace dalut::util {
+
+/// Hard ceiling on pool size; protects against nonsense like `--threads -1`
+/// wrapping through a size_t cast into a request for 2^64 threads.
+inline constexpr std::size_t kMaxWorkerCount = 512;
+
+/// Clamps a requested worker count to something a ThreadPool can actually
+/// run with: any value <= 0 (the CLI's "pick for me", but also garbage like
+/// `--threads -3`) resolves to hardware_concurrency(), which itself may
+/// legally report 0 and then falls back to 1. Positive requests are capped
+/// at kMaxWorkerCount. The result is always in [1, kMaxWorkerCount], so a
+/// pool built from it can never be empty.
+std::size_t resolve_worker_count(std::int64_t requested) noexcept;
 
 class ThreadPool {
  public:

@@ -193,6 +193,48 @@ TEST(Checkpoint, SaveIsAtomicAndLoadable) {
   std::remove(path.c_str());
 }
 
+TEST(Checkpoint, SaveCleansUpStaleTmpFromEarlierCrash) {
+  // A crash between the tmp write and the rename leaves "<path>.tmp"
+  // behind; the next save must still publish atomically and leave no tmp.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "dalut_ck_staletmp.dalut").string();
+  std::remove(path.c_str());
+  std::ofstream(path + ".tmp") << "half-written garbage from a dead run";
+  ASSERT_TRUE(std::filesystem::exists(path + ".tmp"));
+
+  const auto ck = sample_checkpoint();
+  save_checkpoint(path, ck);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  expect_same(ck, load_checkpoint(path));
+  remove_checkpoint(path);
+}
+
+TEST(Checkpoint, LoadIgnoresStaleTmpBesideRealCheckpoint) {
+  // --resume reads only the published file; a stale tmp must not be able
+  // to poison it.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "dalut_ck_tmppoison.dalut").string();
+  const auto ck = sample_checkpoint();
+  save_checkpoint(path, ck);
+  std::ofstream(path + ".tmp") << "not a checkpoint";
+  expect_same(ck, load_checkpoint(path));
+  remove_checkpoint(path);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(Checkpoint, RemoveCheckpointDeletesBothFiles) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "dalut_ck_remove.dalut").string();
+  save_checkpoint(path, sample_checkpoint());
+  std::ofstream(path + ".tmp") << "orphan";
+  remove_checkpoint(path);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  // Removing an absent checkpoint is a harmless no-op.
+  remove_checkpoint(path);
+}
+
 TEST(Checkpoint, SaveIntoMissingDirectoryFails) {
   const auto ck = sample_checkpoint();
   EXPECT_THROW(save_checkpoint("/nonexistent-dir-zz/ck.dalut", ck),

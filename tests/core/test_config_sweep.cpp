@@ -106,6 +106,57 @@ TEST(ConfigSweep, GreedyFrontierModeCountsSumToM) {
   }
 }
 
+TEST(ConfigSweep, GreedyFrontierStopsOnPreTrippedCancel) {
+  auto fx = make_fixture(8);
+  ConfigSweep sweep(fx.g, fx.dist, fx.candidates, fx.costs);
+  util::RunControl control;
+  control.request_cancel();
+  const auto frontier = greedy_frontier(sweep, &control);
+  // Only the starting all-BTO point; no upgrade step ran after the trip.
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier.front().mode_counts[0], 8u);
+  EXPECT_EQ(control.status(), util::RunStatus::kCancelled);
+}
+
+TEST(ConfigSweep, GreedyFrontierPartialPointsAreValidAfterMidWalkCancel) {
+  auto fx = make_fixture(8);
+  ConfigSweep reference_sweep(fx.g, fx.dist, fx.candidates, fx.costs);
+  const auto full = greedy_frontier(reference_sweep);
+  ASSERT_GE(full.size(), 3u);
+
+  // Cancel from the progress callback after a few points: the walk must
+  // end between upgrade steps and return a prefix of the full frontier.
+  ConfigSweep sweep(fx.g, fx.dist, fx.candidates, fx.costs);
+  util::RunControl control;
+  std::size_t reports = 0;
+  control.set_progress_callback([&](const util::RunProgress&) {
+    if (++reports >= 2) control.request_cancel();
+  });
+  const auto partial = greedy_frontier(sweep, &control);
+  EXPECT_EQ(control.status(), util::RunStatus::kCancelled);
+  ASSERT_GE(partial.size(), 1u);
+  ASSERT_LT(partial.size(), full.size());
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    EXPECT_EQ(partial[i].mode_counts, full[i].mode_counts) << i;
+    EXPECT_DOUBLE_EQ(partial[i].med, full[i].med) << i;
+    EXPECT_DOUBLE_EQ(partial[i].cost, full[i].cost) << i;
+    EXPECT_EQ(partial[i].mode_counts[0] + partial[i].mode_counts[1] +
+                  partial[i].mode_counts[2],
+              8u);
+  }
+}
+
+TEST(ConfigSweep, GreedyFrontierStopsOnExpiredDeadline) {
+  auto fx = make_fixture(8);
+  ConfigSweep sweep(fx.g, fx.dist, fx.candidates, fx.costs);
+  util::RunControl control;
+  control.set_deadline_after(std::chrono::nanoseconds{0});  // already expired
+  const auto frontier = greedy_frontier(sweep, &control);
+  EXPECT_EQ(control.status(), util::RunStatus::kDeadlineExpired);
+  ASSERT_EQ(frontier.size(), 1u);
+  EXPECT_EQ(frontier.front().mode_counts[0], 8u);
+}
+
 TEST(ConfigSweep, RejectsMismatchedInputs) {
   auto fx = make_fixture(8);
   auto short_candidates = fx.candidates;

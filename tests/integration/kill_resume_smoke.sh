@@ -47,12 +47,21 @@ else
   [[ -f "$ck" ]] && echo "checkpoint survived the kill"
 fi
 
+# A crash can also land between the checkpoint's tmp write and its rename,
+# orphaning "<ck>.tmp". Plant one: the resume must ignore it (it reads only
+# the published file) and the completed run must clean it up.
+echo "half-written garbage from a dead run" > "$ck.tmp"
+
 # 3. Resume (or re-run, see above) must reproduce the reference exactly.
 "$dalut_opt" "${args[@]}" --checkpoint "$ck" --resume \
     --config-out "$workdir/out.cfg"
 
 if [[ -f "$ck" ]]; then
   echo "FAIL: completed run left a stale checkpoint behind" >&2
+  exit 1
+fi
+if [[ -f "$ck.tmp" ]]; then
+  echo "FAIL: completed run left a stale checkpoint tmp file behind" >&2
   exit 1
 fi
 if ! cmp "$workdir/ref.cfg" "$workdir/out.cfg"; then

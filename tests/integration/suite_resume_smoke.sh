@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Crash-recovery + result-cache smoke test for dalut_suite
+# (docs/robustness.md, "Suite runs").
+#
+# 1. Run a 4-job manifest uninterrupted on one worker -> reference CSV.
+# 2. Run it on 8 workers with a cache and checkpoint directory, SIGKILL
+#    the suite mid-run, re-run it: finished jobs come from the result
+#    cache, unfinished ones resume from their checkpoints, and the final
+#    CSV must be byte-identical to the reference.
+# 3. Re-run once more: every job must be a cache hit, CSV still identical.
+#
+# Timing-tolerant: if the machine finishes before the kill lands, the
+# resume pass degenerates to an all-cache-hits re-run — every assertion
+# below still holds.
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: $0 <path-to-dalut_suite>" >&2
+  exit 2
+fi
+dalut_suite=$1
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+cat > "$workdir/suite.manifest" <<'EOF'
+dalut-manifest v1
+default width=12 rounds=2 partitions=24 patterns=8
+job cos12 benchmark=cos algorithm=bssa seed=3
+job log12 benchmark=log2 algorithm=dalta seed=5
+job sqrt12 benchmark=sqrt algorithm=bssa arch=bto-normal seed=7
+job rin benchmark=cos algorithm=round-in drop=3
+end
+EOF
+
+common=(--manifest "$workdir/suite.manifest"
+        --cache-dir "$workdir/cache" --checkpoint-dir "$workdir/ck"
+        --checkpoint-every 1)
+
+# 1. Uninterrupted single-worker reference.
+start=$(date +%s%N)
+"$dalut_suite" --manifest "$workdir/suite.manifest" -j1 \
+    --csv-out "$workdir/ref.csv"
+elapsed_ms=$(( ($(date +%s%N) - start) / 1000000 ))
+echo "reference run: ${elapsed_ms} ms"
+
+# 2. Sharded run, SIGKILLed at ~50% of the reference time.
+"$dalut_suite" "${common[@]}" -j8 --csv-out "$workdir/out.csv" &
+pid=$!
+sleep "$(awk "BEGIN { print $elapsed_ms / 2000 }")"
+kill -9 "$pid" 2>/dev/null || true
+status=0
+wait "$pid" || status=$?
+echo "killed run exit status: $status"
+if [[ $status -eq 0 ]]; then
+  echo "note: suite finished before the kill landed; the run below" \
+       "degenerates to an all-cache-hits re-run"
+else
+  rm -f "$workdir/out.csv"
+fi
+
+# Resume: cached jobs hit, unfinished jobs continue from checkpoints.
+"$dalut_suite" "${common[@]}" -j8 --csv-out "$workdir/out.csv" \
+    2> "$workdir/resume.log"
+cat "$workdir/resume.log"
+if ! cmp "$workdir/ref.csv" "$workdir/out.csv"; then
+  echo "FAIL: resumed suite CSV differs from the uninterrupted reference" >&2
+  exit 1
+fi
+if ls "$workdir/ck"/*.ck "$workdir/ck"/*.ck.tmp 2>/dev/null | grep -q .; then
+  echo "FAIL: completed suite left checkpoints behind" >&2
+  exit 1
+fi
+
+# 3. Immediate re-run: 100% cache hits, byte-identical CSV.
+"$dalut_suite" "${common[@]}" -j8 --csv-out "$workdir/rerun.csv" \
+    2> "$workdir/rerun.log"
+cat "$workdir/rerun.log"
+if ! grep -q "result cache: 4 hits, 0 misses" "$workdir/rerun.log"; then
+  echo "FAIL: re-run was not served entirely from the result cache" >&2
+  exit 1
+fi
+if ! cmp "$workdir/ref.csv" "$workdir/rerun.csv"; then
+  echo "FAIL: cache-hit re-run CSV differs from the reference" >&2
+  exit 1
+fi
+echo "PASS: kill/resume and cache re-run are byte-identical to the reference"

@@ -1,0 +1,230 @@
+#include "suite/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/partition.hpp"
+#include "func/registry.hpp"
+
+namespace dalut::suite {
+namespace {
+
+namespace fs = std::filesystem;
+
+ResultRecord sample_record() {
+  ResultRecord record;
+  record.algorithm = "bssa";
+  record.num_inputs = 4;
+  record.num_outputs = 3;
+  record.med = 1.0 / 3.0;  // not exactly representable in decimal
+  record.mse = 0.125;
+  record.error_rate = 0.75;
+  record.max_ed = 7.0;
+  record.runtime_seconds = 17.25061980151415;
+  record.partitions_evaluated = 4242;
+  record.stored_bits = 96;
+  record.settings.resize(3);
+  core::Setting s;
+  s.error = 2.0 / 7.0;
+  s.partition = core::Partition(4, 0b0011);
+  s.mode = core::DecompMode::kNormal;
+  s.pattern.assign(s.partition.num_cols(), 0);
+  s.pattern[0] = 1;
+  s.types.assign(s.partition.num_rows(), core::RowType::kPattern);
+  record.settings[1] = s;
+  return record;
+}
+
+void expect_same(const ResultRecord& a, const ResultRecord& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.num_inputs, b.num_inputs);
+  EXPECT_EQ(a.num_outputs, b.num_outputs);
+  EXPECT_EQ(a.med, b.med);  // bit-exact, not NEAR
+  EXPECT_EQ(a.mse, b.mse);
+  EXPECT_EQ(a.error_rate, b.error_rate);
+  EXPECT_EQ(a.max_ed, b.max_ed);
+  EXPECT_EQ(a.runtime_seconds, b.runtime_seconds);
+  EXPECT_EQ(a.partitions_evaluated, b.partitions_evaluated);
+  EXPECT_EQ(a.stored_bits, b.stored_bits);
+  ASSERT_EQ(a.settings.size(), b.settings.size());
+  for (std::size_t k = 0; k < a.settings.size(); ++k) {
+    EXPECT_EQ(a.settings[k].valid(), b.settings[k].valid()) << k;
+  }
+}
+
+std::string fresh_dir(const char* name) {
+  const auto dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+core::MultiOutputFunction test_function(unsigned width = 8) {
+  const auto spec = *func::benchmark_by_name("cos", width);
+  return core::MultiOutputFunction::from_eval(spec.num_inputs,
+                                              spec.num_outputs, spec.eval);
+}
+
+TEST(ResultRecord, RoundTripIsExact) {
+  const auto record = sample_record();
+  expect_same(record, result_from_string(result_to_string(record)));
+}
+
+TEST(ResultRecord, BaselineRecordWithoutSettingsRoundTrips) {
+  auto record = sample_record();
+  record.algorithm = "round-in";
+  record.settings.clear();
+  expect_same(record, result_from_string(result_to_string(record)));
+}
+
+TEST(ResultRecord, RejectsBadMagic) {
+  EXPECT_THROW(result_from_string("dalut-result v2\n"),
+               std::invalid_argument);
+}
+
+TEST(ResultRecord, RejectsTruncationAnywhere) {
+  const auto text = result_to_string(sample_record());
+  for (std::size_t cut = 0; cut + 1 < text.size(); cut += 13) {
+    EXPECT_THROW(result_from_string(text.substr(0, cut)),
+                 std::invalid_argument)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ResultKey, SensitiveToParamsAndFunctionContent) {
+  const auto g = test_function();
+  SuiteJob job;
+  job.name = "a";
+  job.algorithm = "bssa";
+  const auto base = result_key(job, g);
+
+  auto other = job;
+  other.seed = 2;
+  EXPECT_NE(result_key(other, g), base);
+  other = job;
+  other.arch = "bto-normal";
+  EXPECT_NE(result_key(other, g), base);
+  other = job;
+  other.algorithm = "dalta";
+  EXPECT_NE(result_key(other, g), base);
+
+  // Same name, different truth table -> different key.
+  auto values = g.values();
+  values[3] ^= 1u;
+  const core::MultiOutputFunction g2(g.num_inputs(), g.num_outputs(),
+                                     std::move(values));
+  EXPECT_NE(result_key(job, g2), base);
+
+  // The job *name* and error budget are labels, not parameters.
+  other = job;
+  other.name = "renamed";
+  other.budget = 0.5;
+  EXPECT_EQ(result_key(other, g), base);
+}
+
+TEST(ResultKey, IgnoresFieldsTheAlgorithmNeverReads) {
+  const auto g = test_function();
+  SuiteJob job;
+  job.algorithm = "dalta";
+  const auto base = result_key(job, g);
+  auto other = job;
+  other.beams = 99;   // bssa-only knob
+  other.delta = 0.5;  // bssa-only knob
+  other.drop = 3;     // baseline-only knob
+  EXPECT_EQ(result_key(other, g), base);
+
+  SuiteJob rin;
+  rin.algorithm = "round-in";
+  rin.drop = 2;
+  const auto rin_key = result_key(rin, g);
+  auto rin2 = rin;
+  rin2.seed = 77;  // baselines are deterministic; seed is unused
+  EXPECT_EQ(result_key(rin2, g), rin_key);
+  rin2 = rin;
+  rin2.drop = 3;
+  EXPECT_NE(result_key(rin2, g), rin_key);
+}
+
+TEST(ResultCache, MissThenStoreThenHit) {
+  ResultCache cache(fresh_dir("dalut_rc_basic"));
+  const auto record = sample_record();
+  EXPECT_FALSE(cache.load(42).has_value());
+  cache.store(42, record);
+  const auto hit = cache.load(42);
+  ASSERT_TRUE(hit.has_value());
+  expect_same(record, *hit);
+  EXPECT_FALSE(fs::exists(cache.path_of(42) + ".tmp"));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  fs::remove_all(cache.dir());
+}
+
+TEST(ResultCache, PersistsAcrossInstances) {
+  const auto dir = fresh_dir("dalut_rc_persist");
+  {
+    ResultCache cache(dir);
+    cache.store(7, sample_record());
+  }
+  ResultCache reopened(dir);
+  EXPECT_TRUE(reopened.load(7).has_value());
+  fs::remove_all(dir);
+}
+
+TEST(ResultCache, CorruptEntryIsAMissAndIsRemoved) {
+  ResultCache cache(fresh_dir("dalut_rc_corrupt"));
+  cache.store(9, sample_record());
+  std::ofstream(cache.path_of(9), std::ios::trunc) << "torn write\n";
+  EXPECT_FALSE(cache.load(9).has_value());
+  EXPECT_FALSE(fs::exists(cache.path_of(9)));
+  // The slot heals on the next store.
+  cache.store(9, sample_record());
+  EXPECT_TRUE(cache.load(9).has_value());
+  fs::remove_all(cache.dir());
+}
+
+TEST(ResultCache, EvictsOldestBeyondCap) {
+  ResultCache cache(fresh_dir("dalut_rc_evict"), 2);
+  const auto record = sample_record();
+  cache.store(1, record);
+  // Distinct mtimes so "oldest" is unambiguous on coarse-grained clocks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.store(2, record);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cache.store(3, record);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.load(1).has_value());
+  EXPECT_TRUE(cache.load(2).has_value());
+  EXPECT_TRUE(cache.load(3).has_value());
+  fs::remove_all(cache.dir());
+}
+
+TEST(ResultCache, ThreadSafeConcurrentStoresAndLoads) {
+  ResultCache cache(fresh_dir("dalut_rc_threads"));
+  const auto record = sample_record();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &record, t] {
+      for (std::uint64_t i = 0; i < 25; ++i) {
+        const std::uint64_t key = static_cast<std::uint64_t>(t) * 100 + i;
+        cache.store(key, record);
+        EXPECT_TRUE(cache.load(key).has_value());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.stats().stores, 100u);
+  fs::remove_all(cache.dir());
+}
+
+TEST(ResultCache, UnusableDirectoryThrows) {
+  EXPECT_THROW(ResultCache("/proc/definitely/not/writable"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dalut::suite

@@ -68,13 +68,52 @@ TEST_F(TelemetryTest, ConcurrentHistogramHammeringAggregatesExactly) {
   ASSERT_EQ(hist->buckets.size(), 4u);  // 3 bounds + overflow
   const std::uint64_t total = kThreads * kPerThread;
   EXPECT_EQ(hist->count, total);
-  // Values cycle 0,9,18,27 uniformly: 0 lands in (<=1], 9 in (<=10], and
-  // 18/27 land in (<=100].
+  // Values cycle 0,9,18,27 uniformly over half-open buckets: 0 lands in
+  // [..,1), 9 in [1,10), and 18/27 land in [10,100).
   EXPECT_EQ(hist->buckets[0], total / 4);
   EXPECT_EQ(hist->buckets[1], total / 4);
   EXPECT_EQ(hist->buckets[2], total / 2);
   EXPECT_EQ(hist->buckets[3], 0u);
   EXPECT_DOUBLE_EQ(hist->sum, static_cast<double>(total) / 4 * (0 + 9 + 18 + 27));
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAreHalfOpen) {
+  // A value exactly on a bucket's upper edge belongs to the bucket above:
+  // bounds {1, 10, 100} define [..,1), [1,10), [10,100), [100,inf).
+  const Histogram hist = Histogram::get("test.edge_hist", {1.0, 10.0, 100.0});
+  hist.observe(1.0);
+  hist.observe(10.0);
+  const auto snap = snapshot_metrics();
+  const HistogramValue* value = snap.find_histogram("test.edge_hist");
+  ASSERT_NE(value, nullptr);
+  ASSERT_EQ(value->buckets.size(), 4u);
+  EXPECT_EQ(value->buckets[0], 0u);
+  EXPECT_EQ(value->buckets[1], 1u);  // 1.0 -> [1,10)
+  EXPECT_EQ(value->buckets[2], 1u);  // 10.0 -> [10,100)
+  EXPECT_EQ(value->buckets[3], 0u);
+}
+
+TEST_F(TelemetryTest, HistogramLastEdgeLandsInOverflowBucket) {
+  const Histogram hist = Histogram::get("test.edge_last", {1.0, 10.0});
+  hist.observe(10.0);    // == last bound -> overflow [10, inf)
+  hist.observe(1e300);   // far beyond
+  const auto snap = snapshot_metrics();
+  const HistogramValue* value = snap.find_histogram("test.edge_last");
+  ASSERT_NE(value, nullptr);
+  ASSERT_EQ(value->buckets.size(), 3u);
+  EXPECT_EQ(value->buckets[0], 0u);
+  EXPECT_EQ(value->buckets[1], 0u);
+  EXPECT_EQ(value->buckets[2], 2u);
+}
+
+TEST_F(TelemetryTest, HistogramNegativeValuesLandInFirstBucket) {
+  const Histogram hist = Histogram::get("test.edge_neg", {1.0, 10.0});
+  hist.observe(-5.0);
+  hist.observe(0.999);
+  const auto snap = snapshot_metrics();
+  const HistogramValue* value = snap.find_histogram("test.edge_neg");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->buckets[0], 2u);
 }
 
 TEST_F(TelemetryTest, GaugeKeepsLastWriteAndEverSetFlag) {

@@ -142,5 +142,36 @@ TEST(ThreadPool, GlobalPoolExists) {
   EXPECT_EQ(total.load(), 8);
 }
 
+TEST(ResolveWorkerCount, PositiveRequestsPassThrough) {
+  EXPECT_EQ(resolve_worker_count(1), 1u);
+  EXPECT_EQ(resolve_worker_count(7), 7u);
+}
+
+TEST(ResolveWorkerCount, ZeroFallsBackToAtLeastOne) {
+  // Even when hardware_concurrency() reports 0 (which the standard allows),
+  // the resolved count must stay >= 1 or the pool could deadlock.
+  EXPECT_GE(resolve_worker_count(0), 1u);
+  EXPECT_LE(resolve_worker_count(0), kMaxWorkerCount);
+}
+
+TEST(ResolveWorkerCount, NegativeRequestsFallBackLikeZero) {
+  // A `--threads -1` must not be cast through size_t into an attempt to
+  // spawn 2^64 workers.
+  EXPECT_EQ(resolve_worker_count(-1), resolve_worker_count(0));
+  EXPECT_EQ(resolve_worker_count(-1000000), resolve_worker_count(0));
+}
+
+TEST(ResolveWorkerCount, HugeRequestsClampToMax) {
+  EXPECT_EQ(resolve_worker_count(1 << 20), kMaxWorkerCount);
+}
+
+TEST(ThreadPool, ZeroWorkerRequestStillRuns) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 16, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 16);
+}
+
 }  // namespace
 }  // namespace dalut::util

@@ -28,6 +28,7 @@
 //   dalut_opt --benchmark log2 --checkpoint ck.dalut --resume
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -105,43 +106,6 @@ core::CostMetric parse_metric(const std::string& name) {
   return core::CostMetric::kMed;
 }
 
-/// "30" or "30s" = seconds, "5m" = minutes, "2h" = hours.
-std::chrono::nanoseconds parse_deadline(const std::string& text) {
-  std::string number = text;
-  double scale = 1.0;
-  if (!number.empty()) {
-    switch (number.back()) {
-      case 's':
-        number.pop_back();
-        break;
-      case 'm':
-        scale = 60.0;
-        number.pop_back();
-        break;
-      case 'h':
-        scale = 3600.0;
-        number.pop_back();
-        break;
-      default:
-        break;
-    }
-  }
-  std::size_t pos = 0;
-  double seconds = 0.0;
-  try {
-    seconds = std::stod(number, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (number.empty() || pos != number.size() || seconds <= 0.0) {
-    throw std::invalid_argument("--deadline wants a positive duration like "
-                                "'45', '30s', '5m', or '1h', got '" +
-                                text + "'");
-  }
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-      std::chrono::duration<double>(seconds * scale));
-}
-
 int run(int argc, char** argv) {
   util::CliParser cli(
       "dalut_opt - optimize an approximate LUT decomposition and emit "
@@ -199,7 +163,7 @@ int run(int argc, char** argv) {
   // --- Run control: deadline + signals. ---
   util::RunControl& control = g_control;
   if (const auto deadline = cli.str("deadline"); !deadline.empty()) {
-    control.set_deadline_after(parse_deadline(deadline));
+    control.set_deadline_after(util::parse_duration(deadline, "--deadline"));
   }
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
@@ -266,7 +230,9 @@ int run(int argc, char** argv) {
   if (!function) return kExitFatal;
   const auto& g = *function;
   const auto dist = core::InputDistribution::uniform(g.num_inputs());
-  util::ThreadPool pool(static_cast<std::size_t>(cli.integer("threads")));
+  // resolve_worker_count clamps 0 (and nonsense like -1) to a real pool
+  // size, so `--threads 0` cannot construct an empty, deadlocking pool.
+  util::ThreadPool pool(util::resolve_worker_count(cli.integer("threads")));
 
   unsigned bound = static_cast<unsigned>(cli.integer("bound"));
   if (bound == 0) {
@@ -449,8 +415,12 @@ int run(int argc, char** argv) {
         << ",\n    \"seed\": " << cli.integer("seed")
         << ",\n    \"status\": \"" << util::to_string(result.status)
         << "\",\n    \"med\": ";
-    char med_buf[64];
-    std::snprintf(med_buf, sizeof med_buf, "%.17g", result.med);
+    // Exact 17-digit round-trip for finite MEDs; non-finite values (a run
+    // stopped before any result) must land as null, not bare inf/nan.
+    char med_buf[64] = "null";
+    if (std::isfinite(result.med)) {
+      std::snprintf(med_buf, sizeof med_buf, "%.17g", result.med);
+    }
     out << med_buf << ",\n    \"runtime_seconds\": "
         << result.runtime_seconds << ",\n    \"partitions_evaluated\": "
         << result.partitions_evaluated << "\n  },\n  \"metrics\":\n";
@@ -480,9 +450,10 @@ int run(int argc, char** argv) {
     case util::RunStatus::kCompleted:
       break;
   }
-  // A finished run leaves no stale checkpoint behind; a later --resume then
-  // simply starts fresh (and lands on the identical result).
-  if (!checkpoint_path.empty()) std::remove(checkpoint_path.c_str());
+  // A finished run leaves no stale checkpoint behind — including a *.tmp
+  // orphaned by an earlier crash mid-save; a later --resume then simply
+  // starts fresh (and lands on the identical result).
+  if (!checkpoint_path.empty()) core::remove_checkpoint(checkpoint_path);
   return kExitOk;
 }
 

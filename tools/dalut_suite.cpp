@@ -1,0 +1,245 @@
+// dalut_suite - sharded suite runner with a persistent result cache.
+//
+// Executes every job of a manifest (see docs/robustness.md, "Suite runs")
+// through one shared thread pool: jobs shard across workers, and each
+// job's search internally reuses the same pool, so small suites on big
+// machines stay fully utilized. With --cache-dir, completed jobs persist
+// to an on-disk result cache keyed by the job parameters plus the truth
+// table content; re-running a manifest serves unchanged jobs from disk.
+// With --checkpoint-dir, unfinished jobs snapshot crash-safely and a
+// re-run resumes only them, bit-identically to an uninterrupted run.
+//
+// The CSV report is deterministic: byte-identical across worker counts,
+// across kill/resume cycles, and across cache-hit re-runs.
+//
+// Exit codes: 0 success, 1 fatal error or any job failed, 2 usage error,
+// 3 manifest/input parse error, 4 deadline expired, 5 cancelled by signal
+// (valid partial report emitted for 4 and 5).
+//
+// Examples:
+//   dalut_suite --manifest suite.manifest -j8 --csv-out results.csv
+//   dalut_suite --manifest suite.manifest --cache-dir .dalut-cache \
+//               --checkpoint-dir .dalut-ck --deadline 10m
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "suite/manifest.hpp"
+#include "suite/suite_runner.hpp"
+#include "util/cli.hpp"
+#include "util/run_control.hpp"
+#include "util/telemetry.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dalut;
+
+constexpr int kExitOk = 0;
+constexpr int kExitFatal = 1;
+// kExitUsage = 2 is produced by CliParser directly.
+constexpr int kExitParse = 3;
+constexpr int kExitDeadline = 4;
+constexpr int kExitCancelled = 5;
+
+util::RunControl g_control;
+
+extern "C" void handle_stop_signal(int) { g_control.request_cancel(); }
+
+/// Expands `-j8` / `-j 8` into `--threads 8` so the make-style spelling
+/// works alongside the repo's long-only CliParser.
+std::vector<std::string> expand_short_jobs(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      args.emplace_back("--threads");
+      args.emplace_back(arg + 2);
+    } else if (std::strcmp(arg, "-j") == 0 && i + 1 < argc) {
+      args.emplace_back("--threads");
+      args.emplace_back(argv[++i]);
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  return args;
+}
+
+int run(int argc, char** argv) {
+  util::CliParser cli(
+      "dalut_suite - run a manifest of optimization jobs on one shared "
+      "thread pool, with a persistent result cache and crash-safe "
+      "per-job checkpoints");
+  cli.add_option("manifest", "", "dalut-manifest v1 file (required)");
+  cli.add_option("threads", "0",
+                 "worker threads shared by all jobs (0 = hardware; -jN is "
+                 "accepted as shorthand)");
+  cli.add_option("cache-dir", "",
+                 "persistent result-cache directory; completed jobs are "
+                 "served from it on re-runs (empty = off)");
+  cli.add_option("cache-max", "0",
+                 "result-cache entry cap, oldest evicted first (0 = "
+                 "unbounded)");
+  cli.add_option("checkpoint-dir", "",
+                 "per-job crash-safe checkpoint directory; a re-run "
+                 "resumes unfinished jobs from it (empty = off)");
+  cli.add_option("checkpoint-every", "2",
+                 "bit-steps between job checkpoints (with "
+                 "--checkpoint-dir)");
+  cli.add_option("csv-out", "",
+                 "write the deterministic aggregate CSV here (empty = "
+                 "stdout)");
+  cli.add_option("metrics-out", "",
+                 "write the dalut-metrics-v1 JSON artifact (suite header, "
+                 "per-job provenance, metrics snapshot, trajectory) here");
+  cli.add_option("deadline", "",
+                 "wall-clock budget for the whole suite ('30s', '5m', "
+                 "'1h'); unfinished jobs checkpoint and exit code is 4");
+  cli.add_flag("progress",
+               "print throttled per-job progress lines to stderr");
+
+  const auto args = expand_short_jobs(argc, argv);
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (const auto& a : args) argv2.push_back(const_cast<char*>(a.c_str()));
+  if (!cli.parse(static_cast<int>(argv2.size()), argv2.data())) {
+    return kExitOk;
+  }
+
+  const auto manifest_path = cli.str("manifest");
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "error: --manifest <file> is required\n");
+    return kExitFatal;
+  }
+  const auto manifest = suite::load_manifest(manifest_path);
+
+  util::RunControl& control = g_control;
+  if (const auto deadline = cli.str("deadline"); !deadline.empty()) {
+    control.set_deadline_after(util::parse_duration(deadline, "--deadline"));
+  }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  const auto metrics_out = cli.str("metrics-out");
+  if (!metrics_out.empty()) util::telemetry::set_metrics_enabled(true);
+
+  util::ThreadPool pool(util::resolve_worker_count(cli.integer("threads")));
+
+  suite::SuiteOptions options;
+  options.pool = &pool;
+  options.control = &control;
+  options.cache_dir = cli.str("cache-dir");
+  options.cache_max_entries =
+      static_cast<std::size_t>(cli.integer("cache-max"));
+  options.checkpoint_dir = cli.str("checkpoint-dir");
+  options.checkpoint_every =
+      static_cast<unsigned>(cli.integer("checkpoint-every"));
+  if (cli.flag("progress")) {
+    options.progress = [](const std::string& job,
+                          const util::RunProgress& p) {
+      std::fprintf(stderr,
+                   "progress: [%s] %s round %u bit %u (step %zu/%zu, best "
+                   "%.4f)\n",
+                   job.c_str(), p.stage, p.round, p.bit, p.steps_done,
+                   p.steps_total, p.best_error);
+    };
+  }
+
+  const auto report = suite::run_suite(manifest, options);
+
+  // --- Human summary (stderr; the CSV owns stdout when --csv-out=""). ---
+  for (const auto& o : report.outcomes) {
+    if (!o.error.empty()) {
+      std::fprintf(stderr, "job %-24s FAILED: %s\n", o.job.name.c_str(),
+                   o.error.c_str());
+    } else if (!o.started) {
+      std::fprintf(stderr, "job %-24s skipped (%s)\n", o.job.name.c_str(),
+                   util::to_string(o.status));
+    } else {
+      std::fprintf(stderr,
+                   "job %-24s %s  med %.6g  stored %llu bits%s%s\n",
+                   o.job.name.c_str(), util::to_string(o.status),
+                   o.record.med,
+                   static_cast<unsigned long long>(o.record.stored_bits),
+                   o.from_cache ? "  [cache]" : "",
+                   o.resumed ? "  [resumed]" : "");
+    }
+  }
+  std::fprintf(stderr,
+               "result cache: %llu hits, %llu misses\nsuite %s in %.2f s\n",
+               static_cast<unsigned long long>(report.cache_hits),
+               static_cast<unsigned long long>(report.cache_misses),
+               util::to_string(report.status), report.runtime_seconds);
+
+  // --- Deterministic CSV. ---
+  if (const auto path = cli.str("csv-out"); !path.empty()) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write CSV to '%s'\n", path.c_str());
+      return kExitFatal;
+    }
+    suite::write_suite_csv(out, report);
+  } else {
+    suite::write_suite_csv(std::cout, report);
+  }
+
+  // --- Metrics artifact. ---
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   metrics_out.c_str());
+      return kExitFatal;
+    }
+    out << "{\n  \"schema\": \"dalut-metrics-v1\",\n  \"suite\": {\n"
+        << "    \"manifest\": \""
+        << util::telemetry::json_escape(manifest_path)
+        << "\",\n    \"jobs\": " << manifest.jobs.size()
+        << ",\n    \"threads\": " << pool.worker_count()
+        << ",\n    \"status\": \"" << util::to_string(report.status)
+        << "\",\n    \"cache_hits\": " << report.cache_hits
+        << ",\n    \"cache_misses\": " << report.cache_misses
+        << ",\n    \"runtime_seconds\": "
+        << util::telemetry::json_number(report.runtime_seconds)
+        << "\n  },\n  \"jobs\":\n";
+    suite::write_suite_jobs_json(out, report, 2);
+    out << ",\n  \"metrics\":\n";
+    util::telemetry::write_metrics_json(
+        out, util::telemetry::snapshot_metrics(), 2);
+    out << ",\n  \"trajectory\":\n";
+    suite::write_suite_trajectory_json(out, report, 2);
+    out << "\n}\n";
+    std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+  }
+
+  if (report.any_failed) return kExitFatal;
+  switch (report.status) {
+    case util::RunStatus::kDeadlineExpired:
+      return kExitDeadline;
+    case util::RunStatus::kCancelled:
+      return kExitCancelled;
+    case util::RunStatus::kCompleted:
+      break;
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "parse error: %s\n", error.what());
+    return kExitParse;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "fatal: %s\n", error.what());
+    return kExitFatal;
+  }
+}
