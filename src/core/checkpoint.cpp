@@ -8,21 +8,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/format.hpp"
 #include "core/serialize_detail.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace_writer.hpp"
-
-#ifdef _WIN32
-#include <io.h>
-#else
-#include <unistd.h>
-#endif
 
 namespace dalut::core {
 
 namespace {
 
-constexpr const char* kMagic = "dalut-checkpoint v1";
+constexpr format::FormatSpec kFormat{"dalut-checkpoint", 1, 1};
 constexpr unsigned kMaxBeams = 4096;
 
 std::string hex64(std::uint64_t v) {
@@ -39,21 +34,9 @@ std::string hex64(std::uint64_t v) {
 
 }  // namespace
 
-ParamsDigest& ParamsDigest::add_double(double value) noexcept {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &value, sizeof bits);
-  return add(bits);
-}
-
-ParamsDigest& ParamsDigest::add_string(const std::string& s) noexcept {
-  add(s.size());
-  for (const char c : s) add(static_cast<unsigned char>(c));
-  return *this;
-}
-
 void write_checkpoint(std::ostream& out, const SearchCheckpoint& ck) {
   out.precision(17);  // round-trip doubles exactly
-  out << kMagic << "\n";
+  out << format::header_line(kFormat) << "\n";
   out << "algorithm " << ck.algorithm << "\n";
   out << "digest " << hex64(ck.params_digest) << "\n";
   out << "inputs " << ck.num_inputs << " outputs " << ck.num_outputs << "\n";
@@ -85,9 +68,8 @@ std::string checkpoint_to_string(const SearchCheckpoint& ck) {
 
 SearchCheckpoint read_checkpoint(std::istream& in) {
   detail::LineReader reader(in);
-  if (reader.next() != kMagic) {
-    throw std::invalid_argument("not a dalut-checkpoint v1 file");
-  }
+  const auto magic_line = reader.next();  // read first: arg order is unspecified
+  format::check_header_line(magic_line, kFormat, reader.number());
 
   SearchCheckpoint ck;
   ck.algorithm = detail::expect_keyed_line(reader, "algorithm");
@@ -196,31 +178,9 @@ void save_checkpoint(const std::string& path, const SearchCheckpoint& ck) {
       util::telemetry::Histogram::get(
           "checkpoint.save_ms", {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100});
   const auto start = std::chrono::steady_clock::now();
-  const std::string tmp = path + ".tmp";
-  std::size_t written = 0;
-  {
-    // C stdio instead of ofstream: we need the file descriptor for fsync.
-    std::FILE* file = std::fopen(tmp.c_str(), "wb");
-    if (file == nullptr) io_fail("cannot create checkpoint", tmp);
-    const std::string text = checkpoint_to_string(ck);
-    written = text.size();
-    const bool wrote =
-        std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
-        std::fflush(file) == 0;
-#ifndef _WIN32
-    const bool synced = wrote && ::fsync(::fileno(file)) == 0;
-#else
-    const bool synced = wrote;
-#endif
-    if (std::fclose(file) != 0 || !synced) {
-      std::remove(tmp.c_str());
-      io_fail("cannot write checkpoint", tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    io_fail("cannot publish checkpoint", path);
-  }
+  const std::string text = checkpoint_to_string(ck);
+  const std::size_t written = text.size();
+  format::atomic_write_file(path, text);
   saves.add(1);
   bytes.add(written);
   save_ms.observe(std::chrono::duration<double, std::milli>(

@@ -20,9 +20,16 @@
 #include <string>
 #include <vector>
 
+#include "core/format.hpp"
 #include "core/setting.hpp"
 
 namespace dalut::core {
+
+/// Order-sensitive FNV-1a over a stream of words; the searches fold their
+/// parameters through this to build `params_digest`. Lives in core/format
+/// (every self-validating format shares it); aliased here for the
+/// checkpoint-centric callers.
+using ParamsDigest = format::ParamsDigest;
 
 /// One beam of the round-1 population (or the single settings vector of the
 /// refinement rounds). `decided[k] != 0` marks bits whose setting is live;
@@ -73,24 +80,5 @@ SearchCheckpoint load_checkpoint(const std::string& path);
 /// use this instead of a bare remove(path) when a run completes, so crashed
 /// predecessors cannot leak tmp files forever. Missing files are fine.
 void remove_checkpoint(const std::string& path);
-
-/// Order-sensitive FNV-1a over a stream of words; the searches fold their
-/// parameters through this to build `params_digest`.
-class ParamsDigest {
- public:
-  ParamsDigest& add(std::uint64_t word) noexcept {
-    for (int shift = 0; shift < 64; shift += 8) {
-      hash_ ^= (word >> shift) & 0xff;
-      hash_ *= 0x100000001b3ull;
-    }
-    return *this;
-  }
-  ParamsDigest& add_double(double value) noexcept;
-  ParamsDigest& add_string(const std::string& s) noexcept;
-  std::uint64_t value() const noexcept { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ull;
-};
 
 }  // namespace dalut::core

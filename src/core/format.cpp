@@ -1,0 +1,184 @@
+#include "core/format.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace dalut::core::format {
+
+namespace {
+
+[[noreturn]] void fail_at(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + what);
+}
+
+/// Splits "<magic> v<version>" into its two tokens; empty second token when
+/// the line has no space-separated version field.
+std::pair<std::string_view, std::string_view> split_header(
+    const std::string& line) {
+  const auto space = line.find(' ');
+  if (space == std::string::npos) return {line, {}};
+  std::string_view rest = std::string_view(line).substr(space + 1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  return {std::string_view(line).substr(0, space), rest};
+}
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// fsyncs the directory containing `path` so a just-published rename is
+/// durable. Best effort on filesystems that reject directory fsync (their
+/// rename is already durable or nothing stronger exists); a missing parent
+/// is impossible here because the rename into it just succeeded.
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);  // EINVAL on fsync-less filesystems is fine — best effort
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+std::string header_line(const FormatSpec& spec) {
+  return std::string(spec.magic) + " v" + std::to_string(spec.version_current);
+}
+
+bool matches_magic(const std::string& line, const FormatSpec& spec) {
+  return split_header(line).first == spec.magic;
+}
+
+unsigned check_header_line(const std::string& line, const FormatSpec& spec,
+                           std::size_t line_no) {
+  const auto [magic, version_token] = split_header(line);
+  if (magic != spec.magic) {
+    fail_at(line_no, "not a " + std::string(spec.magic) + " file");
+  }
+  // The version field must be exactly "v<decimal>"; anything else (missing,
+  // "v", "v1x", "v-1") is a malformed header, not a version mismatch.
+  bool well_formed = version_token.size() >= 2 && version_token[0] == 'v' &&
+                     version_token.size() <= 10;
+  std::uint64_t version = 0;
+  for (std::size_t i = 1; well_formed && i < version_token.size(); ++i) {
+    const char c = version_token[i];
+    if (c < '0' || c > '9') {
+      well_formed = false;
+      break;
+    }
+    version = version * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (!well_formed) {
+    fail_at(line_no, std::string("malformed ") + spec.magic +
+                         " header (expected '" + spec.magic + " v<n>')");
+  }
+  if (version < spec.version_min || version > spec.version_current) {
+    fail_at(line_no,
+            std::string(spec.magic) + " version " + std::to_string(version) +
+                " is not supported (accepted: v" +
+                std::to_string(spec.version_min) + "..v" +
+                std::to_string(spec.version_current) + ")");
+  }
+  return static_cast<unsigned>(version);
+}
+
+ParamsDigest& ParamsDigest::add_double(double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return add(bits);
+}
+
+ParamsDigest& ParamsDigest::add_string(const std::string& s) noexcept {
+  add(s.size());
+  for (const char c : s) add(static_cast<unsigned char>(c));
+  return *this;
+}
+
+void put_u32(std::ostream& out, std::uint32_t value) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.write(bytes, sizeof bytes);
+}
+
+void put_u64(std::ostream& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  out.write(bytes, sizeof bytes);
+}
+
+std::uint32_t get_u32(std::istream& in, const char* what) {
+  char bytes[4];
+  if (!in.read(bytes, sizeof bytes)) {
+    throw std::invalid_argument(std::string("truncated ") + what);
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(std::istream& in, const char* what) {
+  char bytes[8];
+  if (!in.read(bytes, sizeof bytes)) {
+    throw std::invalid_argument(std::string("truncated ") + what);
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+void atomic_write_file(const std::string& path, std::string_view payload) {
+  const std::string tmp = path + ".tmp";
+  {
+    // C stdio instead of ofstream: we need the file descriptor for fsync.
+    std::FILE* file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) io_fail("cannot create", tmp);
+    const bool wrote =
+        std::fwrite(payload.data(), 1, payload.size(), file) ==
+            payload.size() &&
+        std::fflush(file) == 0;
+#ifndef _WIN32
+    const bool synced = wrote && ::fsync(::fileno(file)) == 0;
+#else
+    const bool synced = wrote;
+#endif
+    if (std::fclose(file) != 0 || !synced) {
+      std::remove(tmp.c_str());
+      io_fail("cannot write", tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    io_fail("cannot publish", path);
+  }
+  sync_parent_dir(path);
+}
+
+}  // namespace dalut::core::format

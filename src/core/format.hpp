@@ -1,0 +1,106 @@
+// Shared versioned-serialization framework for every dalut on-disk format.
+//
+// Each format used to hand-roll its own magic/version/digest framing; this
+// module factors the common skeleton so new formats (server wire protocol,
+// cache evolution, mmap-able tables) extend one policy instead of five:
+//
+//   * FormatSpec — the magic word plus an explicit accepted version range.
+//     Writers always emit `version_current`; readers accept any version in
+//     [version_min, version_current], so a v2 reader still opens v1 files,
+//     while a future-version file fails up front with a line-anchored error
+//     naming the accepted range instead of a confusing mid-body parse error.
+//   * Text headers — `"<magic> v<version>"` as the first non-comment line,
+//     shared by dalut-config / dalut-checkpoint / dalut-table /
+//     dalut-manifest / dalut-result.
+//   * Binary headers — the same `"<magic> v<version>\n"` line followed by
+//     little-endian fixed-width fields, so `head -1` still identifies a
+//     binary container and read-side auto-detection is one getline.
+//   * ParamsDigest — the order-sensitive FNV-1a folded through every format
+//     that self-validates (checkpoints, result keys, binary tables).
+//   * atomic_write_file — the tmp + fsync + rename + parent-dir-fsync save
+//     discipline, lifted out of checkpoint.cpp and result_cache.cpp.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace dalut::core::format {
+
+/// Identity and version-acceptance policy of one on-disk format.
+///
+/// `magic` is the bare format name ("dalut-table"); the on-disk header line
+/// is `"<magic> v<version>"`. Readers accept versions in
+/// [version_min, version_current]; writers emit version_current.
+struct FormatSpec {
+  const char* magic;
+  unsigned version_min = 1;
+  unsigned version_current = 1;
+};
+
+/// The header line a writer emits: `"<magic> v<version_current>"` (no
+/// trailing newline).
+std::string header_line(const FormatSpec& spec);
+
+/// Validates a header line already read from the file (comments and
+/// trailing whitespace stripped) against `spec`.
+///
+/// Returns the accepted version. Throws std::invalid_argument anchored to
+/// `line_no`: "not a <magic> file" when the magic word is wrong, and an
+/// accepted-range message when the version is outside
+/// [version_min, version_current] — so a v1 reader rejects a v2 file with
+/// "version 2 is not supported (accepted: v1..v1)" instead of a mid-body
+/// error, and a v2 reader opens v1 files.
+unsigned check_header_line(const std::string& line, const FormatSpec& spec,
+                           std::size_t line_no = 1);
+
+/// True when `line` carries `spec`'s magic word (any version, valid or
+/// not). Used for read-side container auto-detection before the version is
+/// validated by check_header_line.
+bool matches_magic(const std::string& line, const FormatSpec& spec);
+
+/// Order-sensitive FNV-1a over a stream of words; formats fold their
+/// parameters (and, for self-validating containers, their payload) through
+/// this to build an embedded digest.
+class ParamsDigest {
+ public:
+  ParamsDigest& add(std::uint64_t word) noexcept {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash_ ^= (word >> shift) & 0xff;
+      hash_ *= 0x100000001b3ull;
+    }
+    return *this;
+  }
+  ParamsDigest& add_double(double value) noexcept;
+  ParamsDigest& add_string(const std::string& s) noexcept;
+  std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+// --- Little-endian primitives for binary containers. -----------------------
+// Fixed-width and endian-pinned so a container written on any host reads
+// back on any other; the stream must be opened in binary mode.
+
+void put_u32(std::ostream& out, std::uint32_t value);
+void put_u64(std::ostream& out, std::uint64_t value);
+
+/// Reads a little-endian integer; throws std::invalid_argument
+/// ("truncated <what>") when the stream ends first.
+std::uint32_t get_u32(std::istream& in, const char* what);
+std::uint64_t get_u64(std::istream& in, const char* what);
+
+// --- Atomic file publication. ----------------------------------------------
+
+/// Atomically replaces `path` with `payload`: writes "<path>.tmp" in the
+/// same directory, flushes + fsyncs the file, renames it over `path`, then
+/// fsyncs the parent directory so the rename itself survives a crash (on
+/// some filesystems a rename without the directory sync can be lost even
+/// though the data blocks were durable). Throws std::runtime_error on any
+/// filesystem failure; `path` then still holds its previous content and the
+/// tmp file is removed.
+void atomic_write_file(const std::string& path, std::string_view payload);
+
+}  // namespace dalut::core::format

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/format.hpp"
 #include "core/serialize_detail.hpp"
 
 namespace dalut::core {
@@ -158,13 +159,13 @@ unsigned read_setting_record(LineReader& reader, unsigned num_inputs,
 
 namespace {
 
-constexpr const char* kMagic = "dalut-config v1";
+constexpr format::FormatSpec kFormat{"dalut-config", 1, 1};
 
 }  // namespace
 
 void write_config(std::ostream& out, const SerializedConfig& config) {
   out.precision(17);  // round-trip doubles exactly
-  out << kMagic << "\n";
+  out << format::header_line(kFormat) << "\n";
   out << "inputs " << config.num_inputs << " outputs " << config.num_outputs
       << "\n";
   for (unsigned k = config.num_outputs; k-- > 0;) {
@@ -180,9 +181,8 @@ std::string config_to_string(const SerializedConfig& config) {
 
 SerializedConfig read_config(std::istream& in) {
   detail::LineReader reader(in);
-  if (reader.next() != kMagic) {
-    throw std::invalid_argument("not a dalut-config v1 file");
-  }
+  const auto magic_line = reader.next();  // read first: arg order is unspecified
+  format::check_header_line(magic_line, kFormat, reader.number());
 
   const auto header = detail::tokens_of(reader.next());
   SerializedConfig config;

@@ -106,11 +106,18 @@ inline std::string expect_keyed_line(LineReader& reader,
 
 /// Parses an unsigned integer (base 10, or base 16 with 0x prefix when
 /// `base0`), rejecting trailing garbage, overflow, and values > `max`.
+/// The token must start with a digit: stoull's silent tolerance for a
+/// leading '+' (or, post-negation, '-') contradicts the hostile-input
+/// contract — no writer ever emits signs on unsigned fields.
 inline std::uint64_t parse_unsigned(const std::string& token, std::size_t line,
                                     const char* what,
                                     std::uint64_t max =
                                         std::numeric_limits<std::uint64_t>::max(),
                                     bool base0 = false) {
+  if (token.empty() || token[0] < '0' || token[0] > '9') {
+    fail_at(line, std::string(what) + " '" + token_excerpt(token) +
+                      "' is not a valid number");
+  }
   std::size_t consumed = 0;
   unsigned long long value = 0;
   try {
@@ -119,7 +126,7 @@ inline std::uint64_t parse_unsigned(const std::string& token, std::size_t line,
     fail_at(line, std::string(what) + " '" + token_excerpt(token) +
                       "' is not a valid number");
   }
-  if (consumed != token.size() || token[0] == '-') {
+  if (consumed != token.size()) {
     fail_at(line, std::string(what) + " '" + token_excerpt(token) +
                       "' is not a valid number");
   }
@@ -132,8 +139,18 @@ inline std::uint64_t parse_unsigned(const std::string& token, std::size_t line,
 
 /// Parses a double, rejecting trailing garbage ("inf"/"nan" allowed — they
 /// round-trip sentinel errors such as an undecided setting's infinity).
+/// stod's silent extras are rejected too: a leading '+' and hexfloats
+/// ("0x1p3") never come from our writers, so they are hostile input, not
+/// numbers.
 inline double parse_double(const std::string& token, std::size_t line,
                            const char* what) {
+  const bool hexfloat =
+      token.find('x') != std::string::npos ||
+      token.find('X') != std::string::npos;
+  if (token.empty() || token[0] == '+' || hexfloat) {
+    fail_at(line, std::string(what) + " '" + token_excerpt(token) +
+                      "' is not a valid number");
+  }
   std::size_t consumed = 0;
   double value = 0.0;
   try {

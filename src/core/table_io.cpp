@@ -1,17 +1,22 @@
 #include "core/table_io.hpp"
 
+#include <cerrno>
+#include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/format.hpp"
 #include "core/serialize_detail.hpp"
 
 namespace dalut::core {
 
 namespace {
 
-constexpr const char* kMagic = "dalut-table v1";
+constexpr format::FormatSpec kTextFormat{"dalut-table", 1, 1};
+constexpr format::FormatSpec kBinaryFormat{"dalut-table-bin", 1, 1};
 
 /// Widest table header accepted before any allocation happens: 2^26 entries
 /// of up to 26 bits each (~256 MiB of OutputWords) — far above every real
@@ -22,36 +27,123 @@ constexpr const char* kMagic = "dalut-table v1";
 constexpr std::uint64_t kMaxInputs = 26;
 constexpr std::uint64_t kMaxOutputs = 26;
 
-}  // namespace
+void check_table_shape(std::uint64_t num_inputs, std::uint64_t num_outputs,
+                       std::size_t line_no) {
+  if (num_inputs < 2 || num_inputs > kMaxInputs || num_outputs < 1 ||
+      num_outputs > kMaxOutputs) {
+    detail::fail_at(line_no,
+                    "implausible inputs/outputs header (accepted: 2..26 "
+                    "inputs, 1..26 outputs)");
+  }
+}
 
-void write_function(std::ostream& out, const MultiOutputFunction& g,
-                    unsigned words_per_line) {
-  out << kMagic << "\n";
-  out << "inputs " << g.num_inputs() << " outputs " << g.num_outputs()
-      << "\n";
-  const int digits = static_cast<int>((g.num_outputs() + 3) / 4);
-  char buffer[16];
+/// Packs the m-bit output words into a contiguous little-endian bitstream:
+/// entry x occupies bits [x*m, (x+1)*m) of the concatenated u64 words.
+std::vector<std::uint64_t> pack_values(const MultiOutputFunction& g) {
+  const std::uint64_t total_bits =
+      static_cast<std::uint64_t>(g.domain_size()) * g.num_outputs();
+  std::vector<std::uint64_t> words((total_bits + 63) / 64, 0);
+  const unsigned m = g.num_outputs();
   for (InputWord x = 0; x < g.domain_size(); ++x) {
-    std::snprintf(buffer, sizeof buffer, "%0*x", digits, g.value(x));
-    out << buffer;
-    out << (((x + 1) % words_per_line == 0) ? '\n' : ' ');
+    const std::uint64_t value = g.value(x);
+    const std::uint64_t bit = static_cast<std::uint64_t>(x) * m;
+    const std::size_t word = static_cast<std::size_t>(bit / 64);
+    const unsigned shift = static_cast<unsigned>(bit % 64);
+    words[word] |= value << shift;
+    if (shift + m > 64) {
+      words[word + 1] |= value >> (64 - shift);
+    }
   }
-  if (g.domain_size() % words_per_line != 0) out << "\n";
+  return words;
 }
 
-std::string function_to_string(const MultiOutputFunction& g) {
-  std::ostringstream out;
-  write_function(out, g);
-  return out.str();
+/// Extracts entry `x` from the packed bitstream written by pack_values.
+OutputWord unpack_value(const std::vector<std::uint64_t>& words,
+                        std::uint64_t x, unsigned m) {
+  const std::uint64_t bit = x * m;
+  const std::size_t word = static_cast<std::size_t>(bit / 64);
+  const unsigned shift = static_cast<unsigned>(bit % 64);
+  std::uint64_t value = words[word] >> shift;
+  if (shift + m > 64) {
+    value |= words[word + 1] << (64 - shift);
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << m) - 1;
+  return static_cast<OutputWord>(value & mask);
 }
 
-MultiOutputFunction read_function(std::istream& in) {
-  detail::LineReader reader(in);
+/// Digest embedded in the binary container: the header geometry plus every
+/// packed payload word, so a flipped bit anywhere in the file is caught.
+std::uint64_t payload_digest(std::uint64_t num_inputs,
+                             std::uint64_t num_outputs,
+                             const std::vector<std::uint64_t>& words) {
+  format::ParamsDigest d;
+  d.add(num_inputs).add(num_outputs).add(words.size());
+  for (const auto w : words) d.add(w);
+  return d.value();
+}
 
-  // Header: magic is two tokens on one line.
-  if (reader.next() != kMagic) {
-    throw std::invalid_argument("not a dalut-table v1 file");
+void write_function_binary(std::ostream& out, const MultiOutputFunction& g) {
+  out << format::header_line(kBinaryFormat) << "\n";
+  const auto words = pack_values(g);
+  format::put_u32(out, g.num_inputs());
+  format::put_u32(out, g.num_outputs());
+  format::put_u64(out, g.domain_size());
+  format::put_u64(out, words.size());
+  format::put_u64(out, payload_digest(g.num_inputs(), g.num_outputs(), words));
+  for (const auto w : words) format::put_u64(out, w);
+}
+
+MultiOutputFunction read_function_binary(std::istream& in) {
+  const std::uint64_t num_inputs = format::get_u32(in, "table header");
+  const std::uint64_t num_outputs = format::get_u32(in, "table header");
+  // Header line 1 + one line of fixed fields: anchor errors to "line 2".
+  check_table_shape(num_inputs, num_outputs, 2);
+  const std::uint64_t domain = std::uint64_t{1} << num_inputs;
+  const std::uint64_t value_count = format::get_u64(in, "table header");
+  if (value_count != domain) {
+    detail::fail_at(2, "entry count " + std::to_string(value_count) +
+                           " does not match 2^inputs");
   }
+  const std::uint64_t payload_words = format::get_u64(in, "table header");
+  const std::uint64_t expected_words = (domain * num_outputs + 63) / 64;
+  if (payload_words != expected_words) {
+    detail::fail_at(2, "payload length " + std::to_string(payload_words) +
+                           " words, expected " +
+                           std::to_string(expected_words));
+  }
+  const std::uint64_t digest = format::get_u64(in, "table header");
+
+  std::vector<std::uint64_t> words;
+  words.reserve(static_cast<std::size_t>(payload_words));
+  for (std::uint64_t i = 0; i < payload_words; ++i) {
+    words.push_back(format::get_u64(in, "table payload"));
+  }
+  if (payload_digest(num_inputs, num_outputs, words) != digest) {
+    throw std::invalid_argument(
+        "table payload digest mismatch (corrupt or torn file)");
+  }
+
+  const OutputWord mask =
+      static_cast<OutputWord>((std::uint64_t{1} << num_outputs) - 1);
+  // Packing is exact, but the bits past the last entry must be zero — a
+  // nonzero tail means the writer disagreed about the layout.
+  const std::uint64_t tail_bits = payload_words * 64 - domain * num_outputs;
+  if (tail_bits > 0 && (words.back() >> (64 - tail_bits)) != 0) {
+    throw std::invalid_argument("table payload has nonzero padding bits");
+  }
+  std::vector<OutputWord> values;
+  values.reserve(static_cast<std::size_t>(domain));
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    values.push_back(unpack_value(words, x, static_cast<unsigned>(num_outputs)) &
+                     mask);
+  }
+  return MultiOutputFunction(static_cast<unsigned>(num_inputs),
+                             static_cast<unsigned>(num_outputs),
+                             std::move(values));
+}
+
+MultiOutputFunction read_function_text(std::istream& in,
+                                       detail::LineReader& reader) {
   const auto header = detail::tokens_of(reader.next());
   const auto header_line = reader.number();
   if (header.size() != 4 || header[0] != "inputs" || header[2] != "outputs") {
@@ -63,12 +155,7 @@ MultiOutputFunction read_function(std::istream& in) {
       header[1], header_line, "inputs", std::numeric_limits<std::uint64_t>::max());
   const std::uint64_t num_outputs = detail::parse_unsigned(
       header[3], header_line, "outputs", std::numeric_limits<std::uint64_t>::max());
-  if (num_inputs < 2 || num_inputs > kMaxInputs || num_outputs < 1 ||
-      num_outputs > kMaxOutputs) {
-    detail::fail_at(header_line,
-                    "implausible inputs/outputs header (accepted: 2..26 "
-                    "inputs, 1..26 outputs)");
-  }
+  check_table_shape(num_inputs, num_outputs, header_line);
 
   const std::size_t domain = std::size_t{1} << num_inputs;
   const OutputWord mask =
@@ -119,8 +206,73 @@ MultiOutputFunction read_function(std::istream& in) {
                              std::move(values));
 }
 
+}  // namespace
+
+void write_function(std::ostream& out, const MultiOutputFunction& g,
+                    unsigned words_per_line) {
+  // A zero layout hint would divide by zero below; clamp it to the densest
+  // legal layout instead of rejecting the call.
+  if (words_per_line == 0) words_per_line = 1;
+  out << format::header_line(kTextFormat) << "\n";
+  out << "inputs " << g.num_inputs() << " outputs " << g.num_outputs()
+      << "\n";
+  const int digits = static_cast<int>((g.num_outputs() + 3) / 4);
+  char buffer[16];
+  for (InputWord x = 0; x < g.domain_size(); ++x) {
+    std::snprintf(buffer, sizeof buffer, "%0*x", digits, g.value(x));
+    out << buffer;
+    out << (((x + 1) % words_per_line == 0) ? '\n' : ' ');
+  }
+  if (g.domain_size() % words_per_line != 0) out << "\n";
+}
+
+void write_function(std::ostream& out, const MultiOutputFunction& g,
+                    TableEncoding encoding, unsigned words_per_line) {
+  if (encoding == TableEncoding::kBinary) {
+    write_function_binary(out, g);
+  } else {
+    write_function(out, g, words_per_line);
+  }
+}
+
+std::string function_to_string(const MultiOutputFunction& g) {
+  std::ostringstream out;
+  write_function(out, g);
+  return out.str();
+}
+
+MultiOutputFunction read_function(std::istream& in) {
+  detail::LineReader reader(in);
+
+  // The header line names the container; binary payload bytes only start
+  // after its newline, so one getline is a safe peek for both.
+  const auto magic_line = reader.next();
+  if (format::matches_magic(magic_line, kBinaryFormat)) {
+    format::check_header_line(magic_line, kBinaryFormat, reader.number());
+    return read_function_binary(in);
+  }
+  format::check_header_line(magic_line, kTextFormat, reader.number());
+  return read_function_text(in, reader);
+}
+
 MultiOutputFunction function_from_string(const std::string& text) {
   std::istringstream in(text);
+  return read_function(in);
+}
+
+void save_function_file(const std::string& path, const MultiOutputFunction& g,
+                        TableEncoding encoding) {
+  std::ostringstream out;
+  write_function(out, g, encoding);
+  format::atomic_write_file(path, out.str());
+}
+
+MultiOutputFunction load_function_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open table '" + path +
+                             "': " + std::strerror(errno));
+  }
   return read_function(in);
 }
 

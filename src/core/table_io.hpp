@@ -1,6 +1,9 @@
 // Truth-table file IO: lets the optimizer run on user-supplied functions.
 //
-// Format ("dalut-table v1"): a header followed by one hex output word per
+// Two containers, both framed by the core/format header framework and
+// auto-detected on read:
+//
+// Text ("dalut-table v1"): a header followed by one hex output word per
 // input code, in input-code order. Compact, diffable, and trivially
 // producible from any language:
 //
@@ -9,6 +12,14 @@
 //   00 03 07 0a ...        # any amount of whitespace/newlines between words
 //
 // '#' starts a comment anywhere on a line.
+//
+// Binary ("dalut-table-bin v1"): the same header line followed by
+// little-endian fixed-width fields and a bit-packed payload — entry x
+// occupies bits [x*m, (x+1)*m) of a little-endian u64 word stream — with
+// the entry count and an FNV-1a digest of the payload embedded so torn or
+// corrupted files are rejected up front. A 24-input table lands in
+// megabytes instead of the hundreds of megabytes its hex text needs
+// (docs/file-formats.md has the exact layout).
 #pragma once
 
 #include <iosfwd>
@@ -18,13 +29,35 @@
 
 namespace dalut::core {
 
+/// Which truth-table container write_function emits. Readers never need
+/// this: read_function auto-detects the container from the header line.
+enum class TableEncoding {
+  kText,    ///< "dalut-table v1" hex text
+  kBinary,  ///< "dalut-table-bin v1" bit-packed container
+};
+
 void write_function(std::ostream& out, const MultiOutputFunction& g,
                     unsigned words_per_line = 16);
+void write_function(std::ostream& out, const MultiOutputFunction& g,
+                    TableEncoding encoding, unsigned words_per_line = 16);
 std::string function_to_string(const MultiOutputFunction& g);
 
-/// Parses a table; throws std::invalid_argument on malformed input
-/// (bad header, wrong word count, value exceeding the output width).
+/// Parses a table in either container (auto-detected from the header
+/// line); throws std::invalid_argument on malformed input (bad header,
+/// unsupported version, wrong word count, value exceeding the output
+/// width, payload digest mismatch).
 MultiOutputFunction read_function(std::istream& in);
 MultiOutputFunction function_from_string(const std::string& text);
+
+/// Atomically writes `g` to `path` in the chosen container
+/// (core/format::atomic_write_file discipline). Throws std::runtime_error
+/// on filesystem failure.
+void save_function_file(const std::string& path, const MultiOutputFunction& g,
+                        TableEncoding encoding = TableEncoding::kText);
+
+/// Opens `path` in binary mode and reads either container.
+/// Throws std::runtime_error if unreadable, std::invalid_argument if
+/// malformed.
+MultiOutputFunction load_function_file(const std::string& path);
 
 }  // namespace dalut::core

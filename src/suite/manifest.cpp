@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/format.hpp"
 #include "core/serialize_detail.hpp"
 
 namespace dalut::suite {
@@ -14,7 +15,7 @@ namespace {
 using core::detail::fail_at;
 using core::detail::token_excerpt;
 
-constexpr const char* kMagic = "dalut-manifest v1";
+constexpr core::format::FormatSpec kFormat{"dalut-manifest", 1, 1};
 constexpr std::size_t kMaxJobs = 4096;
 
 bool valid_name(const std::string& name) {
@@ -123,9 +124,8 @@ void validate_job(const SuiteJob& job, std::size_t line) {
 
 Manifest read_manifest(std::istream& in) {
   core::detail::LineReader reader(in);
-  if (reader.next() != kMagic) {
-    throw std::invalid_argument("not a dalut-manifest v1 file");
-  }
+  const auto magic_line = reader.next();  // read first: arg order is unspecified
+  core::format::check_header_line(magic_line, kFormat, reader.number());
 
   Manifest manifest;
   SuiteJob defaults;

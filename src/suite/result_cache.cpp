@@ -10,13 +10,9 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "core/checkpoint.hpp"
+#include "core/format.hpp"
 #include "core/serialize_detail.hpp"
 #include "util/telemetry.hpp"
-
-#ifndef _WIN32
-#include <unistd.h>
-#endif
 
 namespace dalut::suite {
 
@@ -24,7 +20,7 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr const char* kMagic = "dalut-result v1";
+constexpr core::format::FormatSpec kFormat{"dalut-result", 1, 1};
 constexpr unsigned kMaxSettings = 4096;
 
 /// Write-only cache counters (docs/observability.md naming scheme).
@@ -51,16 +47,11 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
-[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " '" + path +
-                           "': " + std::strerror(errno));
-}
-
 }  // namespace
 
 void write_result(std::ostream& out, const ResultRecord& record) {
   out.precision(17);  // round-trip doubles exactly
-  out << kMagic << "\n";
+  out << core::format::header_line(kFormat) << "\n";
   out << "algorithm " << record.algorithm << "\n";
   out << "inputs " << record.num_inputs << " outputs " << record.num_outputs
       << "\n";
@@ -92,9 +83,8 @@ std::string result_to_string(const ResultRecord& record) {
 ResultRecord read_result(std::istream& in) {
   namespace detail = core::detail;
   detail::LineReader reader(in);
-  if (reader.next() != kMagic) {
-    throw std::invalid_argument("not a dalut-result v1 file");
-  }
+  const auto magic_line = reader.next();  // read first: arg order is unspecified
+  core::format::check_header_line(magic_line, kFormat, reader.number());
 
   ResultRecord record;
   record.algorithm = detail::expect_keyed_line(reader, "algorithm");
@@ -166,8 +156,11 @@ ResultRecord result_from_string(const std::string& text) {
 
 std::uint64_t result_key(const SuiteJob& job,
                          const core::MultiOutputFunction& g) {
-  core::ParamsDigest d;
-  d.add_string(kMagic);
+  core::format::ParamsDigest d;
+  // Folding the versioned header line keeps the key family identical to the
+  // pre-framework "dalut-result v1" keys, and spills the cache exactly when
+  // the record format itself moves to a new version.
+  d.add_string(core::format::header_line(kFormat));
   d.add_string(job.algorithm);
   // Full truth-table content: two functions that differ in any output word
   // can never share a cached result, whatever they are called.
@@ -218,6 +211,12 @@ std::optional<ResultRecord> ResultCache::load(std::uint64_t key) {
   }
   try {
     ResultRecord record = read_result(in);
+    // A hit must bump the entry's mtime: eviction under max_entries_ is
+    // oldest-mtime-first, so without the touch the *most used* entry reads
+    // as oldest and gets evicted first. Best effort — a read-only cache
+    // directory still serves hits.
+    std::error_code touch_ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), touch_ec);
     std::lock_guard lock(mutex_);
     ++stats_.hits;
     cache_metrics().hits.add(1);
@@ -235,30 +234,9 @@ std::optional<ResultRecord> ResultCache::load(std::uint64_t key) {
 
 void ResultCache::store(std::uint64_t key, const ResultRecord& record) {
   std::lock_guard lock(mutex_);
-  const std::string path = path_of(key);
-  const std::string tmp = path + ".tmp";
-  {
-    // Same atomic-publish discipline as checkpoints: tmp + fsync + rename.
-    std::FILE* file = std::fopen(tmp.c_str(), "wb");
-    if (file == nullptr) io_fail("cannot create result entry", tmp);
-    const std::string text = result_to_string(record);
-    const bool wrote =
-        std::fwrite(text.data(), 1, text.size(), file) == text.size() &&
-        std::fflush(file) == 0;
-#ifndef _WIN32
-    const bool synced = wrote && ::fsync(::fileno(file)) == 0;
-#else
-    const bool synced = wrote;
-#endif
-    if (std::fclose(file) != 0 || !synced) {
-      std::remove(tmp.c_str());
-      io_fail("cannot write result entry", tmp);
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    io_fail("cannot publish result entry", path);
-  }
+  // Same atomic-publish discipline as checkpoints: tmp + fsync + rename +
+  // parent-directory fsync, shared via core/format.
+  core::format::atomic_write_file(path_of(key), result_to_string(record));
   ++stats_.stores;
   cache_metrics().stores.add(1);
   trim_locked();

@@ -46,11 +46,8 @@ SuiteMetrics& suite_metrics() {
 
 core::MultiOutputFunction load_job_function(const SuiteJob& job) {
   if (!job.table.empty()) {
-    std::ifstream in(job.table);
-    if (!in) {
-      throw std::runtime_error("cannot open table '" + job.table + "'");
-    }
-    return core::read_function(in);
+    // Binary-mode open + container auto-detection (text or dalut-table-bin).
+    return core::load_function_file(job.table);
   }
   if (auto spec = func::benchmark_by_name(job.benchmark, job.width)) {
     return core::MultiOutputFunction::from_eval(spec->num_inputs,
@@ -266,6 +263,13 @@ void run_one_job(const SuiteJob& job, SuiteState& state, ResultCache* cache,
   const util::telemetry::Span span("suite.job");
   const util::WallTimer timer;
   const auto g = load_job_function(job);
+  if (const auto& dir = state.options->dump_tables_dir; !dir.empty()) {
+    const bool binary =
+        state.options->table_encoding == core::TableEncoding::kBinary;
+    core::save_function_file(dir + "/" + job.name +
+                                 (binary ? ".dalutb" : ".dalut"),
+                             g, state.options->table_encoding);
+  }
   out.key = result_key(job, g);
   out.record.algorithm = job.algorithm;
   out.record.num_inputs = g.num_inputs();
@@ -315,6 +319,9 @@ SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options) {
   if (!options.checkpoint_dir.empty()) {
     // Reuse the cache's directory bootstrap for the checkpoint directory.
     ResultCache bootstrap(options.checkpoint_dir);
+  }
+  if (!options.dump_tables_dir.empty()) {
+    ResultCache bootstrap(options.dump_tables_dir);
   }
 
   SuiteState state;

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/table_io.hpp"
 #include "suite/manifest.hpp"
 #include "suite/result_cache.hpp"
 #include "util/run_control.hpp"
@@ -50,6 +51,13 @@ struct SuiteOptions {
   /// per job by `progress_interval` (at-completion reports always pass).
   std::function<void(const std::string&, const util::RunProgress&)> progress;
   std::chrono::nanoseconds progress_interval = std::chrono::seconds(5);
+  /// When non-empty, each job's resolved input truth table (file-based or
+  /// generated from a built-in benchmark) is exported here atomically as
+  /// "<job-name>.dalut" (text) or "<job-name>.dalutb" (binary container,
+  /// per `table_encoding`) — the exact bits the job optimized, re-runnable
+  /// standalone via `dalut_opt --table`.
+  std::string dump_tables_dir;
+  core::TableEncoding table_encoding = core::TableEncoding::kText;
 };
 
 /// One delivered progress report, labeled with its job (the suite analogue

@@ -183,6 +183,40 @@ TEST(Serialize, ErrorMessageBoundsTokenEcho) {
   }
 }
 
+TEST(Serialize, RejectsLeadingPlusInUnsignedFields) {
+  // strtoull would silently accept "+4"; the header contract is strict
+  // decimal digits only.
+  EXPECT_THROW(config_from_string("dalut-config v1\ninputs +4 outputs 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(config_from_string("dalut-config v1\ninputs 4 outputs +3\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsHostileDoubleTokens) {
+  Setting s;
+  s.error = 2.5;
+  s.partition = Partition(4, 0b0011);
+  s.mode = DecompMode::kNormal;
+  s.pattern.assign(s.partition.num_cols(), 0);
+  s.types.assign(s.partition.num_rows(), RowType::kPattern);
+  const SerializedConfig config{4, 1, {s}};
+  const auto text = config_to_string(config);
+  const auto at = text.find("error ");
+  ASSERT_NE(at, std::string::npos);
+  const auto eol = text.find('\n', at);
+  // strtod happily parses hexfloats and an explicit '+'; both are outside
+  // the format's number grammar and must be rejected, not normalized.
+  for (const char* token : {"0x1p3", "0X2", "+2.5", "+inf"}) {
+    auto hostile = text;
+    hostile.replace(at + 6, eol - at - 6, token);
+    EXPECT_THROW(config_from_string(hostile), std::invalid_argument) << token;
+  }
+  // The strictness must not reject ordinary scientific notation.
+  auto fine = text;
+  fine.replace(at + 6, eol - at - 6, "2.5e+0");
+  EXPECT_EQ(config_from_string(fine).settings[0].error, 2.5);
+}
+
 TEST(Serialize, ToleratesCommentsAndBlankLines) {
   const auto config = optimized_config(ModePolicy::normal_only(), 8);
   auto text = config_to_string(config);

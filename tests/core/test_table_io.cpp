@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "func/registry.hpp"
 #include "util/rng.hpp"
 
@@ -132,6 +134,27 @@ TEST(TableIo, ErrorMessageBoundsTokenEcho) {
   } catch (const std::invalid_argument& error) {
     EXPECT_LT(std::string(error.what()).size(), 200u);
   }
+}
+
+TEST(TableIo, ZeroWordsPerLineLayoutHintIsClamped) {
+  // words_per_line == 0 used to divide by zero in the line-break modulo;
+  // it must clamp to a dense layout and still round-trip.
+  const auto g = MultiOutputFunction::from_eval(
+      4, 3, [](InputWord x) { return x & 7u; });
+  std::ostringstream out;
+  write_function(out, g, 0u);
+  EXPECT_EQ(function_from_string(out.str()), g);
+}
+
+TEST(TableIo, BinaryContainerRoundTripsAndAutoDetects) {
+  util::Rng rng(3);
+  const auto g = MultiOutputFunction::from_eval(6, 5, [&](InputWord) {
+    return static_cast<OutputWord>(rng.next_below(32));
+  });
+  std::ostringstream out;
+  write_function(out, g, TableEncoding::kBinary);
+  // Same read entry point as text: the container is detected, not declared.
+  EXPECT_EQ(function_from_string(out.str()), g);
 }
 
 TEST(TableIo, ErrorMessagesAreLineAnchored) {

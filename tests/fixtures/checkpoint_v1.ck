@@ -1,0 +1,14 @@
+dalut-checkpoint v1
+algorithm bssa
+digest 0x9871d2604f354649
+inputs 4 outputs 3
+round 2 bits-done 1
+rng 0x0000000000000001 0x0000000000000002 0x0000000000000003 0x123456789abcdef0
+partitions 77
+elapsed 0.33333333333333331
+beams 1
+beam error 12.25 decided 100
+bit 0 mode normal bound 0x0005 error 3.5
+pattern 0111
+types 3333
+end

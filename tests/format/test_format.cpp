@@ -1,0 +1,375 @@
+// The shared versioned-serialization framework (core/format) and the
+// compatibility contract it enforces across every dalut on-disk format:
+// checked-in v1 fixtures of all five formats must keep parsing, and a
+// future-version file must fail up front with a line-anchored error naming
+// the accepted range. Fixtures live in tests/fixtures/ and were generated
+// by the pre-framework writers — do not regenerate them; their whole point
+// is that old files stay readable.
+#include "core/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/checkpoint.hpp"
+#include "core/serialize.hpp"
+#include "core/table_io.hpp"
+#include "suite/manifest.hpp"
+#include "suite/result_cache.hpp"
+#include "util/rng.hpp"
+
+namespace dalut {
+namespace {
+
+namespace fs = std::filesystem;
+using core::format::FormatSpec;
+
+std::string fixture_path(const char* name) {
+  return std::string(DALUT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- FormatSpec / header-line policy. --------------------------------------
+
+TEST(FormatHeader, WriterEmitsCurrentVersion) {
+  EXPECT_EQ(core::format::header_line({"demo", 1, 1}), "demo v1");
+  EXPECT_EQ(core::format::header_line({"demo", 1, 3}), "demo v3");
+}
+
+TEST(FormatHeader, ReaderAcceptsTheWholeRange) {
+  const FormatSpec spec{"demo", 1, 2};
+  // A v2 reader still opens v1 files — that is the compatibility promise.
+  EXPECT_EQ(core::format::check_header_line("demo v1", spec), 1u);
+  EXPECT_EQ(core::format::check_header_line("demo v2", spec), 2u);
+}
+
+TEST(FormatHeader, FutureVersionFailsNamingTheAcceptedRange) {
+  const FormatSpec spec{"demo", 1, 2};
+  try {
+    core::format::check_header_line("demo v3", spec);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("version 3 is not supported"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("v1..v2"), std::string::npos) << what;
+  }
+}
+
+TEST(FormatHeader, AncientVersionBelowMinFails) {
+  const FormatSpec spec{"demo", 2, 3};
+  EXPECT_THROW(core::format::check_header_line("demo v1", spec),
+               std::invalid_argument);
+}
+
+TEST(FormatHeader, WrongMagicNamesTheExpectedFormat) {
+  try {
+    core::format::check_header_line("other v1", {"demo", 1, 1}, 7);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("not a demo file"), std::string::npos) << what;
+  }
+}
+
+TEST(FormatHeader, MalformedVersionTokensAreRejected) {
+  const FormatSpec spec{"demo", 1, 1};
+  for (const char* line : {"demo", "demo v", "demo v1x", "demo v-1",
+                           "demo x1", "demo v99999999999"}) {
+    EXPECT_THROW(core::format::check_header_line(line, spec),
+                 std::invalid_argument)
+        << line;
+  }
+}
+
+TEST(FormatHeader, MatchesMagicIgnoresTheVersionField) {
+  const FormatSpec spec{"demo", 1, 1};
+  EXPECT_TRUE(core::format::matches_magic("demo v1", spec));
+  EXPECT_TRUE(core::format::matches_magic("demo v999", spec));
+  EXPECT_TRUE(core::format::matches_magic("demo", spec));
+  EXPECT_FALSE(core::format::matches_magic("demographic v1", spec));
+  EXPECT_FALSE(core::format::matches_magic("other v1", spec));
+}
+
+// --- ParamsDigest. ---------------------------------------------------------
+
+TEST(ParamsDigestShared, OrderAndContentSensitive) {
+  core::format::ParamsDigest a;
+  a.add(1).add(2);
+  core::format::ParamsDigest b;
+  b.add(2).add(1);
+  EXPECT_NE(a.value(), b.value());
+  core::format::ParamsDigest c;
+  c.add_string("bssa");
+  core::format::ParamsDigest d;
+  d.add_string("bss").add_string("a");
+  EXPECT_NE(c.value(), d.value());  // length-prefixed, not concatenative
+}
+
+// --- Little-endian primitives. ---------------------------------------------
+
+TEST(FormatBinary, IntegersRoundTripLittleEndian) {
+  std::ostringstream out;
+  core::format::put_u32(out, 0x01020304u);
+  core::format::put_u64(out, 0x1122334455667788ull);
+  const auto bytes = out.str();
+  ASSERT_EQ(bytes.size(), 12u);
+  EXPECT_EQ(static_cast<unsigned char>(bytes[0]), 0x04);  // LSB first
+  EXPECT_EQ(static_cast<unsigned char>(bytes[4]), 0x88);
+  std::istringstream in(bytes);
+  EXPECT_EQ(core::format::get_u32(in, "t"), 0x01020304u);
+  EXPECT_EQ(core::format::get_u64(in, "t"), 0x1122334455667788ull);
+}
+
+TEST(FormatBinary, TruncatedReadNamesTheField) {
+  std::istringstream in("\x01\x02");
+  try {
+    core::format::get_u64(in, "table header");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("truncated table header"),
+              std::string::npos);
+  }
+}
+
+// --- atomic_write_file. ----------------------------------------------------
+
+TEST(AtomicWrite, PublishesPayloadAndLeavesNoTmp) {
+  const auto dir = fs::temp_directory_path() / "dalut_fmt_atomic";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto path = (dir / "out.txt").string();
+  core::format::atomic_write_file(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+  core::format::atomic_write_file(path, "second\n");
+  EXPECT_EQ(read_file(path), "second\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWrite, MissingDirectoryThrows) {
+  EXPECT_THROW(core::format::atomic_write_file(
+                   "/proc/definitely/not/writable/x", "payload"),
+               std::runtime_error);
+}
+
+// --- v1 fixtures: files written before the framework must keep parsing. ----
+
+TEST(FixtureCompat, TableV1StillParses) {
+  const auto g = core::load_function_file(fixture_path("table_v1.dalut"));
+  EXPECT_EQ(g.num_inputs(), 5u);
+  EXPECT_EQ(g.num_outputs(), 6u);
+  EXPECT_EQ(g.value(0), 0x2cu);
+  EXPECT_EQ(g.value(1), 0x11u);
+}
+
+TEST(FixtureCompat, ConfigV1StillParses) {
+  const auto config =
+      core::config_from_string(read_file(fixture_path("config_v1.cfg")));
+  EXPECT_EQ(config.num_inputs, 4u);
+  EXPECT_EQ(config.num_outputs, 3u);
+  ASSERT_EQ(config.settings.size(), 3u);
+  EXPECT_EQ(config.settings[2].mode, core::DecompMode::kNonDisjoint);
+  EXPECT_EQ(config.settings[1].mode, core::DecompMode::kBto);
+  EXPECT_EQ(config.settings[0].mode, core::DecompMode::kNormal);
+}
+
+TEST(FixtureCompat, CheckpointV1StillParses) {
+  const auto ck = core::checkpoint_from_string(
+      read_file(fixture_path("checkpoint_v1.ck")));
+  EXPECT_EQ(ck.algorithm, "bssa");
+  EXPECT_EQ(ck.params_digest, 0x9871d2604f354649ull);
+  EXPECT_EQ(ck.round, 2u);
+  EXPECT_EQ(ck.bits_done, 1u);
+  ASSERT_EQ(ck.beams.size(), 1u);
+}
+
+TEST(FixtureCompat, ManifestV1StillParses) {
+  const auto manifest =
+      suite::load_manifest(fixture_path("manifest_v1.manifest"));
+  ASSERT_EQ(manifest.jobs.size(), 2u);
+  EXPECT_EQ(manifest.jobs[0].name, "cos8");
+  EXPECT_EQ(manifest.jobs[0].width, 8u);
+  EXPECT_EQ(manifest.jobs[1].algorithm, "round-in");
+  EXPECT_EQ(manifest.jobs[1].drop, 2u);
+}
+
+TEST(FixtureCompat, ResultV1StillParses) {
+  const auto record =
+      suite::result_from_string(read_file(fixture_path("result_v1.result")));
+  EXPECT_EQ(record.algorithm, "bssa");
+  EXPECT_EQ(record.num_inputs, 4u);
+  EXPECT_EQ(record.num_outputs, 3u);
+  ASSERT_EQ(record.settings.size(), 3u);
+}
+
+// --- Future-version files fail identically across all five formats. --------
+
+void expect_future_version_rejected(const char* label,
+                                    std::function<void()> parse) {
+  try {
+    parse();
+    FAIL() << label << ": expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << label << ": " << what;
+    EXPECT_NE(what.find("not supported"), std::string::npos)
+        << label << ": " << what;
+  }
+}
+
+TEST(FutureVersion, AllFiveFormatsRejectWithLineAnchoredRange) {
+  expect_future_version_rejected("table", [] {
+    core::function_from_string("dalut-table v9\ninputs 2 outputs 2\n0 1 2 3\n");
+  });
+  expect_future_version_rejected("config", [] {
+    core::config_from_string("dalut-config v9\ninputs 2 outputs 1\n");
+  });
+  expect_future_version_rejected("checkpoint", [] {
+    core::checkpoint_from_string("dalut-checkpoint v9\n");
+  });
+  expect_future_version_rejected("manifest", [] {
+    suite::manifest_from_string("dalut-manifest v9\nend\n");
+  });
+  expect_future_version_rejected("result", [] {
+    suite::result_from_string("dalut-result v9\n");
+  });
+}
+
+// --- Binary truth-table container. -----------------------------------------
+
+core::MultiOutputFunction random_function(unsigned n, unsigned m,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  return core::MultiOutputFunction::from_eval(
+      n, m, [&](core::InputWord) {
+        return static_cast<core::OutputWord>(rng.next_below(1u << m));
+      });
+}
+
+std::string to_binary_string(const core::MultiOutputFunction& g) {
+  std::ostringstream out;
+  core::write_function(out, g, core::TableEncoding::kBinary);
+  return out.str();
+}
+
+TEST(BinaryTable, RoundTripsBitIdentically) {
+  // 9-bit outputs over a 7-bit domain: entries straddle the 64-bit packing
+  // words, exercising the cross-word spill on both sides.
+  for (const auto& [n, m] : {std::pair{6u, 5u}, {7u, 9u}, {2u, 1u}}) {
+    const auto g = random_function(n, m, 11 * n + m);
+    EXPECT_EQ(core::function_from_string(to_binary_string(g)), g)
+        << n << "x" << m;
+  }
+}
+
+TEST(BinaryTable, FilesAutoDetectTheContainer) {
+  const auto dir = fs::temp_directory_path() / "dalut_fmt_bin";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto g = random_function(6, 7, 3);
+  const auto text_path = (dir / "t.dalut").string();
+  const auto bin_path = (dir / "t.dalutb").string();
+  core::save_function_file(text_path, g, core::TableEncoding::kText);
+  core::save_function_file(bin_path, g, core::TableEncoding::kBinary);
+  EXPECT_EQ(core::load_function_file(text_path), g);
+  EXPECT_EQ(core::load_function_file(bin_path), g);
+  EXPECT_EQ(read_file(bin_path).rfind("dalut-table-bin v1\n", 0), 0u);
+  fs::remove_all(dir);
+}
+
+TEST(BinaryTable, CorruptPayloadFailsTheDigest) {
+  const auto g = random_function(6, 5, 4);
+  auto bytes = to_binary_string(g);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x10);
+  try {
+    core::function_from_string(bytes);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("digest mismatch"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(BinaryTable, TruncatedPayloadIsRejected) {
+  const auto g = random_function(6, 5, 5);
+  auto bytes = to_binary_string(g);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(core::function_from_string(bytes), std::invalid_argument);
+}
+
+TEST(BinaryTable, NonzeroPaddingBitsAreRejected) {
+  // Hand-assemble a 2-in/3-out container (12 payload bits, 52 padding bits)
+  // whose digest covers the corrupted padding — only the padding check can
+  // catch it.
+  std::uint64_t word = 0;
+  for (std::uint64_t x = 0; x < 4; ++x) word |= x << (3 * x);
+  word |= std::uint64_t{1} << 63;
+  core::format::ParamsDigest d;
+  d.add(2).add(3).add(1).add(word);
+  std::ostringstream out;
+  out << "dalut-table-bin v1\n";
+  core::format::put_u32(out, 2);
+  core::format::put_u32(out, 3);
+  core::format::put_u64(out, 4);
+  core::format::put_u64(out, 1);
+  core::format::put_u64(out, d.value());
+  core::format::put_u64(out, word);
+  try {
+    core::function_from_string(out.str());
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("padding"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(BinaryTable, WrongEntryCountOrPayloadLengthIsLineAnchored) {
+  auto bytes = to_binary_string(random_function(6, 5, 6));
+  // Overwrite the value-count field (bytes 8..15 after the 19-byte header
+  // line) with a non-2^n count.
+  const auto header_end = bytes.find('\n') + 1;
+  for (int i = 0; i < 8; ++i) bytes[header_end + 8 + i] = 0;
+  bytes[header_end + 8] = 7;
+  try {
+    core::function_from_string(bytes);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("does not match 2^inputs"), std::string::npos) << what;
+  }
+}
+
+TEST(BinaryTable, TwentyInputTableIsAtLeastFiveTimesSmallerThanText) {
+  // The acceptance bar from the format design: a 20-input table must pack
+  // to <= 1/5 of its hex text. With 2-bit outputs the ratio is 8x (2 text
+  // bytes per entry vs 0.25 packed).
+  const auto g = core::MultiOutputFunction::from_eval(
+      20, 2, [](core::InputWord x) {
+        return static_cast<core::OutputWord>((x ^ (x >> 7)) & 3u);
+      });
+  const auto text = core::function_to_string(g);
+  const auto binary = to_binary_string(g);
+  EXPECT_GE(text.size(), 5 * binary.size())
+      << "text " << text.size() << " vs binary " << binary.size();
+  EXPECT_EQ(core::function_from_string(binary), g);
+}
+
+}  // namespace
+}  // namespace dalut

@@ -5,6 +5,8 @@
 // tables.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/bssa.hpp"
 #include "core/dalta.hpp"
 #include "core/serialize.hpp"
@@ -117,9 +119,12 @@ TEST_P(PipelineFuzz, BssaInvariantsHold) {
               std::string::npos);
   }
 
-  // 6. Truth-table IO round-trips the realized function.
+  // 6. Truth-table IO round-trips the realized function in both containers.
   const auto g2 = lut.to_function();
   ASSERT_EQ(core::function_from_string(core::function_to_string(g2)), g2);
+  std::ostringstream packed;
+  core::write_function(packed, g2, core::TableEncoding::kBinary);
+  ASSERT_EQ(core::function_from_string(packed.str()), g2);
 }
 
 TEST_P(PipelineFuzz, DaltaInvariantsHold) {

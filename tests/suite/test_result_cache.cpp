@@ -203,6 +203,28 @@ TEST(ResultCache, EvictsOldestBeyondCap) {
   fs::remove_all(cache.dir());
 }
 
+TEST(ResultCache, HitRefreshesEvictionOrder) {
+  // Eviction is LRU by file mtime; a cache *hit* must count as use. Before
+  // the touch-on-hit fix, a hot entry that happened to be stored early was
+  // evicted ahead of cold entries stored after it.
+  ResultCache cache(fresh_dir("dalut_rc_lru"), 2);
+  const auto record = sample_record();
+  cache.store(1, record);
+  cache.store(2, record);
+  // Backdate both deterministically (no sleeps): key 1 is the older file.
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(cache.path_of(1), now - std::chrono::hours(2));
+  fs::last_write_time(cache.path_of(2), now - std::chrono::hours(1));
+  // The hit refreshes key 1, making key 2 the eviction candidate.
+  EXPECT_TRUE(cache.load(1).has_value());
+  cache.store(3, record);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.load(1).has_value());
+  EXPECT_FALSE(cache.load(2).has_value());
+  EXPECT_TRUE(cache.load(3).has_value());
+  fs::remove_all(cache.dir());
+}
+
 TEST(ResultCache, ThreadSafeConcurrentStoresAndLoads) {
   ResultCache cache(fresh_dir("dalut_rc_threads"));
   const auto record = sample_record();

@@ -76,13 +76,9 @@ std::optional<core::MultiOutputFunction> load_function(
     const util::CliParser& cli) {
   const auto table_path = cli.str("table");
   if (!table_path.empty()) {
-    std::ifstream in(table_path);
-    if (!in) {
-      std::fprintf(stderr, "error: cannot open table '%s'\n",
-                   table_path.c_str());
-      return std::nullopt;
-    }
-    return core::read_function(in);
+    // Binary-mode open + container auto-detection (hex text or the
+    // bit-packed dalut-table-bin container).
+    return core::load_function_file(table_path);
   }
   const auto width = static_cast<unsigned>(cli.integer("width"));
   const auto name = cli.str("benchmark");
@@ -112,7 +108,16 @@ int run(int argc, char** argv) {
       "configuration / report / RTL");
   cli.add_option("benchmark", "cos",
                  "built-in function (Table I or extended suite)");
-  cli.add_option("table", "", "truth-table file (overrides --benchmark)");
+  cli.add_option("table", "",
+                 "truth-table file, text or binary container, auto-detected "
+                 "(overrides --benchmark)");
+  cli.add_option("table-out", "",
+                 "export the input truth table here before optimizing "
+                 "(with --binary-tables this converts text tables and "
+                 "built-in benchmarks to the binary container)");
+  cli.add_flag("binary-tables",
+               "write --table-out as the bit-packed dalut-table-bin v1 "
+               "container instead of hex text");
   cli.add_option("width", "12", "bit width for built-in benchmarks");
   cli.add_option("algorithm", "bssa", "bssa | dalta");
   cli.add_option("arch", "dalta",
@@ -229,6 +234,15 @@ int run(int argc, char** argv) {
   const auto function = load_function(cli);
   if (!function) return kExitFatal;
   const auto& g = *function;
+  if (const auto path = cli.str("table-out"); !path.empty()) {
+    const auto encoding = cli.flag("binary-tables")
+                              ? core::TableEncoding::kBinary
+                              : core::TableEncoding::kText;
+    core::save_function_file(path, g, encoding);
+    std::printf("wrote %s table to %s\n",
+                encoding == core::TableEncoding::kBinary ? "binary" : "text",
+                path.c_str());
+  }
   const auto dist = core::InputDistribution::uniform(g.num_inputs());
   // resolve_worker_count clamps 0 (and nonsense like -1) to a real pool
   // size, so `--threads 0` cannot construct an empty, deadlocking pool.

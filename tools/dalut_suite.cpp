@@ -101,6 +101,13 @@ int run(int argc, char** argv) {
   cli.add_option("deadline", "",
                  "wall-clock budget for the whole suite ('30s', '5m', "
                  "'1h'); unfinished jobs checkpoint and exit code is 4");
+  cli.add_option("dump-tables", "",
+                 "export every job's resolved input truth table into this "
+                 "directory as <job>.dalut (text) or <job>.dalutb "
+                 "(--binary-tables)");
+  cli.add_flag("binary-tables",
+               "write exported truth tables as the bit-packed "
+               "dalut-table-bin v1 container instead of hex text");
   cli.add_flag("progress",
                "print throttled per-job progress lines to stderr");
 
@@ -140,6 +147,10 @@ int run(int argc, char** argv) {
   options.checkpoint_dir = cli.str("checkpoint-dir");
   options.checkpoint_every =
       static_cast<unsigned>(cli.integer("checkpoint-every"));
+  options.dump_tables_dir = cli.str("dump-tables");
+  options.table_encoding = cli.flag("binary-tables")
+                               ? core::TableEncoding::kBinary
+                               : core::TableEncoding::kText;
   if (cli.flag("progress")) {
     options.progress = [](const std::string& job,
                           const util::RunProgress& p) {
