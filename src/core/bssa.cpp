@@ -151,7 +151,7 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
       beams[b].error = ck.beams[b].error;
       // The approximate-value cache is derived state: replay every decided
       // bit over the exact values, exactly as the original run built it.
-      beams[b].cache = g.values();
+      beams[b].cache = g.copy_values();
       for (unsigned k = 0; k < m; ++k) {
         if (ck.beams[b].decided[k] != 0) {
           write_bit_to_cache(beams[b].cache, k, beams[b].settings[k]);
@@ -161,8 +161,9 @@ DecompositionResult run_bssa(const MultiOutputFunction& g,
   } else {
     beams.resize(1);
     beams[0].settings.resize(m);
-    beams[0].cache = g.values();  // contents above the current bit are unused
-                                  // until that bit has been decided
+    beams[0].cache = g.copy_values();  // contents above the current bit are
+                                       // unused until that bit has been
+                                       // decided
   }
 
   // Checkpoints are cut only at bit-step boundaries: the cursor plus the

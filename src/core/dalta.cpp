@@ -96,7 +96,7 @@ DecompositionResult run_dalta(const MultiOutputFunction& g,
 
   DecompositionResult result;
   result.settings.resize(m);
-  std::vector<OutputWord> cache = g.values();
+  std::vector<OutputWord> cache = g.copy_values();
 
   unsigned start_round = 1;
   unsigned start_bits_done = 0;

@@ -9,11 +9,185 @@
 #include <unordered_set>
 
 #include "util/bits.hpp"
+#include "util/simd.hpp"
 #include "util/telemetry.hpp"
 
 namespace dalut::core {
 
 namespace {
+
+namespace simd = util::simd;
+
+// ---- Blocked gather kernel ----------------------------------------------
+//
+// The scattered gather is a pure bit-permutation copy: the destination pair
+// of input x is row pext(x, free) and column pext(x, bound). Instead of
+// walking the destination and computing scattered source addresses, the
+// kernel walks the source in aligned 64-byte blocks — the 4-pair subcube of
+// the low two input bits — and scatters each block with at most four wide
+// stores. The outer loops enumerate the high free bits (destination rows
+// ascending) then the high bound bits (destination columns ascending) with
+// incremental subset counters, so every store stream is sequential and no
+// per-element pext is ever computed. Contents are byte-identical to the
+// scalar reference loop (it is a permutation copy), which remains below for
+// the forced-scalar path and degenerate shapes.
+
+/// Advances a subset-enumeration counter k steps (k small).
+inline std::uint64_t subset_advance(std::uint64_t x, std::uint64_t m,
+                                    unsigned k) noexcept {
+  while (k--) x = (x - m) & m;
+  return x;
+}
+
+/// Yields the 64-byte source block of pairs {x, x+1, x+2, x+3} from the
+/// interleaved per-epoch source copy.
+struct InterleavedBlockLoader {
+  const double* src;
+  void operator()(std::uint64_t x, simd::D4& lo, simd::D4& hi) const noexcept {
+    lo = simd::loadu4(src + 2 * x);
+    hi = simd::loadu4(src + 2 * x + 4);
+  }
+  void prefetch(std::uint64_t x) const noexcept {
+    simd::prefetch(src + 2 * x);
+  }
+};
+
+/// Same block, interleaved on the fly from the split c0/c1 arrays (raw
+/// views and domains too large for a mirrored source copy).
+struct SplitBlockLoader {
+  const double* c0;
+  const double* c1;
+  void operator()(std::uint64_t x, simd::D4& lo, simd::D4& hi) const noexcept {
+    simd::interleave4(simd::loadu4(c0 + x), simd::loadu4(c1 + x), lo, hi);
+  }
+  void prefetch(std::uint64_t x) const noexcept {
+    simd::prefetch(c0 + x);
+    simd::prefetch(c1 + x);
+  }
+};
+
+template <typename Loader>
+void gather_blocked(double* cells, std::uint32_t bound,
+                    std::uint32_t free_mask, std::size_t cols,
+                    const Loader& load) noexcept {
+  const std::uint32_t lb = bound & 3u;
+  const std::uint64_t hb = bound & ~std::uint64_t{3};
+  const std::uint64_t hf = free_mask & ~std::uint64_t{3};
+  const std::size_t row_words = 2 * cols;
+  // Software-prefetch distance in 64-byte source blocks; the destination
+  // streams are sequential, so only the source side needs help.
+  constexpr unsigned kAhead = 8;
+  const unsigned row_shift = util::popcount(free_mask & 3u);
+
+  std::uint64_t xf = 0;
+  std::size_t row = 0;
+  do {
+    double* row_base = cells + (row << row_shift) * row_words;
+    std::uint64_t xb = 0;
+    std::uint64_t xb_pre = subset_advance(0, hb, kAhead);
+    std::size_t col = 0;
+    if (lb == 3) {
+      // Both low bits bound: the block is one contiguous 4-column run.
+      do {
+        load.prefetch(xf | xb_pre);
+        xb_pre = (xb_pre - hb) & hb;
+        simd::D4 lo, hi;
+        load(xf | xb, lo, hi);
+        double* d = row_base + 8 * col;
+        simd::storeu4(d, lo);
+        simd::storeu4(d + 4, hi);
+        ++col;
+        xb = (xb - hb) & hb;
+      } while (xb != 0);
+    } else if (lb == 0) {
+      // Both low bits free: one pair onto each of four row streams.
+      do {
+        load.prefetch(xf | xb_pre);
+        xb_pre = (xb_pre - hb) & hb;
+        simd::D4 lo, hi;
+        load(xf | xb, lo, hi);
+        double* d = row_base + 2 * col;
+        simd::storeu2(d, simd::low2(lo));
+        simd::storeu2(d + row_words, simd::high2(lo));
+        simd::storeu2(d + 2 * row_words, simd::low2(hi));
+        simd::storeu2(d + 3 * row_words, simd::high2(hi));
+        ++col;
+        xb = (xb - hb) & hb;
+      } while (xb != 0);
+    } else {
+      // One low bit bound, one free: two 2-column runs on two row streams.
+      // lb == 1 keeps the block halves as-is; lb == 2 regroups them (bit 0
+      // toggles the row there, bit 1 the column).
+      do {
+        load.prefetch(xf | xb_pre);
+        xb_pre = (xb_pre - hb) & hb;
+        simd::D4 lo, hi;
+        load(xf | xb, lo, hi);
+        simd::D4 r0, r1;
+        if (lb == 1) {
+          r0 = lo;
+          r1 = hi;
+        } else {
+          r0 = simd::join2(simd::low2(lo), simd::low2(hi));
+          r1 = simd::join2(simd::high2(lo), simd::high2(hi));
+        }
+        double* d = row_base + 4 * col;
+        simd::storeu4(d, r0);
+        simd::storeu4(d + row_words, r1);
+        ++col;
+        xb = (xb - hb) & hb;
+      } while (xb != 0);
+    }
+    ++row;
+    xf = (xf - hf) & hf;
+  } while (xf != 0);
+}
+
+// ---- Sweep kernels ------------------------------------------------------
+
+/// match[z] += blend of {b0, b1} under pat[z] for z in [0, block): the
+/// vector body is elementwise over independent accumulators, so it adds
+/// bit-identical values in the same per-z order as the scalar tail.
+inline void blend_add_row(double* match, const std::uint64_t* pat,
+                          std::uint32_t block, std::uint64_t b0,
+                          std::uint64_t b1, bool vec) noexcept {
+  std::uint32_t z = 0;
+  if (vec) {
+    const simd::VecU vb0 = simd::ubroadcast(b0);
+    const simd::VecU vb1 = simd::ubroadcast(b1);
+    for (; z + simd::kLanes <= block; z += simd::kLanes) {
+      const simd::VecU p = simd::uloadu(pat + z);
+      const simd::VecD pick = simd::as_double(
+          simd::uor(simd::uand(p, vb1), simd::uandnot(p, vb0)));
+      simd::dstoreu(match + z, simd::dadd(simd::dloadu(match + z), pick));
+    }
+  }
+  for (; z < block; ++z) {
+    match[z] += std::bit_cast<double>((b0 & ~pat[z]) | (b1 & pat[z]));
+  }
+}
+
+/// even[c] += row[2c], odd[c] += row[2c+1] for c in [0, cols): the pair
+/// deinterleave feeds the same independent per-column accumulators as the
+/// scalar tail, in the same per-column order across calls.
+inline void pair_accumulate(double* even, double* odd, const double* row,
+                            std::size_t cols, bool vec) noexcept {
+  std::size_t c = 0;
+  if (vec) {
+    for (; c + 4 <= cols; c += 4) {
+      simd::D4 evens, odds;
+      simd::deinterleave4(simd::loadu4(row + 2 * c),
+                          simd::loadu4(row + 2 * c + 4), evens, odds);
+      simd::storeu4(even + c,
+                    simd::add4(simd::loadu4(even + c), evens));
+      simd::storeu4(odd + c, simd::add4(simd::loadu4(odd + c), odds));
+    }
+  }
+  for (; c < cols; ++c) {
+    even[c] += row[2 * c];
+    odd[c] += row[2 * c + 1];
+  }
+}
 
 // ---- Process-wide gather memo -------------------------------------------
 
@@ -266,7 +440,12 @@ const std::vector<InputWord>& EvalWorkspace::deposit_table(
 }
 
 const double* EvalWorkspace::interleaved_source(const CostView& costs) {
-  if (costs.epoch == 0) return nullptr;
+  const std::size_t domain = costs.c0.size();
+  // Past ~2M inputs (2^21: a 32 MiB mirror) the copy no longer pays for
+  // itself within one epoch and would double the resident footprint of
+  // out-of-core tables; the gather then reads the split arrays directly.
+  constexpr std::size_t kMaxInterleavedDomain = std::size_t{1} << 21;
+  if (costs.epoch == 0 || domain > kMaxInterleavedDomain) return nullptr;
   ++source_tick_;
   SourceSlot* slot = &sources_.front();
   for (auto& candidate : sources_) {
@@ -278,12 +457,20 @@ const double* EvalWorkspace::interleaved_source(const CostView& costs) {
   }
   slot->epoch = costs.epoch;
   slot->last_use = source_tick_;
-  const std::size_t domain = costs.c0.size();
   slot->data.resize(2 * domain);
   double* out = slot->data.data();
   const double* c0 = costs.c0.data();
   const double* c1 = costs.c1.data();
-  for (std::size_t x = 0; x < domain; ++x) {
+  std::size_t x = 0;
+  if (simd::enabled()) {
+    for (; x + 4 <= domain; x += 4) {
+      simd::D4 lo, hi;
+      simd::interleave4(simd::loadu4(c0 + x), simd::loadu4(c1 + x), lo, hi);
+      simd::storeu4(out + 2 * x, lo);
+      simd::storeu4(out + 2 * x + 4, hi);
+    }
+  }
+  for (; x < domain; ++x) {
     out[2 * x] = c0[x];
     out[2 * x + 1] = c1[x];
   }
@@ -299,6 +486,26 @@ void EvalWorkspace::gather_into(InterleavedCostMatrix& out,
   out.rows = partition.num_rows();
   out.cols = partition.num_cols();
   out.cells.resize(2 * out.rows * out.cols);
+  double* cells = out.cells.data();
+  util::assert_aligned64(cells);
+
+  const std::size_t domain = costs.c0.size();
+  if (simd::enabled() && domain >= 4) {
+    // Blocked permutation copy (see gather_blocked above). It walks the
+    // source directly with incremental subset counters, so the deposit
+    // tables are not needed — at n = 24 they alone would be 96 MiB.
+    if (const double* src = interleaved_source(costs)) {
+      gather_blocked(cells, partition.bound_mask(), partition.free_mask(),
+                     out.cols, InterleavedBlockLoader{src});
+    } else {
+      gather_blocked(cells, partition.bound_mask(), partition.free_mask(),
+                     out.cols,
+                     SplitBlockLoader{costs.c0.data(), costs.c1.data()});
+    }
+    memo_stats().gathers.fetch_add(1, std::memory_order_relaxed);
+    memo_metrics().gathers.add(1);
+    return;
+  }
 
   // deposit_table() may flush its cache when inserting a new entry, which
   // would invalidate a reference obtained from an earlier call. Touch both
@@ -311,7 +518,6 @@ void EvalWorkspace::gather_into(InterleavedCostMatrix& out,
   deposit_table(partition.bound_mask());
   const auto& row_x = deposit_table(partition.free_mask());
   const auto& col_x = deposit_table(partition.bound_mask());
-  double* cells = out.cells.data();
 
   if (const double* src = interleaved_source(costs)) {
     // One interleaved source read per cell: both costs share a cache line.
@@ -428,7 +634,7 @@ unsigned EvalWorkspace::restart_block(std::size_t rows, std::size_t cols,
 
 void EvalWorkspace::types_sweep(const InterleavedCostMatrix& matrix,
                                 unsigned block, bool compute_sums,
-                                std::vector<double>& totals) {
+                                util::aligned_vector<double>& totals) {
   const std::size_t rows = matrix.rows;
   const std::size_t cols = matrix.cols;
   const std::size_t active_count = active_.size();
@@ -438,6 +644,9 @@ void EvalWorkspace::types_sweep(const InterleavedCostMatrix& matrix,
   // restarts do not pay full-block sweeps. Either path adds bit-identical
   // values for the active restarts; inactive slots are never read.
   const bool direct = 4 * active_count >= block;
+  const bool vec = simd::enabled();
+  util::assert_aligned64(match_.data());
+  util::assert_aligned64(patterns_.data());
   for (const std::uint32_t z : active_) totals[z] = 0.0;
 
   for (std::size_t r = 0; r < rows; ++r) {
@@ -451,7 +660,8 @@ void EvalWorkspace::types_sweep(const InterleavedCostMatrix& matrix,
     // The pattern entries are full-width masks, so selecting a cost is a
     // bitwise blend: the added double is bit-for-bit the one the reference
     // ternary would pick, but the loop has no data-dependent branch and
-    // vectorizes.
+    // vectorizes (explicitly via blend_add_row when SIMD is on; the blend
+    // is elementwise per restart, so lane count cannot affect results).
     double s0 = 0.0;
     double s1 = 0.0;
     if (compute_sums) {
@@ -460,23 +670,17 @@ void EvalWorkspace::types_sweep(const InterleavedCostMatrix& matrix,
         const double c1 = row[2 * c + 1];
         s0 += c0;
         s1 += c1;
-        const std::uint64_t b0 = std::bit_cast<std::uint64_t>(c0);
-        const std::uint64_t b1 = std::bit_cast<std::uint64_t>(c1);
-        const std::uint64_t* pat = patterns_.data() + c * block;
-        for (std::uint32_t z = 0; z < block; ++z) {
-          match_[z] += std::bit_cast<double>((b0 & ~pat[z]) | (b1 & pat[z]));
-        }
+        blend_add_row(match_.data(), patterns_.data() + c * block, block,
+                      std::bit_cast<std::uint64_t>(c0),
+                      std::bit_cast<std::uint64_t>(c1), vec);
       }
       sums0_[r] = s0;
       sums1_[r] = s1;
     } else if (direct) {
       for (std::size_t c = 0; c < cols; ++c) {
-        const std::uint64_t b0 = std::bit_cast<std::uint64_t>(row[2 * c]);
-        const std::uint64_t b1 = std::bit_cast<std::uint64_t>(row[2 * c + 1]);
-        const std::uint64_t* pat = patterns_.data() + c * block;
-        for (std::uint32_t z = 0; z < block; ++z) {
-          match_[z] += std::bit_cast<double>((b0 & ~pat[z]) | (b1 & pat[z]));
-        }
+        blend_add_row(match_.data(), patterns_.data() + c * block, block,
+                      std::bit_cast<std::uint64_t>(row[2 * c]),
+                      std::bit_cast<std::uint64_t>(row[2 * c + 1]), vec);
       }
       s0 = sums0_[r];
       s1 = sums1_[r];
@@ -535,6 +739,7 @@ void EvalWorkspace::pattern_sweep(const InterleavedCostMatrix& matrix,
   // line per cell. Accumulator rows of inactive restarts are left stale;
   // they are never read (the pattern update below is active-only).
   const double* cells = matrix.cells.data();
+  const bool vec = simd::enabled();
   for (const std::uint32_t z : active_) {
     double* zero = if_zero_.data() + std::size_t{z} * cols;
     double* one = if_one_.data() + std::size_t{z} * cols;
@@ -544,16 +749,12 @@ void EvalWorkspace::pattern_sweep(const InterleavedCostMatrix& matrix,
       const auto type = static_cast<RowType>(types_[r * block + z]);
       if (type != RowType::kPattern && type != RowType::kComplement) continue;
       const double* row = cells + 2 * r * cols;
+      // kComplement charges the costs with the roles reversed, which is the
+      // same accumulation with the two destination arrays swapped.
       if (type == RowType::kPattern) {
-        for (std::size_t c = 0; c < cols; ++c) {
-          zero[c] += row[2 * c];
-          one[c] += row[2 * c + 1];
-        }
+        pair_accumulate(zero, one, row, cols, vec);
       } else {
-        for (std::size_t c = 0; c < cols; ++c) {
-          zero[c] += row[2 * c + 1];
-          one[c] += row[2 * c];
-        }
+        pair_accumulate(one, zero, row, cols, vec);
       }
     }
   }
@@ -648,12 +849,10 @@ VtResult EvalWorkspace::opt_for_part_bto(const InterleavedCostMatrix& matrix) {
   if_one_.assign(cols, 0.0);
 
   const double* cells = matrix.cells.data();
+  const bool vec = simd::enabled();
   for (std::size_t r = 0; r < rows; ++r) {
-    const double* row = cells + 2 * r * cols;
-    for (std::size_t c = 0; c < cols; ++c) {
-      if_zero_[c] += row[2 * c];
-      if_one_[c] += row[2 * c + 1];
-    }
+    pair_accumulate(if_zero_.data(), if_one_.data(), cells + 2 * r * cols,
+                    cols, vec);
   }
 
   VtResult result;

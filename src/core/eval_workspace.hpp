@@ -60,6 +60,7 @@
 #include "core/opt_for_part.hpp"
 #include "core/partition.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace dalut::core {
 
@@ -82,10 +83,12 @@ struct CostView {
 
 /// Cost matrix with the two per-cell costs stored adjacently:
 /// cells[2 * (r * cols + c)] = cost0, cells[2 * (r * cols + c) + 1] = cost1.
+/// Cell storage is 64-byte aligned (the SIMD kernels' alignment contract,
+/// docs/performance.md).
 struct InterleavedCostMatrix {
   std::size_t rows = 0;
   std::size_t cols = 0;
-  std::vector<double> cells;
+  util::aligned_vector<double> cells;
 
   double at0(std::size_t r, std::size_t c) const noexcept {
     return cells[2 * (r * cols + c)];
@@ -191,7 +194,7 @@ class EvalWorkspace {
   /// sums0_/sums1_ when `compute_sums`. Writes each restart's total into
   /// `totals`.
   void types_sweep(const InterleavedCostMatrix& matrix, unsigned block,
-                   bool compute_sums, std::vector<double>& totals);
+                   bool compute_sums, util::aligned_vector<double>& totals);
   /// One pattern step for the active restarts of the current block.
   void pattern_sweep(const InterleavedCostMatrix& matrix, unsigned block);
 
@@ -204,7 +207,7 @@ class EvalWorkspace {
   struct SourceSlot {
     std::uint64_t epoch = 0;
     std::uint64_t last_use = 0;
-    std::vector<double> data;
+    util::aligned_vector<double> data;
   };
   std::array<SourceSlot, 4> sources_;
   std::uint64_t source_tick_ = 0;
@@ -219,12 +222,12 @@ class EvalWorkspace {
   // patterns_ holds one full-width select mask per entry (0 or ~0), so the
   // types sweep can blend {cost0, cost1} bitwise instead of branching per
   // cell. The pattern sweep is restart-major instead (see pattern_sweep).
-  std::vector<double> sums0_, sums1_;       // rows
-  std::vector<std::uint64_t> patterns_;     // cols * block
-  std::vector<std::uint8_t> types_;         // rows * block
-  std::vector<double> match_;               // block
-  std::vector<double> if_zero_, if_one_;    // block * cols (restart-major)
-  std::vector<double> error_, after_;       // block
+  util::aligned_vector<double> sums0_, sums1_;     // rows
+  util::aligned_vector<std::uint64_t> patterns_;   // cols * block
+  std::vector<std::uint8_t> types_;                // rows * block
+  util::aligned_vector<double> match_;             // block
+  util::aligned_vector<double> if_zero_, if_one_;  // block * cols
+  util::aligned_vector<double> error_, after_;     // block
   std::vector<std::uint32_t> active_, next_active_;
   unsigned opt_block_override_ = 0;
 };

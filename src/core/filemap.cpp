@@ -1,0 +1,89 @@
+#include "core/filemap.hpp"
+
+#include <cerrno>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
+#define DALUT_FILEMAP_POSIX 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace dalut::core {
+
+namespace {
+
+[[noreturn]] void fail_open(const std::string& path) {
+  throw std::runtime_error("cannot open table '" + path +
+                           "': " + std::strerror(errno));
+}
+
+void read_fallback(const std::string& path, std::vector<unsigned char>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail_open(path);
+  in.seekg(0, std::ios::end);
+  const auto end = in.tellg();
+  if (end < 0) fail_open(path);
+  in.seekg(0, std::ios::beg);
+  out.resize(static_cast<std::size_t>(end));
+  if (!out.empty() &&
+      !in.read(reinterpret_cast<char*>(out.data()),
+               static_cast<std::streamsize>(out.size()))) {
+    throw std::runtime_error("cannot read table '" + path + "'");
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const FileMap> FileMap::open(const std::string& path) {
+  auto map = std::shared_ptr<FileMap>(new FileMap());
+#if defined(DALUT_FILEMAP_POSIX)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail_open(path);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    fail_open(path);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base != MAP_FAILED) {
+      map->data_ = static_cast<const unsigned char*>(base);
+      map->size_ = size;
+      map->mapped_ = true;
+      return map;
+    }
+    // Map refused (e.g. resource limits): fall through to a plain read.
+  } else {
+    ::close(fd);
+    return map;  // empty file: empty view
+  }
+#endif
+  read_fallback(path, map->buffer_);
+  map->data_ = map->buffer_.data();
+  map->size_ = map->buffer_.size();
+  return map;
+}
+
+FileMap::~FileMap() {
+#if defined(DALUT_FILEMAP_POSIX)
+  if (mapped_) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+  }
+#endif
+}
+
+bool filemap_supported() noexcept {
+#if defined(DALUT_FILEMAP_POSIX)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dalut::core

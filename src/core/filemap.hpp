@@ -1,0 +1,72 @@
+// Read-only whole-file views for out-of-core table access.
+//
+// FileMap presents a file as one contiguous byte range. On POSIX hosts the
+// view is an mmap (PROT_READ, MAP_PRIVATE): pages fault in from the page
+// cache on demand, so a multi-gigabyte table costs address space, not heap,
+// and re-opening a recently used table is free. Everywhere else — or when
+// the map syscall fails — the file is read into an owned buffer instead,
+// so callers never branch on platform: they hold a FileMap and read bytes.
+//
+// Lifetime rules (docs/performance.md, "SIMD dispatch & out-of-core
+// tables"): the byte range is valid exactly as long as the FileMap object
+// lives. Consumers that keep pointers into the view (packed
+// MultiOutputFunction tables) must co-own the FileMap via shared_ptr —
+// FileMap::open returns one for that reason. The mapping is private and
+// read-only; mutating the underlying file while a map is live yields
+// unspecified view contents (the digest check at load time is the guard
+// against torn writers, not the map itself).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dalut::core {
+
+class FileMap {
+ public:
+  /// Maps (or, without mmap support, fully reads) `path`. Throws
+  /// std::runtime_error when the file cannot be opened or read.
+  static std::shared_ptr<const FileMap> open(const std::string& path);
+
+  ~FileMap();
+  FileMap(const FileMap&) = delete;
+  FileMap& operator=(const FileMap&) = delete;
+
+  const unsigned char* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  /// True when the view is a live mapping (pages materialize on demand);
+  /// false for the read-into-buffer fallback.
+  bool mapped() const noexcept { return mapped_; }
+
+ private:
+  FileMap() = default;
+
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<unsigned char> buffer_;  // fallback storage when !mapped_
+};
+
+/// True when this build maps files (POSIX mmap); false when every open
+/// falls back to reading the whole file into memory.
+bool filemap_supported() noexcept;
+
+/// Loads a little-endian u64 from a possibly misaligned byte pointer — the
+/// binary table payload starts at an odd offset, so mapped readers cannot
+/// dereference it as u64 directly.
+inline std::uint64_t load_le_u64(const void* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  if constexpr (std::endian::native == std::endian::big) {
+    std::uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r = (r << 8) | ((v >> (8 * i)) & 0xff);
+    v = r;
+  }
+  return v;
+}
+
+}  // namespace dalut::core

@@ -33,6 +33,12 @@ class InputDistribution {
 
   bool is_uniform() const noexcept { return uniform_; }
 
+  /// Raw probability table for vectorized readers; nullptr when uniform
+  /// (probability() is then the same constant for every input).
+  const double* table_data() const noexcept {
+    return uniform_ ? nullptr : probabilities_.data();
+  }
+
   /// P(x_{bit+1} = value): marginal of one input bit (0-based index).
   double marginal(unsigned bit, bool value) const;
 

@@ -24,6 +24,51 @@ MultiOutputFunction::MultiOutputFunction(unsigned num_inputs,
   }
 }
 
+MultiOutputFunction::MultiOutputFunction(
+    unsigned num_inputs, unsigned num_outputs,
+    std::shared_ptr<const FileMap> backing, std::size_t payload_offset)
+    : num_inputs_(num_inputs),
+      num_outputs_(num_outputs),
+      backing_(std::move(backing)) {
+  assert(num_inputs <= 26);
+  assert(num_outputs >= 1 && num_outputs <= 26);
+  const std::uint64_t payload_words =
+      (static_cast<std::uint64_t>(domain_size()) * num_outputs_ + 63) / 64;
+  if (backing_ == nullptr ||
+      payload_offset + payload_words * 8 > backing_->size()) {
+    throw std::invalid_argument("packed table payload out of file bounds");
+  }
+  payload_ = backing_->data() + payload_offset;
+}
+
+MultiOutputFunction MultiOutputFunction::packed_view(
+    unsigned num_inputs, unsigned num_outputs,
+    std::shared_ptr<const FileMap> backing, std::size_t payload_offset) {
+  return MultiOutputFunction(num_inputs, num_outputs, std::move(backing),
+                             payload_offset);
+}
+
+std::vector<OutputWord> MultiOutputFunction::copy_values() const {
+  if (payload_ == nullptr) return values_;
+  std::vector<OutputWord> out(domain_size());
+  for (InputWord x = 0; x < out.size(); ++x) out[x] = packed_value(x);
+  return out;
+}
+
+bool MultiOutputFunction::operator==(const MultiOutputFunction& other) const {
+  if (num_inputs_ != other.num_inputs_ ||
+      num_outputs_ != other.num_outputs_) {
+    return false;
+  }
+  if (payload_ == nullptr && other.payload_ == nullptr) {
+    return values_ == other.values_;
+  }
+  for (InputWord x = 0; x < domain_size(); ++x) {
+    if (value(x) != other.value(x)) return false;
+  }
+  return true;
+}
+
 MultiOutputFunction MultiOutputFunction::from_eval(
     unsigned num_inputs, unsigned num_outputs,
     const std::function<OutputWord(InputWord)>& g) {

@@ -1,14 +1,27 @@
-// Dense representation of an n-input m-output Boolean function
-// Y = G(X) = (g_m, ..., g_1): one m-bit output word per input code.
+// An n-input m-output Boolean function Y = G(X) = (g_m, ..., g_1), in one
+// of two storage shapes:
+//
+//  * Dense (the default): one m-bit output word per input code, held in an
+//    owned vector.
+//  * Packed view: a pointer into the bit-packed payload of a mapped
+//    "dalut-table-bin v1" container (entry x occupies bits [x*m, (x+1)*m)
+//    of a little-endian u64 stream). The function co-owns the FileMap, so
+//    the view outlives the load call; value(x) unpacks on access and
+//    nothing table-sized is ever copied to the heap. dense_data() is
+//    nullptr in this shape — vector kernels detect that and take their
+//    value()-based scalar paths.
 //
 // Bit indexing: output bit k is 0-based with weight 2^k; the paper's y_j
 // (1-based) is bit j-1 here. Bin(Y) of the paper is simply the stored word.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "core/filemap.hpp"
 #include "core/truth_table.hpp"
 
 namespace dalut::core {
@@ -24,6 +37,13 @@ class MultiOutputFunction {
       unsigned num_inputs, unsigned num_outputs,
       const std::function<OutputWord(InputWord)>& g);
 
+  /// Packed view over the bit-packed payload of `backing` starting at byte
+  /// `payload_offset`. The caller (table_io) is responsible for having
+  /// validated the payload geometry and digest; this only checks bounds.
+  static MultiOutputFunction packed_view(
+      unsigned num_inputs, unsigned num_outputs,
+      std::shared_ptr<const FileMap> backing, std::size_t payload_offset);
+
   unsigned num_inputs() const noexcept { return num_inputs_; }
   unsigned num_outputs() const noexcept { return num_outputs_; }
   std::size_t domain_size() const noexcept {
@@ -33,21 +53,63 @@ class MultiOutputFunction {
     return static_cast<OutputWord>((std::uint64_t{1} << num_outputs_) - 1);
   }
 
-  OutputWord value(InputWord x) const noexcept { return values_[x]; }
-  const std::vector<OutputWord>& values() const noexcept { return values_; }
+  OutputWord value(InputWord x) const noexcept {
+    return payload_ != nullptr ? packed_value(x) : values_[x];
+  }
+
+  /// Dense storage only (asserts); packed views have no value vector —
+  /// callers that need one use copy_values(), and hot paths that merely
+  /// want a base pointer probe dense_data() instead.
+  const std::vector<OutputWord>& values() const noexcept {
+    assert(payload_ == nullptr);
+    return values_;
+  }
+
+  /// The value table as an owned dense vector, materializing it from the
+  /// packed payload when necessary.
+  std::vector<OutputWord> copy_values() const;
+
+  /// Dense value array for vectorized readers, or nullptr when the function
+  /// is a packed view (callers then fall back to value()).
+  const OutputWord* dense_data() const noexcept {
+    return payload_ != nullptr ? nullptr : values_.data();
+  }
+
+  /// True when this function reads from a mapped/packed table payload.
+  bool is_packed_view() const noexcept { return payload_ != nullptr; }
+  /// The backing file view of a packed function (nullptr when dense).
+  const FileMap* backing() const noexcept { return backing_.get(); }
 
   /// Component function g_{k+1}: the 0-based k-th output bit.
   bool output_bit(InputWord x, unsigned k) const noexcept {
-    return (values_[x] >> k) & 1u;
+    return (value(x) >> k) & 1u;
   }
   TruthTable component(unsigned k) const;
 
-  bool operator==(const MultiOutputFunction& other) const = default;
+  /// Value equality over the full domain, regardless of storage shape.
+  bool operator==(const MultiOutputFunction& other) const;
 
  private:
+  MultiOutputFunction(unsigned num_inputs, unsigned num_outputs,
+                      std::shared_ptr<const FileMap> backing,
+                      std::size_t payload_offset);
+
+  OutputWord packed_value(InputWord x) const noexcept {
+    const std::uint64_t bit = std::uint64_t{x} * num_outputs_;
+    const unsigned char* p = payload_ + (bit / 64) * 8;
+    const unsigned shift = static_cast<unsigned>(bit % 64);
+    std::uint64_t v = load_le_u64(p) >> shift;
+    if (shift + num_outputs_ > 64) {
+      v |= load_le_u64(p + 8) << (64 - shift);
+    }
+    return static_cast<OutputWord>(v) & output_mask();
+  }
+
   unsigned num_inputs_;
   unsigned num_outputs_;
   std::vector<OutputWord> values_;
+  std::shared_ptr<const FileMap> backing_;        // packed views only
+  const unsigned char* payload_ = nullptr;        // into *backing_
 };
 
 }  // namespace dalut::core

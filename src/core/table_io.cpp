@@ -4,10 +4,12 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/filemap.hpp"
 #include "core/format.hpp"
 #include "core/serialize_detail.hpp"
 
@@ -206,6 +208,86 @@ MultiOutputFunction read_function_text(std::istream& in,
                              std::move(values));
 }
 
+/// Payload size at which kAuto serves a binary container from the mapping
+/// instead of copying it into dense storage.
+constexpr std::uint64_t kAutoMapThresholdBytes = std::uint64_t{1} << 20;
+
+/// Mapped-load path: validates a binary container directly on the file view
+/// (same checks and messages as read_function_binary — geometry, digest,
+/// padding — in one streaming pass) and wraps it as a packed view. Returns
+/// nullopt when the stream reader should handle the file instead: text
+/// containers always, and sub-threshold binary payloads under kAuto.
+std::optional<MultiOutputFunction> try_map_function_file(
+    const std::string& path, TableLoadMode mode) {
+  auto file = FileMap::open(path);
+  const unsigned char* base = file->data();
+  const std::size_t size = file->size();
+
+  // The header line is tiny; a bounded scan finds its newline.
+  const std::string expected = format::header_line(kBinaryFormat);
+  const std::size_t scan = std::min<std::size_t>(size, 64);
+  std::size_t newline = 0;
+  while (newline < scan && base[newline] != '\n') ++newline;
+  const std::string magic_line(reinterpret_cast<const char*>(base), newline);
+  if (newline == scan || !format::matches_magic(magic_line, kBinaryFormat)) {
+    return std::nullopt;  // text container (or not a table at all)
+  }
+  format::check_header_line(magic_line, kBinaryFormat, 1);
+
+  const std::size_t fields = newline + 1;
+  if (size < fields + 32) {
+    throw std::invalid_argument("truncated table header");
+  }
+  const std::uint64_t num_inputs =
+      static_cast<std::uint32_t>(load_le_u64(base + fields) & 0xffffffffu);
+  const std::uint64_t num_outputs = static_cast<std::uint32_t>(
+      (load_le_u64(base + fields) >> 32) & 0xffffffffu);
+  check_table_shape(num_inputs, num_outputs, 2);
+  const std::uint64_t domain = std::uint64_t{1} << num_inputs;
+  const std::uint64_t value_count = load_le_u64(base + fields + 8);
+  if (value_count != domain) {
+    detail::fail_at(2, "entry count " + std::to_string(value_count) +
+                           " does not match 2^inputs");
+  }
+  const std::uint64_t payload_words = load_le_u64(base + fields + 16);
+  const std::uint64_t expected_words = (domain * num_outputs + 63) / 64;
+  if (payload_words != expected_words) {
+    detail::fail_at(2, "payload length " + std::to_string(payload_words) +
+                           " words, expected " +
+                           std::to_string(expected_words));
+  }
+  const std::uint64_t digest = load_le_u64(base + fields + 24);
+
+  const std::size_t payload_offset = fields + 32;
+  if (size < payload_offset + payload_words * 8) {
+    throw std::invalid_argument("truncated table payload");
+  }
+  const unsigned char* payload = base + payload_offset;
+  format::ParamsDigest d;
+  d.add(num_inputs).add(num_outputs).add(payload_words);
+  for (std::uint64_t i = 0; i < payload_words; ++i) {
+    d.add(load_le_u64(payload + i * 8));
+  }
+  if (d.value() != digest) {
+    throw std::invalid_argument(
+        "table payload digest mismatch (corrupt or torn file)");
+  }
+  const std::uint64_t tail_bits = payload_words * 64 - domain * num_outputs;
+  if (tail_bits > 0 &&
+      (load_le_u64(payload + (payload_words - 1) * 8) >> (64 - tail_bits)) !=
+          0) {
+    throw std::invalid_argument("table payload has nonzero padding bits");
+  }
+
+  if (mode == TableLoadMode::kAuto &&
+      payload_words * 8 < kAutoMapThresholdBytes) {
+    return std::nullopt;  // small table: dense storage is cheaper to read
+  }
+  return MultiOutputFunction::packed_view(static_cast<unsigned>(num_inputs),
+                                          static_cast<unsigned>(num_outputs),
+                                          std::move(file), payload_offset);
+}
+
 }  // namespace
 
 void write_function(std::ostream& out, const MultiOutputFunction& g,
@@ -267,7 +349,13 @@ void save_function_file(const std::string& path, const MultiOutputFunction& g,
   format::atomic_write_file(path, out.str());
 }
 
-MultiOutputFunction load_function_file(const std::string& path) {
+MultiOutputFunction load_function_file(const std::string& path,
+                                       TableLoadMode mode) {
+  if (mode != TableLoadMode::kCopy) {
+    if (auto mapped = try_map_function_file(path, mode)) {
+      return *std::move(mapped);
+    }
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open table '" + path +

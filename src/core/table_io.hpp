@@ -55,9 +55,25 @@ MultiOutputFunction function_from_string(const std::string& text);
 void save_function_file(const std::string& path, const MultiOutputFunction& g,
                         TableEncoding encoding = TableEncoding::kText);
 
-/// Opens `path` in binary mode and reads either container.
-/// Throws std::runtime_error if unreadable, std::invalid_argument if
-/// malformed.
-MultiOutputFunction load_function_file(const std::string& path);
+/// How load_function_file materializes the table.
+enum class TableLoadMode {
+  /// Map binary payloads of at least ~1 MiB in place; copy smaller tables
+  /// and text containers into dense storage.
+  kAuto,
+  /// Always build a dense in-memory table.
+  kCopy,
+  /// Serve any binary payload from the file mapping regardless of size
+  /// (text containers still copy: hex text has no mappable payload).
+  kMap,
+};
+
+/// Opens `path` and reads either container. Under kAuto/kMap a binary
+/// container is validated (geometry, digest, padding) by streaming the file
+/// view once, then returned as a packed view that co-owns the mapping —
+/// values unpack on access and the table is never copied to the heap (see
+/// MultiOutputFunction::is_packed_view). Throws std::runtime_error if
+/// unreadable, std::invalid_argument if malformed.
+MultiOutputFunction load_function_file(
+    const std::string& path, TableLoadMode mode = TableLoadMode::kAuto);
 
 }  // namespace dalut::core

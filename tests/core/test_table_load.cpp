@@ -1,0 +1,172 @@
+// load_function_file TableLoadMode coverage: a binary table served as an
+// mmap-backed packed view must be indistinguishable — value-for-value and
+// metric-for-metric, at any worker count — from the same table copied into
+// dense storage. On platforms without mmap the FileMap read-fallback backs
+// the packed view with a heap buffer and the same contracts hold.
+#include "core/table_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bit_cost.hpp"
+#include "core/dalta.hpp"
+#include "core/evaluate.hpp"
+#include "core/filemap.hpp"
+#include "core/input_distribution.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dalut::core {
+namespace {
+
+MultiOutputFunction random_function(unsigned n, unsigned m, util::Rng& rng) {
+  return MultiOutputFunction::from_eval(n, m, [&](InputWord) {
+    return static_cast<OutputWord>(rng.next_below(1u << m));
+  });
+}
+
+/// Saves `g`, loads it back in the given mode, and removes the file on
+/// scope exit.
+struct SavedTable {
+  std::string path;
+
+  SavedTable(const MultiOutputFunction& g, TableEncoding encoding,
+             const char* name)
+      : path(::testing::TempDir() + name) {
+    save_function_file(path, g, encoding);
+  }
+  ~SavedTable() { std::remove(path.c_str()); }
+
+  MultiOutputFunction load(TableLoadMode mode) const {
+    return load_function_file(path, mode);
+  }
+};
+
+TEST(TableLoad, MappedViewEqualsCopiedTable) {
+  util::Rng rng(21);
+  const auto g = random_function(16, 12, rng);
+  const SavedTable saved(g, TableEncoding::kBinary, "load_16.dtb");
+
+  const auto copied = saved.load(TableLoadMode::kCopy);
+  const auto mapped = saved.load(TableLoadMode::kMap);
+  EXPECT_FALSE(copied.is_packed_view());
+  EXPECT_TRUE(mapped.is_packed_view());
+  EXPECT_EQ(mapped.dense_data(), nullptr);
+
+  EXPECT_TRUE(copied == g);
+  EXPECT_TRUE(mapped == g);
+  EXPECT_TRUE(mapped == copied);
+  for (InputWord x = 0; x < g.domain_size(); ++x) {
+    ASSERT_EQ(mapped.value(x), g.value(x)) << "x=" << x;
+  }
+  EXPECT_EQ(mapped.copy_values(), copied.values());
+}
+
+TEST(TableLoad, AutoModeMapsOnlyLargeBinaryPayloads) {
+  util::Rng rng(22);
+  // 2^20 entries * 9 bits = 1.125 MiB payload: above the kAuto threshold.
+  const auto big = random_function(20, 9, rng);
+  const SavedTable big_saved(big, TableEncoding::kBinary, "load_20.dtb");
+  const auto big_auto = big_saved.load(TableLoadMode::kAuto);
+  EXPECT_TRUE(big_auto.is_packed_view());
+  EXPECT_TRUE(big_auto == big);
+
+  // A small binary table copies under kAuto (unpack-per-access would cost
+  // more than the bytes it saves) but still maps on request.
+  const auto small = random_function(10, 8, rng);
+  const SavedTable small_saved(small, TableEncoding::kBinary, "load_10.dtb");
+  EXPECT_FALSE(small_saved.load(TableLoadMode::kAuto).is_packed_view());
+  const auto small_mapped = small_saved.load(TableLoadMode::kMap);
+  EXPECT_TRUE(small_mapped.is_packed_view());
+  EXPECT_TRUE(small_mapped == small);
+
+  // Text containers have no mappable payload; kMap quietly copies.
+  const SavedTable text_saved(small, TableEncoding::kText, "load_10.dt");
+  EXPECT_FALSE(text_saved.load(TableLoadMode::kMap).is_packed_view());
+  EXPECT_TRUE(text_saved.load(TableLoadMode::kMap) == small);
+}
+
+TEST(TableLoad, MedIdenticalMappedVsCopiedAtAnyWorkerCount) {
+  util::Rng rng(23);
+  const auto g = random_function(16, 10, rng);
+  const SavedTable saved(g, TableEncoding::kBinary, "load_med.dtb");
+  const auto copied = saved.load(TableLoadMode::kCopy);
+  const auto mapped = saved.load(TableLoadMode::kMap);
+
+  auto approx = g.copy_values();
+  for (auto& v : approx) v ^= static_cast<OutputWord>(rng.next_below(1u << 10));
+  const auto dist = InputDistribution::uniform(16);
+
+  util::ThreadPool pool8(8);
+  const double reference = mean_error_distance(copied, approx, dist);
+  EXPECT_EQ(mean_error_distance(mapped, approx, dist), reference);
+  EXPECT_EQ(mean_error_distance(copied, approx, dist, &pool8), reference);
+  EXPECT_EQ(mean_error_distance(mapped, approx, dist, &pool8), reference);
+
+  const ErrorReport ref_report = error_report(copied, approx, dist);
+  for (util::ThreadPool* pool : {static_cast<util::ThreadPool*>(nullptr),
+                                 &pool8}) {
+    const ErrorReport r = error_report(mapped, approx, dist, pool);
+    EXPECT_EQ(r.med, ref_report.med);
+    EXPECT_EQ(r.mse, ref_report.mse);
+    EXPECT_EQ(r.error_rate, ref_report.error_rate);
+    EXPECT_EQ(r.max_ed, ref_report.max_ed);
+  }
+}
+
+// The packed view has no dense word array, so the vectorized bit-cost
+// kernel must fall back to value()-based scalar fills — and still produce
+// the exact arrays the dense path does.
+TEST(TableLoad, BitCostsIdenticalMappedVsCopied) {
+  util::Rng rng(24);
+  const auto g = random_function(14, 11, rng);
+  const SavedTable saved(g, TableEncoding::kBinary, "load_costs.dtb");
+  const auto copied = saved.load(TableLoadMode::kCopy);
+  const auto mapped = saved.load(TableLoadMode::kMap);
+
+  auto approx = g.copy_values();
+  for (auto& v : approx) v ^= static_cast<OutputWord>(rng.next_below(1u << 11));
+  const auto dist = InputDistribution::uniform(14);
+
+  for (const auto model : {LsbModel::kCurrentApprox, LsbModel::kAccurateFill,
+                           LsbModel::kPredictive}) {
+    const auto expected = build_bit_costs(copied, approx, 5, model, dist);
+    const auto actual = build_bit_costs(mapped, approx, 5, model, dist);
+    EXPECT_EQ(actual.c0, expected.c0) << static_cast<int>(model);
+    EXPECT_EQ(actual.c1, expected.c1) << static_cast<int>(model);
+  }
+}
+
+TEST(TableLoad, DaltaRunsIdenticallyOnMappedTables) {
+  util::Rng rng(25);
+  const auto g = random_function(12, 8, rng);
+  const SavedTable saved(g, TableEncoding::kBinary, "load_dalta.dtb");
+  const auto copied = saved.load(TableLoadMode::kCopy);
+  const auto mapped = saved.load(TableLoadMode::kMap);
+  const auto dist = InputDistribution::uniform(12);
+
+  DaltaParams params;
+  params.bound_size = 6;
+  params.rounds = 1;
+  params.partition_limit = 12;
+  params.init_patterns = 8;
+  params.seed = 9;
+
+  util::ThreadPool pool8(8);
+  const auto reference = run_dalta(copied, dist, params);
+  for (util::ThreadPool* pool : {static_cast<util::ThreadPool*>(nullptr),
+                                 &pool8}) {
+    DaltaParams p = params;
+    p.pool = pool;
+    const auto result = run_dalta(mapped, dist, p);
+    EXPECT_EQ(result.med, reference.med);
+    EXPECT_EQ(result.report.mse, reference.report.mse);
+    EXPECT_EQ(result.partitions_evaluated, reference.partitions_evaluated);
+  }
+}
+
+}  // namespace
+}  // namespace dalut::core

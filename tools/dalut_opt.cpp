@@ -76,9 +76,20 @@ std::optional<core::MultiOutputFunction> load_function(
     const util::CliParser& cli) {
   const auto table_path = cli.str("table");
   if (!table_path.empty()) {
+    const auto load_str = cli.str("table-load");
+    core::TableLoadMode mode = core::TableLoadMode::kAuto;
+    if (load_str == "copy") {
+      mode = core::TableLoadMode::kCopy;
+    } else if (load_str == "map") {
+      mode = core::TableLoadMode::kMap;
+    } else if (load_str != "auto") {
+      std::fprintf(stderr, "error: --table-load must be auto, copy, or map\n");
+      return std::nullopt;
+    }
     // Binary-mode open + container auto-detection (hex text or the
-    // bit-packed dalut-table-bin container).
-    return core::load_function_file(table_path);
+    // bit-packed dalut-table-bin container). Large binary tables are
+    // served from a file mapping instead of heap copies under auto/map.
+    return core::load_function_file(table_path, mode);
   }
   const auto width = static_cast<unsigned>(cli.integer("width"));
   const auto name = cli.str("benchmark");
@@ -111,6 +122,9 @@ int run(int argc, char** argv) {
   cli.add_option("table", "",
                  "truth-table file, text or binary container, auto-detected "
                  "(overrides --benchmark)");
+  cli.add_option("table-load", "auto",
+                 "auto | copy | map: mmap large binary tables in place "
+                 "(auto), always copy to memory, or always map");
   cli.add_option("table-out", "",
                  "export the input truth table here before optimizing "
                  "(with --binary-tables this converts text tables and "
