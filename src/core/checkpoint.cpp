@@ -10,6 +10,8 @@
 
 #include "core/format.hpp"
 #include "core/serialize_detail.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace_writer.hpp"
 
@@ -25,11 +27,6 @@ std::string hex64(std::uint64_t v) {
   std::snprintf(buf, sizeof buf, "0x%016llx",
                 static_cast<unsigned long long>(v));
   return buf;
-}
-
-[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " '" + path +
-                           "': " + std::strerror(errno));
 }
 
 }  // namespace
@@ -168,6 +165,30 @@ SearchCheckpoint checkpoint_from_string(const std::string& text) {
   return read_checkpoint(in);
 }
 
+std::string previous_checkpoint_path(const std::string& path) {
+  return path + ".1";
+}
+
+namespace {
+
+/// Demotes the current `path` (if any) to the previous generation before a
+/// new save overwrites it. ENOENT (no previous checkpoint yet) is not a
+/// failure; anything else is — a save that cannot preserve the previous
+/// generation must not destroy it by publishing over it blind.
+void rotate_previous_generation(const std::string& path) {
+  if (const int error = util::fp::maybe_fail("checkpoint.rotate")) {
+    throw util::IoError("cannot rotate checkpoint", path, error,
+                        "checkpoint.rotate");
+  }
+  const std::string previous = previous_checkpoint_path(path);
+  if (std::rename(path.c_str(), previous.c_str()) != 0 && errno != ENOENT) {
+    throw util::IoError("cannot rotate checkpoint", path, errno,
+                        "checkpoint.rotate");
+  }
+}
+
+}  // namespace
+
 void save_checkpoint(const std::string& path, const SearchCheckpoint& ck) {
   const util::telemetry::Span span("checkpoint.save");
   static const util::telemetry::Counter saves =
@@ -180,7 +201,15 @@ void save_checkpoint(const std::string& path, const SearchCheckpoint& ck) {
   const auto start = std::chrono::steady_clock::now();
   const std::string text = checkpoint_to_string(ck);
   const std::size_t written = text.size();
-  format::atomic_write_file(path, text);
+  util::RetryPolicy policy;
+  policy.jitter_seed = format::ParamsDigest().add_string(path).value();
+  policy.run([&] {
+    // Re-running the whole body after a transient failure is safe: once the
+    // first attempt rotated, `path` no longer exists and the rotation is an
+    // ignored ENOENT, so the previous generation survives every retry.
+    rotate_previous_generation(path);
+    format::atomic_write_file(path, text, "checkpoint.save");
+  });
   saves.add(1);
   bytes.add(written);
   save_ms.observe(std::chrono::duration<double, std::milli>(
@@ -188,15 +217,63 @@ void save_checkpoint(const std::string& path, const SearchCheckpoint& ck) {
                       .count());
 }
 
+bool save_checkpoint_best_effort(const std::string& path,
+                                 const SearchCheckpoint& ck) noexcept {
+  static const util::telemetry::Counter failures =
+      util::telemetry::Counter::get("checkpoint.save_failures");
+  try {
+    save_checkpoint(path, ck);
+    return true;
+  } catch (const std::exception&) {
+    failures.add(1);
+    return false;
+  }
+}
+
 SearchCheckpoint load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) io_fail("cannot open checkpoint", path);
+  std::ifstream in;
+  if (util::fp::maybe_fail("checkpoint.load.open") == 0) {
+    in.open(path, std::ios::binary);
+  }
+  if (!in.is_open()) {
+    throw util::IoError("cannot open checkpoint", path, errno,
+                        "checkpoint.load.open");
+  }
   return read_checkpoint(in);
+}
+
+std::optional<LoadedCheckpoint> load_checkpoint_with_fallback(
+    const std::string& path) {
+  static const util::telemetry::Counter fallbacks =
+      util::telemetry::Counter::get("checkpoint.fallback_loads");
+  const auto try_load =
+      [](const std::string& p) -> std::optional<SearchCheckpoint> {
+    if (util::fp::maybe_fail("checkpoint.load.open") != 0) {
+      return std::nullopt;
+    }
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return std::nullopt;
+    try {
+      return read_checkpoint(in);
+    } catch (const std::invalid_argument&) {
+      // Torn or corrupt generation: fall through to the previous one.
+      return std::nullopt;
+    }
+  };
+  if (auto ck = try_load(path)) {
+    return LoadedCheckpoint{std::move(*ck), false};
+  }
+  if (auto ck = try_load(previous_checkpoint_path(path))) {
+    fallbacks.add(1);
+    return LoadedCheckpoint{std::move(*ck), true};
+  }
+  return std::nullopt;
 }
 
 void remove_checkpoint(const std::string& path) {
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
+  std::remove(previous_checkpoint_path(path).c_str());
 }
 
 }  // namespace dalut::core

@@ -11,12 +11,17 @@
 // Files are written atomically: serialize to "<path>.tmp" in the same
 // directory, flush + fsync, then rename over the destination. A reader can
 // never observe a partial or torn checkpoint; a crash mid-write leaves the
-// previous checkpoint (or nothing) in place.
+// previous checkpoint (or nothing) in place. On top of that, saves keep two
+// generations ("<path>" and "<path>.1"): even if the newest file is torn by
+// a fault below the rename discipline (firmware lies, injected faults),
+// load_checkpoint_with_fallback degrades to the previous generation instead
+// of restarting from zero.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -64,21 +69,49 @@ std::string checkpoint_to_string(const SearchCheckpoint& ck);
 SearchCheckpoint read_checkpoint(std::istream& in);
 SearchCheckpoint checkpoint_from_string(const std::string& text);
 
-/// Atomically replaces `path` with `ck` (tmp file + fsync + rename).
-/// Throws std::runtime_error if any filesystem step fails; `path` then still
-/// holds its previous content.
+/// The previous-generation path beside `path`: "<path>.1".
+std::string previous_checkpoint_path(const std::string& path);
+
+/// Atomically replaces `path` with `ck` (tmp file + fsync + rename), after
+/// demoting the existing checkpoint to "<path>.1" — two generations are
+/// kept, so a save torn at any point still leaves one loadable checkpoint
+/// on disk. Transient filesystem failures are retried (util::RetryPolicy);
+/// a persistent failure throws util::IoError with the previous generation
+/// intact.
 void save_checkpoint(const std::string& path, const SearchCheckpoint& ck);
 
-/// Loads a checkpoint file; std::runtime_error if unreadable,
+/// save_checkpoint that degrades instead of throwing: a failed save is
+/// counted ("checkpoint.save_failures") and reported via the return value.
+/// Long searches use this for periodic snapshots — losing one snapshot
+/// costs re-computation after a crash, aborting the search costs the run.
+bool save_checkpoint_best_effort(const std::string& path,
+                                 const SearchCheckpoint& ck) noexcept;
+
+/// Loads a checkpoint file; util::IoError if unreadable,
 /// std::invalid_argument if malformed. Only `path` itself is ever read —
 /// a stale "<path>.tmp" left by a crash mid-save is ignored (and the next
 /// save_checkpoint overwrites it).
 SearchCheckpoint load_checkpoint(const std::string& path);
 
-/// Removes a run's checkpoint *and* any stale "<path>.tmp" beside it (a
-/// crash between the tmp write and the rename leaves one behind). Callers
-/// use this instead of a bare remove(path) when a run completes, so crashed
-/// predecessors cannot leak tmp files forever. Missing files are fine.
+/// A checkpoint resolved through the generation chain.
+struct LoadedCheckpoint {
+  SearchCheckpoint checkpoint;
+  bool from_previous = false;  ///< true when "<path>.1" had to stand in
+};
+
+/// Resolves the newest loadable generation: `path` first, then "<path>.1"
+/// when `path` is missing, unreadable, or corrupt (torn write). Returns
+/// nullopt when no generation loads — the caller starts fresh. Never
+/// throws on unreadable/corrupt input; counts degraded loads in
+/// "checkpoint.fallback_loads".
+std::optional<LoadedCheckpoint> load_checkpoint_with_fallback(
+    const std::string& path);
+
+/// Removes a run's checkpoint, its previous generation ("<path>.1"), *and*
+/// any stale "<path>.tmp" beside it (a crash between the tmp write and the
+/// rename leaves one behind). Callers use this instead of a bare
+/// remove(path) when a run completes, so crashed predecessors cannot leak
+/// files forever. Missing files are fine.
 void remove_checkpoint(const std::string& path);
 
 }  // namespace dalut::core

@@ -4,6 +4,9 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
+
 #if defined(__unix__) || (defined(__APPLE__) && defined(__MACH__))
 #define DALUT_FILEMAP_POSIX 1
 #include <fcntl.h>
@@ -17,8 +20,7 @@ namespace dalut::core {
 namespace {
 
 [[noreturn]] void fail_open(const std::string& path) {
-  throw std::runtime_error("cannot open table '" + path +
-                           "': " + std::strerror(errno));
+  throw util::IoError("cannot open table", path, errno, "filemap.open");
 }
 
 void read_fallback(const std::string& path, std::vector<unsigned char>& out) {
@@ -41,7 +43,9 @@ void read_fallback(const std::string& path, std::vector<unsigned char>& out) {
 std::shared_ptr<const FileMap> FileMap::open(const std::string& path) {
   auto map = std::shared_ptr<FileMap>(new FileMap());
 #if defined(DALUT_FILEMAP_POSIX)
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const int fd = util::fp::maybe_fail("filemap.open") != 0
+                     ? -1
+                     : ::open(path.c_str(), O_RDONLY);
   if (fd < 0) fail_open(path);
   struct stat st{};
   if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
@@ -50,7 +54,11 @@ std::shared_ptr<const FileMap> FileMap::open(const std::string& path) {
   }
   const auto size = static_cast<std::size_t>(st.st_size);
   if (size > 0) {
-    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    // An injected mmap failure lands on the same arm as a genuine one:
+    // degrade to the buffered read below, never to an error.
+    void* base = util::fp::maybe_fail("filemap.mmap") != 0
+                     ? MAP_FAILED
+                     : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);
     if (base != MAP_FAILED) {
       map->data_ = static_cast<const unsigned char*>(base);

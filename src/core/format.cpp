@@ -7,6 +7,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
+
 #ifdef _WIN32
 #include <io.h>
 #else
@@ -31,11 +34,6 @@ std::pair<std::string_view, std::string_view> split_header(
   std::string_view rest = std::string_view(line).substr(space + 1);
   while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
   return {std::string_view(line).substr(0, space), rest};
-}
-
-[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
-  throw std::runtime_error(what + " '" + path +
-                           "': " + std::strerror(errno));
 }
 
 /// fsyncs the directory containing `path` so a just-published rename is
@@ -154,31 +152,62 @@ std::uint64_t get_u64(std::istream& in, const char* what) {
   return value;
 }
 
-void atomic_write_file(const std::string& path, std::string_view payload) {
+void atomic_write_file(const std::string& path, std::string_view payload,
+                       const char* site_prefix) {
+  namespace fp = util::fp;
   const std::string tmp = path + ".tmp";
   {
     // C stdio instead of ofstream: we need the file descriptor for fsync.
-    std::FILE* file = std::fopen(tmp.c_str(), "wb");
-    if (file == nullptr) io_fail("cannot create", tmp);
-    const bool wrote =
-        std::fwrite(payload.data(), 1, payload.size(), file) ==
-            payload.size() &&
-        std::fflush(file) == 0;
+    std::FILE* file = fp::maybe_fail(site_prefix, ".open") != 0
+                          ? nullptr
+                          : std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr) {
+      throw util::IoError("cannot create", tmp, errno,
+                          std::string(site_prefix) + ".open");
+    }
+    // A torn verdict truncates the payload but lets every subsequent step
+    // "succeed": the corrupt file gets published, simulating a crash that
+    // tore the write after the rename was already durable. Readers must
+    // detect this (framing/digest) — the generation fallback and the
+    // cache's corrupt-entry-is-a-miss policy are exercised exactly here.
+    const fp::Fault write_fault = fp::maybe_trigger(site_prefix, ".write");
+    std::string_view body = payload;
+    if (write_fault.kind == fp::FaultKind::kTorn) {
+      body = payload.substr(0, payload.size() / 2);
+    }
+    bool wrote;
+    if (write_fault.kind == fp::FaultKind::kError) {
+      errno = write_fault.error;
+      wrote = false;
+    } else {
+      wrote = std::fwrite(body.data(), 1, body.size(), file) == body.size() &&
+              std::fflush(file) == 0;
+    }
 #ifndef _WIN32
-    const bool synced = wrote && ::fsync(::fileno(file)) == 0;
+    const bool synced = wrote && fp::maybe_fail(site_prefix, ".fsync") == 0 &&
+                        ::fsync(::fileno(file)) == 0;
 #else
-    const bool synced = wrote;
+    const bool synced = wrote && fp::maybe_fail(site_prefix, ".fsync") == 0;
 #endif
+    const int saved_errno = errno;
     if (std::fclose(file) != 0 || !synced) {
+      const int error = synced ? errno : saved_errno;
       std::remove(tmp.c_str());
-      io_fail("cannot write", tmp);
+      throw util::IoError("cannot write", tmp, error,
+                          std::string(site_prefix) +
+                              (wrote ? ".fsync" : ".write"));
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (fp::maybe_fail(site_prefix, ".rename") != 0 ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int error = errno;
     std::remove(tmp.c_str());
-    io_fail("cannot publish", path);
+    throw util::IoError("cannot publish", path, error,
+                        std::string(site_prefix) + ".rename");
   }
-  sync_parent_dir(path);
+  // The directory sync is best-effort by contract, so an injected failure
+  // here must degrade to "skip the sync", not to an error.
+  if (fp::maybe_fail(site_prefix, ".dirsync") == 0) sync_parent_dir(path);
 }
 
 }  // namespace dalut::core::format

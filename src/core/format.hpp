@@ -98,9 +98,17 @@ std::uint64_t get_u64(std::istream& in, const char* what);
 /// same directory, flushes + fsyncs the file, renames it over `path`, then
 /// fsyncs the parent directory so the rename itself survives a crash (on
 /// some filesystems a rename without the directory sync can be lost even
-/// though the data blocks were durable). Throws std::runtime_error on any
+/// though the data blocks were durable). Throws util::IoError (a
+/// std::runtime_error carrying path + errno + failpoint site) on any
 /// filesystem failure; `path` then still holds its previous content and the
 /// tmp file is removed.
-void atomic_write_file(const std::string& path, std::string_view payload);
+///
+/// Every step probes a fault-injection site named "<site_prefix>.<step>"
+/// (steps: open, write, fsync, rename, dirsync — see util/failpoint.hpp).
+/// Callers that want their own failure-semantics row pass a layer-specific
+/// prefix ("checkpoint.save", "cache.store", "table.save"); the default
+/// covers direct callers.
+void atomic_write_file(const std::string& path, std::string_view payload,
+                       const char* site_prefix = "atomic_write");
 
 }  // namespace dalut::core::format

@@ -12,6 +12,8 @@
 #include "core/filemap.hpp"
 #include "core/format.hpp"
 #include "core/serialize_detail.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 
 namespace dalut::core {
 
@@ -346,7 +348,7 @@ void save_function_file(const std::string& path, const MultiOutputFunction& g,
                         TableEncoding encoding) {
   std::ostringstream out;
   write_function(out, g, encoding);
-  format::atomic_write_file(path, out.str());
+  format::atomic_write_file(path, out.str(), "table.save");
 }
 
 MultiOutputFunction load_function_file(const std::string& path,
@@ -356,10 +358,12 @@ MultiOutputFunction load_function_file(const std::string& path,
       return *std::move(mapped);
     }
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("cannot open table '" + path +
-                             "': " + std::strerror(errno));
+  std::ifstream in;
+  if (util::fp::maybe_fail("table.load.open") == 0) {
+    in.open(path, std::ios::binary);
+  }
+  if (!in.is_open()) {
+    throw util::IoError("cannot open table", path, errno, "table.load.open");
   }
   return read_function(in);
 }

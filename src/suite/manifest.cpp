@@ -1,5 +1,6 @@
 #include "suite/manifest.hpp"
 
+#include <cerrno>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -7,6 +8,7 @@
 
 #include "core/format.hpp"
 #include "core/serialize_detail.hpp"
+#include "util/retry.hpp"
 
 namespace dalut::suite {
 
@@ -178,7 +180,7 @@ Manifest manifest_from_string(const std::string& text) {
 Manifest load_manifest(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("cannot open manifest '" + path + "'");
+    throw util::IoError("cannot open manifest", path, errno);
   }
   return read_manifest(in);
 }

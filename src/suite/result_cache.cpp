@@ -12,6 +12,8 @@
 
 #include "core/format.hpp"
 #include "core/serialize_detail.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 #include "util/telemetry.hpp"
 
 namespace dalut::suite {
@@ -33,6 +35,8 @@ struct CacheMetrics {
       util::telemetry::Counter::get("suite.cache.stores");
   util::telemetry::Counter evictions =
       util::telemetry::Counter::get("suite.cache.evictions");
+  util::telemetry::Counter store_failures =
+      util::telemetry::Counter::get("suite.cache.store_failures");
 };
 
 CacheMetrics& cache_metrics() {
@@ -204,8 +208,11 @@ std::string ResultCache::path_of(std::uint64_t key) const {
 
 std::optional<ResultRecord> ResultCache::load(std::uint64_t key) {
   const std::string path = path_of(key);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  std::ifstream in;
+  if (util::fp::maybe_fail("cache.load.open") == 0) {
+    in.open(path, std::ios::binary);
+  }
+  if (!in.is_open()) {
     std::lock_guard lock(mutex_);
     ++stats_.misses;
     cache_metrics().misses.add(1);
@@ -236,9 +243,27 @@ std::optional<ResultRecord> ResultCache::load(std::uint64_t key) {
 
 void ResultCache::store(std::uint64_t key, const ResultRecord& record) {
   std::lock_guard lock(mutex_);
-  // Same atomic-publish discipline as checkpoints: tmp + fsync + rename +
-  // parent-directory fsync, shared via core/format.
-  core::format::atomic_write_file(path_of(key), result_to_string(record));
+  const std::string path = path_of(key);
+  try {
+    // Same atomic-publish discipline as checkpoints: tmp + fsync + rename +
+    // parent-directory fsync, shared via core/format. Transient failures
+    // get a bounded retry before the store is abandoned.
+    util::RetryPolicy policy;
+    policy.jitter_seed = key;
+    policy.run([&] {
+      core::format::atomic_write_file(path, result_to_string(record),
+                                      "cache.store");
+    });
+  } catch (const std::exception&) {
+    // A cache that cannot persist (full disk, injected fault) degrades to
+    // recompute-on-next-run: the job already has its result, so nothing is
+    // surfaced. atomic_write_file cleans its tmp on failure; sweep again
+    // here in case the failure was above that layer.
+    std::remove((path + ".tmp").c_str());
+    ++stats_.store_failures;
+    cache_metrics().store_failures.add(1);
+    return;
+  }
   ++stats_.stores;
   cache_metrics().stores.add(1);
   trim_locked();

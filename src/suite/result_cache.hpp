@@ -72,6 +72,7 @@ class ResultCache {
     std::uint64_t misses = 0;
     std::uint64_t stores = 0;
     std::uint64_t evictions = 0;
+    std::uint64_t store_failures = 0;  ///< stores abandoned after retries
   };
 
   /// Opens (creating if needed) the cache directory. `max_entries == 0`
@@ -86,7 +87,11 @@ class ResultCache {
   std::optional<ResultRecord> load(std::uint64_t key);
 
   /// Atomically writes `record` under `key`, then trims the cache to
-  /// `max_entries`. Thread-safe. Throws std::runtime_error on I/O failure.
+  /// `max_entries`. Thread-safe. Never throws on I/O failure: after a
+  /// bounded retry of transient errors, a failed store removes its tmp
+  /// file, counts a store_failure ("suite.cache.store_failures"), and
+  /// degrades to recompute-on-next-run — the caller already holds the
+  /// result, so a broken cache must not fail the job.
   void store(std::uint64_t key, const ResultRecord& record);
 
   Stats stats() const;

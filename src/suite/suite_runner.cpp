@@ -9,6 +9,7 @@
 #include <optional>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 
 #include "baseline/round_in.hpp"
 #include "baseline/round_out.hpp"
@@ -20,6 +21,9 @@
 #include "core/table_io.hpp"
 #include "func/extended.hpp"
 #include "func/registry.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
+#include "util/run_control.hpp"
 #include "util/telemetry.hpp"
 #include "util/timer.hpp"
 #include "util/trace_writer.hpp"
@@ -37,6 +41,8 @@ struct SuiteMetrics {
       util::telemetry::Counter::get("suite.jobs_failed");
   util::telemetry::Counter resumed =
       util::telemetry::Counter::get("suite.jobs_resumed");
+  util::telemetry::Counter retries =
+      util::telemetry::Counter::get("suite.job_retries");
 };
 
 SuiteMetrics& suite_metrics() {
@@ -169,21 +175,19 @@ void run_search_job(const SuiteJob& job, const core::MultiOutputFunction& g,
   std::function<void(const core::SearchCheckpoint&)> sink;
   if (!options.checkpoint_dir.empty()) {
     checkpoint_path = options.checkpoint_dir + "/" + job.name + ".ck";
+    // Best-effort: a snapshot that cannot be persisted (full disk, injected
+    // fault) is dropped — the search must keep running; a crash then merely
+    // resumes from an older generation.
     sink = [checkpoint_path](const core::SearchCheckpoint& ck) {
-      core::save_checkpoint(checkpoint_path, ck);
+      core::save_checkpoint_best_effort(checkpoint_path, ck);
     };
   }
   std::optional<core::SearchCheckpoint> resume_state;
   if (!checkpoint_path.empty()) {
-    std::ifstream probe(checkpoint_path);
-    if (probe) {
-      try {
-        resume_state = core::read_checkpoint(probe);
-      } catch (const std::invalid_argument&) {
-        // A malformed file cannot have come from save_checkpoint's atomic
-        // publish; treat it as absent rather than failing the job.
-        resume_state.reset();
-      }
+    // Generation-aware: a torn/corrupt latest checkpoint falls back to
+    // "<path>.1"; with no loadable generation the job starts fresh.
+    if (auto loaded = core::load_checkpoint_with_fallback(checkpoint_path)) {
+      resume_state = std::move(loaded->checkpoint);
     }
   }
 
@@ -305,6 +309,59 @@ void run_one_job(const SuiteJob& job, SuiteState& state, ResultCache* cache,
   }
 }
 
+/// One job under full fault isolation: nothing a job throws escapes to
+/// parallel_for (one poisoned job must never kill the fleet). Retryable
+/// I/O errors get bounded retries per options.job_retry; everything else
+/// fails the job immediately — a deterministic error (bad manifest field,
+/// corrupt table) returns the same answer on every attempt, so retrying it
+/// only burns time.
+void run_job_isolated(const SuiteJob& job, SuiteState& state,
+                      ResultCache* cache, JobOutcome& out) {
+  const util::RetryPolicy& policy = state.options->job_retry;
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      if (const int error = util::fp::maybe_fail("suite.job")) {
+        throw util::IoError("injected job fault", job.name, error,
+                            "suite.job");
+      }
+      run_one_job(job, state, cache, out);
+      suite_metrics().completed.add(
+          out.status == util::RunStatus::kCompleted ? 1 : 0);
+      suite_metrics().resumed.add(out.resumed ? 1 : 0);
+      return;
+    } catch (const util::CancelledError&) {
+      // The master control tripped while this job was inside a kernel: the
+      // job is stopped, not broken. Report the master's verdict so the CSV
+      // says cancelled/deadline, never failed.
+      out.status = state.options->control != nullptr
+                       ? state.options->control->status()
+                       : util::RunStatus::kCancelled;
+      return;
+    } catch (const util::IoError& error) {
+      if (error.retryable() && attempt < policy.max_attempts) {
+        suite_metrics().retries.add(1);
+        std::this_thread::sleep_for(policy.backoff_before(attempt + 1));
+        // Drop any partial outcome of the failed attempt before rerunning.
+        out = JobOutcome{};
+        out.job = job;
+        out.started = true;
+        continue;
+      }
+      out.error = error.what();
+      suite_metrics().failed.add(1);
+      return;
+    } catch (const std::exception& error) {
+      out.error = error.what();
+      suite_metrics().failed.add(1);
+      return;
+    } catch (...) {
+      out.error = "unknown non-standard exception";
+      suite_metrics().failed.add(1);
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options) {
@@ -335,8 +392,10 @@ SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options) {
 
   // Jobs shard across the pool; each job body may itself call parallel_for
   // on the same pool (nested calls drain on the job's worker). Per-job
-  // failures are captured, never thrown, so one bad job cannot cancel its
-  // siblings; only the master control stops the suite early.
+  // failures are retried, then quarantined, never thrown, so one bad job
+  // cannot cancel its siblings; only the master control stops the suite
+  // early. Outcome slots are indexed by manifest position, so CSV row
+  // order stays deterministic whatever the completion order.
   options.pool->parallel_for(
       0, manifest.jobs.size(), [&](std::size_t i) {
         JobOutcome& out = report.outcomes[i];
@@ -346,15 +405,7 @@ SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options) {
           return;  // never started; reported as skipped
         }
         out.started = true;
-        try {
-          run_one_job(manifest.jobs[i], state, cache.get(), out);
-          suite_metrics().completed.add(
-              out.status == util::RunStatus::kCompleted ? 1 : 0);
-          suite_metrics().resumed.add(out.resumed ? 1 : 0);
-        } catch (const std::exception& error) {
-          out.error = error.what();
-          suite_metrics().failed.add(1);
-        }
+        run_job_isolated(manifest.jobs[i], state, cache.get(), out);
       });
 
   {

@@ -33,6 +33,7 @@
 #include "core/table_io.hpp"
 #include "suite/manifest.hpp"
 #include "suite/result_cache.hpp"
+#include "util/retry.hpp"
 #include "util/run_control.hpp"
 #include "util/thread_pool.hpp"
 
@@ -58,6 +59,11 @@ struct SuiteOptions {
   /// standalone via `dalut_opt --table`.
   std::string dump_tables_dir;
   core::TableEncoding table_encoding = core::TableEncoding::kText;
+  /// Per-job fault isolation: a job failing with a *retryable* I/O error
+  /// (util::errno_retryable) is re-run up to job_retry.max_attempts times
+  /// before being quarantined as `failed`; deterministic errors fail on the
+  /// first attempt. Sibling jobs always run to completion either way.
+  util::RetryPolicy job_retry;
 };
 
 /// One delivered progress report, labeled with its job (the suite analogue

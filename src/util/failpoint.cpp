@@ -1,0 +1,331 @@
+#include "util/failpoint.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/telemetry.hpp"
+
+namespace dalut::util::fp {
+namespace {
+
+enum class Trigger : std::uint8_t {
+  kAlways,  ///< every hit
+  kFirstN,  ///< hits 1..param
+  kEveryK,  ///< hits param, 2*param, ...
+  kProb,    ///< deterministic per-hit coin weighted by probability
+};
+
+// Same mixer as util/rng's seeding discipline: full-avalanche, so the
+// per-hit coin sequence is reproducible from (seed, hit ordinal) alone.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// The static site registry. Every fallible boundary that calls
+// maybe_fail/maybe_trigger must be listed here: configure() validates spec
+// names against this table, and the fault-torture test enumerates it.
+// Naming: <layer>.<operation>[.<syscall>]. The atomic_write.* rows cover
+// direct format::atomic_write_file callers that pass no site prefix.
+struct SiteInfo {
+  const char* name;
+  bool torn_ok;  ///< whether the "torn" action makes sense at this site
+};
+
+constexpr bool kTorn = true;
+constexpr SiteInfo kSites[] = {
+    {"checkpoint.rotate", false},
+    {"checkpoint.save.open", false},
+    {"checkpoint.save.write", kTorn},
+    {"checkpoint.save.fsync", false},
+    {"checkpoint.save.rename", false},
+    {"checkpoint.save.dirsync", false},
+    {"checkpoint.load.open", false},
+    {"cache.store.open", false},
+    {"cache.store.write", kTorn},
+    {"cache.store.fsync", false},
+    {"cache.store.rename", false},
+    {"cache.store.dirsync", false},
+    {"cache.load.open", false},
+    {"table.save.open", false},
+    {"table.save.write", kTorn},
+    {"table.save.fsync", false},
+    {"table.save.rename", false},
+    {"table.save.dirsync", false},
+    {"table.load.open", false},
+    {"filemap.open", false},
+    {"filemap.mmap", false},
+    {"atomic_write.open", false},
+    {"atomic_write.write", kTorn},
+    {"atomic_write.fsync", false},
+    {"atomic_write.rename", false},
+    {"atomic_write.dirsync", false},
+    {"suite.job", false},
+};
+
+constexpr std::size_t kSiteCount = std::size(kSites);
+
+/// Per-site armed configuration and counters, indexed in kSites order.
+struct SiteState {
+  bool armed = false;
+  bool torn = false;  ///< armed action is torn (else `error` is the errno)
+  int error = 0;
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t param = 0;  ///< N / K / probability in 2^-64 units
+  std::uint64_t seed = 0;
+  std::string armed_spec;  ///< "action[@trigger]" as parsed, for dump()
+
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+SiteState g_state[kSiteCount];
+
+// One coarse lock for both configure() and armed-path checks. The armed
+// path is I/O-boundary-rate (a handful of probes per file operation), so
+// contention is irrelevant; the disarmed fast path never reaches it.
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+constexpr std::size_t kNoSite = ~std::size_t{0};
+
+std::size_t find_site(const char* name) noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (std::strcmp(kSites[i].name, name) == 0) return i;
+  }
+  return kNoSite;
+}
+
+[[noreturn]] void spec_fail(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("bad failpoint entry '" + entry + "': " + why);
+}
+
+struct ErrnoName {
+  const char* name;
+  int value;
+};
+
+constexpr ErrnoName kErrnoNames[] = {
+    {"EIO", EIO},         {"ENOSPC", ENOSPC},   {"EACCES", EACCES},
+    {"ENOENT", ENOENT},   {"EAGAIN", EAGAIN},   {"EINTR", EINTR},
+    {"EBUSY", EBUSY},     {"EROFS", EROFS},     {"EMFILE", EMFILE},
+    {"ENFILE", ENFILE},   {"EPERM", EPERM},     {"ENOTDIR", ENOTDIR},
+    {"ENODEV", ENODEV},   {"ENOMEM", ENOMEM},   {"EEXIST", EEXIST},
+    {"EFBIG", EFBIG},     {"EDQUOT", EDQUOT},   {"ESTALE", ESTALE},
+    {"ETIMEDOUT", ETIMEDOUT},
+};
+
+int lookup_errno(const std::string& name) noexcept {
+  for (const ErrnoName& entry : kErrnoNames) {
+    if (name == entry.name) return entry.value;
+  }
+  return 0;
+}
+
+std::uint64_t parse_u64(const std::string& entry, const std::string& text,
+                        const char* what) {
+  if (text.empty()) spec_fail(entry, std::string("empty ") + what);
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      spec_fail(entry, std::string("malformed ") + what + " '" + text + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+// One "site=action[@trigger]" entry; the registry lock is held.
+void arm_entry(const std::string& entry) {
+  const std::size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    spec_fail(entry, "expected site=action[@trigger]");
+  }
+  const std::string site_name = entry.substr(0, eq);
+  const std::size_t index = find_site(site_name.c_str());
+  if (index == kNoSite) spec_fail(entry, "unknown site '" + site_name + "'");
+
+  std::string action = entry.substr(eq + 1);
+  std::string trigger_text;
+  if (const std::size_t at = action.find('@'); at != std::string::npos) {
+    trigger_text = action.substr(at + 1);
+    action.resize(at);
+  }
+
+  SiteState armed = g_state[index];
+  armed.armed = true;
+  armed.armed_spec = entry.substr(eq + 1);
+  if (action == "torn") {
+    if (!kSites[index].torn_ok) {
+      spec_fail(entry, "'torn' is only valid on *.write sites");
+    }
+    armed.torn = true;
+    armed.error = 0;
+  } else {
+    armed.torn = false;
+    armed.error = lookup_errno(action);
+    if (armed.error == 0) spec_fail(entry, "unknown action '" + action + "'");
+  }
+
+  if (trigger_text.empty()) {
+    armed.trigger = Trigger::kAlways;
+    armed.param = 0;
+    armed.seed = 0;
+  } else if (trigger_text.rfind("every-", 0) == 0) {
+    armed.trigger = Trigger::kEveryK;
+    armed.param = parse_u64(entry, trigger_text.substr(6), "every-K period");
+    if (armed.param == 0) spec_fail(entry, "every-K period must be >= 1");
+  } else if (trigger_text.rfind("p=", 0) == 0) {
+    const std::string prob_text = trigger_text.substr(2);
+    const std::size_t colon = prob_text.find(':');
+    if (colon == std::string::npos) {
+      spec_fail(entry, "probability trigger needs a seed: p=X:SEED");
+    }
+    const std::string x = prob_text.substr(0, colon);
+    char* end = nullptr;
+    const double p = std::strtod(x.c_str(), &end);
+    if (x.empty() || end == nullptr || *end != '\0' || !(p >= 0.0) ||
+        p > 1.0) {
+      spec_fail(entry, "probability must be in [0, 1], got '" + x + "'");
+    }
+    armed.trigger = Trigger::kProb;
+    // Probability as a 64-bit threshold: hit fires when the per-hit mix is
+    // below p * 2^64 (p == 1 saturates to always-fire).
+    armed.param = p >= 1.0 ? ~0ull
+                           : static_cast<std::uint64_t>(
+                                 p * 18446744073709551616.0);
+    armed.seed = parse_u64(entry, prob_text.substr(colon + 1), "seed");
+  } else {
+    armed.trigger = Trigger::kFirstN;
+    armed.param = parse_u64(entry, trigger_text, "count");
+    if (armed.param == 0) spec_fail(entry, "count must be >= 1");
+  }
+
+  g_state[index] = armed;
+}
+
+telemetry::Counter& fires_counter() {
+  static telemetry::Counter counter = telemetry::Counter::get("failpoint.fires");
+  return counter;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+Fault check(const char* site_name) noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const std::size_t index = find_site(site_name);
+  if (index == kNoSite) return {};
+  SiteState& site = g_state[index];
+  const std::uint64_t hit = ++site.hits;
+  if (!site.armed) return {};
+
+  bool fire = false;
+  switch (site.trigger) {
+    case Trigger::kAlways:
+      fire = true;
+      break;
+    case Trigger::kFirstN:
+      fire = hit <= site.param;
+      break;
+    case Trigger::kEveryK:
+      fire = hit % site.param == 0;
+      break;
+    case Trigger::kProb:
+      fire = splitmix64(site.seed ^ (hit * 0x9e3779b97f4a7c15ull)) <
+             site.param;
+      break;
+  }
+  if (!fire) return {};
+
+  ++site.fires;
+  fires_counter().add(1);
+  if (site.torn) return {FaultKind::kTorn, 0};
+  return {FaultKind::kError, site.error};
+}
+
+Fault check_joined(const char* prefix, const char* suffix) noexcept {
+  std::string name;
+  name.reserve(std::strlen(prefix) + std::strlen(suffix));
+  name += prefix;
+  name += suffix;
+  return check(name.c_str());
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    if (!entry.empty()) arm_entry(entry);
+    begin = end + 1;
+  }
+  for (const SiteState& site : g_state) {
+    if (site.armed) {
+      detail::g_armed.store(true, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+bool configure_from_env() {
+  const char* spec = std::getenv("DALUT_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return false;
+  configure(spec);
+  return true;
+}
+
+void reset() noexcept {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  for (SiteState& site : g_state) site = SiteState{};
+}
+
+std::vector<SiteStats> stats() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<SiteStats> out;
+  out.reserve(kSiteCount);
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const SiteState& site = g_state[i];
+    out.push_back({kSites[i].name,
+                   site.armed ? site.armed_spec : std::string(), site.hits,
+                   site.fires});
+  }
+  return out;
+}
+
+std::vector<std::string> all_sites() {
+  std::vector<std::string> out;
+  out.reserve(kSiteCount);
+  for (const SiteInfo& site : kSites) out.emplace_back(site.name);
+  return out;
+}
+
+std::string dump() {
+  std::ostringstream out;
+  bool any = false;
+  for (const SiteStats& site : stats()) {
+    if (site.spec.empty() && site.hits == 0) continue;
+    any = true;
+    out << site.site << ' ' << (site.spec.empty() ? "-" : site.spec)
+        << " hits=" << site.hits << " fires=" << site.fires << '\n';
+  }
+  if (!any) return "no failpoints armed, none hit\n";
+  return out.str();
+}
+
+}  // namespace dalut::util::fp

@@ -1,0 +1,147 @@
+// Deterministic fault injection for every fallible I/O boundary.
+//
+// A process-wide registry of named failpoint *sites* compiled in
+// unconditionally. Each boundary that can fail in production (open, write,
+// fsync, rename, mmap, ...) asks the registry whether to fail *before*
+// performing the real operation:
+//
+//   if (int err = fp::maybe_fail("checkpoint.save.fsync")) { ... }
+//
+// When a site fires it returns (and sets) an errno value, so the caller
+// exercises its *real* error-handling path — the injected failure is
+// indistinguishable from the genuine one, which is exactly what the
+// fault-torture tests need (tests/integration/test_resilience.cpp).
+//
+// Zero overhead when disarmed: like util/telemetry's enable flag, the fast
+// path is one relaxed atomic load and a predictable branch, so sites stay
+// compiled into release builds. No site is armed unless configure() ran.
+//
+// Activation spec (env var DALUT_FAILPOINTS or --failpoints in the CLIs):
+//
+//   spec     := entry ("," entry)*
+//   entry    := site "=" action [ "@" trigger ]
+//   action   := ERRNO-NAME            e.g. EIO, ENOSPC, EACCES, ENOENT
+//             | "torn"                torn write: the payload is silently
+//                                     truncated but the operation "succeeds"
+//                                     (valid only on *.write sites)
+//   trigger  := COUNT                 fire the first COUNT hits, then pass
+//             | "every-" K            fire every Kth hit (K, 2K, 3K, ...)
+//             | "p=" X ":" SEED       fire each hit with probability X,
+//                                     deterministically derived from SEED
+//                                     and the hit ordinal (same SEED ->
+//                                     same fire sequence)
+//
+// Examples:
+//   DALUT_FAILPOINTS=checkpoint.save.fsync=EIO@2            # first 2 hits
+//   DALUT_FAILPOINTS=cache.store.write=ENOSPC@every-3
+//   DALUT_FAILPOINTS=checkpoint.save.write=torn@p=0.25:42
+//
+// Site names are validated against the static registry (all_sites());
+// unknown names are rejected up front so a typo cannot silently disarm a
+// torture run. Per-site hit/fire counts are kept always (stats(), dump())
+// and mirrored into the telemetry counter "failpoint.fires" when metrics
+// are enabled. Determinism: triggers depend only on the per-site hit
+// ordinal (and the spec's seed), never on wall clock or global RNG state.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dalut::util::fp {
+
+/// What an armed site tells its caller to do.
+enum class FaultKind : std::uint8_t {
+  kNone,   ///< proceed normally
+  kError,  ///< fail with `error` (an errno value); errno is already set
+  kTorn,   ///< "succeed" but persist only a truncated payload
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  int error = 0;  ///< errno value for kError, 0 otherwise
+
+  explicit operator bool() const noexcept { return kind != FaultKind::kNone; }
+};
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+Fault check(const char* site) noexcept;
+Fault check_joined(const char* prefix, const char* suffix) noexcept;
+}  // namespace detail
+
+/// True when at least one site is armed (some spec was configured).
+inline bool active() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/// Full-form probe: returns the fault verdict for `site`. Sites that can
+/// simulate torn writes use this; everything else can use maybe_fail.
+inline Fault maybe_trigger(const char* site) noexcept {
+  if (!active()) return {};
+  return detail::check(site);
+}
+
+/// Two-part site name ("checkpoint.save" + ".fsync"); the joined string is
+/// only materialized on the armed slow path.
+inline Fault maybe_trigger(const char* prefix, const char* suffix) noexcept {
+  if (!active()) return {};
+  return detail::check_joined(prefix, suffix);
+}
+
+/// errno-style probe: returns 0 normally; when the site fires with an error
+/// action, sets ::errno to the configured value and returns it. Torn
+/// verdicts are reported as no-fault here (only maybe_trigger callers can
+/// honor them).
+inline int maybe_fail(const char* site) noexcept {
+  const Fault fault = maybe_trigger(site);
+  if (fault.kind != FaultKind::kError) return 0;
+  errno = fault.error;
+  return fault.error;
+}
+
+inline int maybe_fail(const char* prefix, const char* suffix) noexcept {
+  const Fault fault = maybe_trigger(prefix, suffix);
+  if (fault.kind != FaultKind::kError) return 0;
+  errno = fault.error;
+  return fault.error;
+}
+
+/// Arms the sites named in `spec` (grammar above) on top of the current
+/// configuration. Throws std::invalid_argument naming the offending entry
+/// for unknown sites, unknown errno names, torn on a non-write site, or a
+/// malformed trigger.
+void configure(const std::string& spec);
+
+/// Reads DALUT_FAILPOINTS and configures from it when set and non-empty.
+/// Returns true when a spec was applied.
+bool configure_from_env();
+
+/// Disarms every site and zeroes hit/fire counts.
+void reset() noexcept;
+
+/// One registered site's counters, in registry order.
+struct SiteStats {
+  std::string site;
+  std::string spec;  ///< armed "action[@trigger]" string, empty if disarmed
+  std::uint64_t hits = 0;   ///< probes reaching the site while injection
+                            ///< was active (the disarmed fast path does
+                            ///< not count)
+  std::uint64_t fires = 0;  ///< probes that produced a fault
+};
+
+/// Counters for every registered site (including disarmed ones).
+std::vector<SiteStats> stats();
+
+/// Every site name known to the registry, in registry order. The torture
+/// test enumerates this to prove each boundary degrades cleanly.
+std::vector<std::string> all_sites();
+
+/// Human-readable table of stats(): one "site spec hits fires" line per
+/// site that is armed or was hit; "no failpoints armed, none hit" when
+/// there is nothing to report.
+std::string dump();
+
+}  // namespace dalut::util::fp

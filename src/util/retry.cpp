@@ -1,0 +1,82 @@
+#include "util/retry.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/telemetry.hpp"
+
+namespace dalut::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string build_message(const std::string& what, const std::string& path,
+                          int error) {
+  std::string message = what + " '" + path + "'";
+  if (error != 0) {
+    message += ": ";
+    message += std::strerror(error);
+  }
+  return message;
+}
+
+}  // namespace
+
+bool errno_retryable(int error) noexcept {
+  switch (error) {
+    case EINTR:      // interrupted syscall
+    case EAGAIN:     // transient resource shortage
+    case EIO:        // device hiccup; storage may recover
+    case EBUSY:      // target briefly held by someone else
+    case ENFILE:     // system file-table pressure can clear
+    case EMFILE:     // so can process fd pressure
+    case ESTALE:     // NFS handle staleness often heals on reopen
+    case ETIMEDOUT:  // network filesystem timeout
+      return true;
+    default:
+      // ENOSPC, EROFS, EACCES, EPERM, ENOENT, ENOTDIR, EISDIR, ENODEV,
+      // EINVAL, and anything unrecognized: retrying cannot help.
+      return false;
+  }
+}
+
+IoError::IoError(const std::string& what, std::string path, int error,
+                 std::string site)
+    : std::runtime_error(build_message(what, path, error)),
+      path_(std::move(path)),
+      error_(error),
+      site_(std::move(site)) {}
+
+std::chrono::microseconds RetryPolicy::backoff_before(
+    unsigned attempt) const noexcept {
+  if (attempt <= 1) return std::chrono::microseconds{0};
+  double backoff = static_cast<double>(initial_backoff.count());
+  for (unsigned i = 2; i < attempt; ++i) backoff *= multiplier;
+  const double cap = static_cast<double>(max_backoff.count());
+  if (!(backoff < cap)) backoff = cap;
+  // Jitter in [0.5, 1.0): decorrelates retry storms across workers while
+  // staying a pure function of (seed, attempt).
+  const std::uint64_t mix = splitmix64(jitter_seed ^ attempt);
+  const double jitter =
+      0.5 + 0.5 * (static_cast<double>(mix >> 11) * 0x1.0p-53);
+  return std::chrono::microseconds{
+      static_cast<std::int64_t>(backoff * jitter)};
+}
+
+void RetryPolicy::note_retry() noexcept {
+  static telemetry::Counter counter = telemetry::Counter::get("io.retries");
+  counter.add(1);
+}
+
+void RetryPolicy::note_retry_giveup() noexcept {
+  static telemetry::Counter counter =
+      telemetry::Counter::get("io.retry_giveups");
+  counter.add(1);
+}
+
+}  // namespace dalut::util

@@ -1,0 +1,97 @@
+// Typed I/O failures and the bounded-retry policy built on them.
+//
+// IoError classifies every filesystem failure in the stack: it carries the
+// failing path, the errno, and the failpoint site that raised it, and sorts
+// the errno into a retryable/fatal taxonomy. Transient conditions (EINTR,
+// EAGAIN, EIO, EBUSY, fd exhaustion, NFS staleness) are worth a bounded
+// retry; persistent ones (ENOSPC, EROFS, EACCES, ENOENT, ...) are not — a
+// full disk does not empty itself between backoffs, so retrying only delays
+// the degradation path (skip the snapshot, drop the cache store, quarantine
+// the job).
+//
+// RetryPolicy::run() retries retryable IoErrors with exponential backoff
+// and *deterministic* jitter: the jitter factor is derived from
+// (jitter_seed, attempt) through splitmix64, never from a global RNG or the
+// clock, so two runs of the same workload back off identically and the
+// bit-determinism contract (docs/parallelism.md) is untouched — backoff
+// only affects wall clock, never search state.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace dalut::util {
+
+/// True for errno values worth a bounded retry (the failure is plausibly
+/// transient); false for conditions that will not clear on their own and
+/// for anything unrecognized.
+bool errno_retryable(int error) noexcept;
+
+/// A filesystem operation failure with its classification context.
+///
+/// The message keeps the established "cannot <verb> '<path>': <strerror>"
+/// shape, so existing error-output expectations (tests, smoke scripts, log
+/// scrapers) keep matching.
+class IoError : public std::runtime_error {
+ public:
+  /// `what` is the verb phrase ("cannot write checkpoint"); `site` names
+  /// the failpoint boundary that raised the error ("" when raised outside
+  /// an instrumented boundary).
+  IoError(const std::string& what, std::string path, int error,
+          std::string site = {});
+
+  const std::string& path() const noexcept { return path_; }
+  int error_code() const noexcept { return error_; }
+  const std::string& site() const noexcept { return site_; }
+  bool retryable() const noexcept { return errno_retryable(error_); }
+
+ private:
+  std::string path_;
+  int error_;
+  std::string site_;
+};
+
+/// Bounded exponential backoff with deterministic jitter.
+struct RetryPolicy {
+  unsigned max_attempts = 3;  ///< total tries, including the first
+  std::chrono::microseconds initial_backoff{500};
+  double multiplier = 4.0;
+  std::chrono::microseconds max_backoff{50000};
+  std::uint64_t jitter_seed = 0;
+
+  /// Sleep before attempt `attempt` (attempts are 1-based; the first has no
+  /// backoff): initial_backoff * multiplier^(attempt-2), clamped to
+  /// max_backoff, scaled by a deterministic jitter factor in [0.5, 1.0).
+  std::chrono::microseconds backoff_before(unsigned attempt) const noexcept;
+
+  /// Runs `op`, retrying when it throws a *retryable* IoError and attempts
+  /// remain. Fatal IoErrors, non-IoError exceptions, and the final failed
+  /// attempt propagate unchanged. Returns op's result on success.
+  template <typename Op>
+  auto run(Op&& op) const -> decltype(op()) {
+    for (unsigned attempt = 1;; ++attempt) {
+      try {
+        return op();
+      } catch (const IoError& error) {
+        if (!error.retryable()) throw;
+        if (attempt >= max_attempts) {
+          note_retry_giveup();
+          throw;
+        }
+        note_retry();
+        std::this_thread::sleep_for(backoff_before(attempt + 1));
+      }
+    }
+  }
+
+ private:
+  // Out-of-line so the telemetry counters ("io.retries",
+  // "io.retry_giveups") register once, not per template instantiation.
+  static void note_retry() noexcept;
+  static void note_retry_giveup() noexcept;
+};
+
+}  // namespace dalut::util

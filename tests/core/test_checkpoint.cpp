@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 
 namespace dalut::core {
 namespace {
@@ -244,6 +248,179 @@ TEST(Checkpoint, SaveIntoMissingDirectoryFails) {
 TEST(Checkpoint, LoadMissingFileFails) {
   EXPECT_THROW(load_checkpoint("/nonexistent-dir-zz/ck.dalut"),
                std::runtime_error);
+}
+
+// ---- Generations + fault injection ---------------------------------------
+
+/// Each test disarms the failpoint registry on exit.
+class CheckpointFault : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fp::reset(); }
+
+  std::string fresh_path(const char* name) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / name).string();
+    remove_checkpoint(path);
+    return path;
+  }
+};
+
+TEST_F(CheckpointFault, SaveRotatesThePreviousGeneration) {
+  const auto path = fresh_path("dalut_ck_gen.dalut");
+  const auto prev = previous_checkpoint_path(path);
+  EXPECT_EQ(prev, path + ".1");
+
+  const auto ck1 = sample_checkpoint();
+  save_checkpoint(path, ck1);
+  EXPECT_FALSE(std::filesystem::exists(prev));  // nothing to rotate yet
+
+  auto ck2 = ck1;
+  ck2.bits_done = 3;
+  ck2.beams[0].decided = {1, 1, 1};
+  ck2.beams[0].settings[0] = normal_setting(4, 0b0101, 0.25);
+  ck2.beams[1] = ck2.beams[0];
+  save_checkpoint(path, ck2);
+  // Latest at `path`, previous generation at `path.1`.
+  expect_same(ck2, load_checkpoint(path));
+  expect_same(ck1, load_checkpoint(prev));
+  remove_checkpoint(path);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(prev));
+}
+
+TEST_F(CheckpointFault, FallbackLoadPrefersTheLatestGeneration) {
+  const auto path = fresh_path("dalut_ck_fb_latest.dalut");
+  const auto ck1 = sample_checkpoint();
+  auto ck2 = ck1;
+  ck2.bits_done = 3;
+  ck2.beams[0].decided = {1, 1, 1};
+  ck2.beams[0].settings[0] = normal_setting(4, 0b0101, 0.25);
+  ck2.beams[1] = ck2.beams[0];
+  save_checkpoint(path, ck1);
+  save_checkpoint(path, ck2);
+
+  const auto loaded = load_checkpoint_with_fallback(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_FALSE(loaded->from_previous);
+  expect_same(ck2, loaded->checkpoint);
+  remove_checkpoint(path);
+}
+
+TEST_F(CheckpointFault, CorruptLatestDegradesToThePreviousGeneration) {
+  const auto path = fresh_path("dalut_ck_fb_corrupt.dalut");
+  const auto ck1 = sample_checkpoint();
+  auto ck2 = ck1;
+  ck2.bits_done = 3;
+  ck2.beams[0].decided = {1, 1, 1};
+  ck2.beams[0].settings[0] = normal_setting(4, 0b0101, 0.25);
+  ck2.beams[1] = ck2.beams[0];
+  save_checkpoint(path, ck1);
+  save_checkpoint(path, ck2);
+
+  // Torn latest: cut the published file mid-record.
+  const auto text = checkpoint_to_string(ck2);
+  std::ofstream(path, std::ios::trunc) << text.substr(0, text.size() / 2);
+  const auto loaded = load_checkpoint_with_fallback(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->from_previous);
+  expect_same(ck1, loaded->checkpoint);
+
+  // Missing latest degrades the same way.
+  std::remove(path.c_str());
+  const auto reloaded = load_checkpoint_with_fallback(path);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_TRUE(reloaded->from_previous);
+  expect_same(ck1, reloaded->checkpoint);
+  remove_checkpoint(path);
+}
+
+TEST_F(CheckpointFault, NoUsableGenerationYieldsNullopt) {
+  const auto path = fresh_path("dalut_ck_fb_none.dalut");
+  EXPECT_FALSE(load_checkpoint_with_fallback(path).has_value());
+  // Both generations corrupt: still nullopt, not a throw.
+  std::ofstream(path) << "garbage";
+  std::ofstream(previous_checkpoint_path(path)) << "older garbage";
+  EXPECT_FALSE(load_checkpoint_with_fallback(path).has_value());
+  remove_checkpoint(path);
+}
+
+TEST_F(CheckpointFault, TransientSaveFaultsAreRetriedToSuccess) {
+  const auto path = fresh_path("dalut_ck_retry.dalut");
+  const auto ck = sample_checkpoint();
+  // Two EIO fires, then clean: the bounded retry (3 attempts) must land the
+  // save without surfacing an error.
+  util::fp::configure("checkpoint.save.fsync=EIO@2");
+  save_checkpoint(path, ck);
+  expect_same(ck, load_checkpoint(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  remove_checkpoint(path);
+}
+
+TEST_F(CheckpointFault, RetriesPreserveThePreviousGeneration) {
+  // The retry loop re-runs rotation; the second attempt must not rotate the
+  // (already moved) half-written state over the good previous generation.
+  const auto path = fresh_path("dalut_ck_retry_gen.dalut");
+  const auto ck1 = sample_checkpoint();
+  auto ck2 = ck1;
+  ck2.bits_done = 3;
+  ck2.beams[0].decided = {1, 1, 1};
+  ck2.beams[0].settings[0] = normal_setting(4, 0b0101, 0.25);
+  ck2.beams[1] = ck2.beams[0];
+  save_checkpoint(path, ck1);
+  util::fp::configure("checkpoint.save.write=EIO@1");
+  save_checkpoint(path, ck2);
+  expect_same(ck2, load_checkpoint(path));
+  expect_same(ck1, load_checkpoint(previous_checkpoint_path(path)));
+  remove_checkpoint(path);
+}
+
+TEST_F(CheckpointFault, PersistentSaveFaultThrowsIoErrorWithContext) {
+  const auto path = fresh_path("dalut_ck_fatal.dalut");
+  util::fp::configure("checkpoint.save.open=EACCES");
+  try {
+    save_checkpoint(path, sample_checkpoint());
+    FAIL() << "expected IoError";
+  } catch (const util::IoError& error) {
+    EXPECT_EQ(error.error_code(), EACCES);
+    EXPECT_EQ(error.site(), "checkpoint.save.open");
+    EXPECT_FALSE(error.retryable());
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(CheckpointFault, BestEffortSaveSwallowsFailuresAndReportsThem) {
+  const auto path = fresh_path("dalut_ck_besteffort.dalut");
+  util::fp::configure("checkpoint.save.open=EACCES");
+  EXPECT_FALSE(save_checkpoint_best_effort(path, sample_checkpoint()));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  util::fp::reset();
+  EXPECT_TRUE(save_checkpoint_best_effort(path, sample_checkpoint()));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  remove_checkpoint(path);
+}
+
+TEST_F(CheckpointFault, TornSaveIsDetectedAtLoadAndFallsBack) {
+  // The torn action lets the whole save "succeed" while publishing only
+  // half the payload — the load-side framing must catch it, and the
+  // generation fallback must recover the prior snapshot.
+  const auto path = fresh_path("dalut_ck_torn.dalut");
+  const auto ck1 = sample_checkpoint();
+  save_checkpoint(path, ck1);
+  auto ck2 = ck1;
+  ck2.bits_done = 3;
+  ck2.beams[0].decided = {1, 1, 1};
+  ck2.beams[0].settings[0] = normal_setting(4, 0b0101, 0.25);
+  ck2.beams[1] = ck2.beams[0];
+  util::fp::configure("checkpoint.save.write=torn");
+  save_checkpoint(path, ck2);  // "succeeds": the tear is silent
+  util::fp::reset();
+  EXPECT_THROW(load_checkpoint(path), std::invalid_argument);
+  const auto loaded = load_checkpoint_with_fallback(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->from_previous);
+  expect_same(ck1, loaded->checkpoint);
+  remove_checkpoint(path);
 }
 
 TEST(ParamsDigest, OrderAndContentSensitive) {

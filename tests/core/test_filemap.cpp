@@ -1,0 +1,124 @@
+// Failure-mode coverage for the whole-file mapping layer: open errors,
+// mmap refusal (degrades to a buffered read, never to an error), empty
+// files, and torn/truncated binary tables read through a mapping.
+#include "core/filemap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/table_io.hpp"
+#include "func/registry.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
+
+namespace dalut::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_file(const char* name, const std::string& contents) {
+  const auto path = (fs::temp_directory_path() / name).string();
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << contents;
+  return path;
+}
+
+class FileMapTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fp::reset(); }
+};
+
+TEST_F(FileMapTest, PresentsFileContentsAsBytes) {
+  const auto path = temp_file("dalut_fm_basic.bin",
+                              std::string("\x00\x01" "abc\xff", 6));
+  const auto map = FileMap::open(path);
+  ASSERT_EQ(map->size(), 6u);
+  EXPECT_EQ(map->data()[0], 0x00);
+  EXPECT_EQ(map->data()[1], 0x01);
+  EXPECT_EQ(map->data()[5], 0xff);
+  if (filemap_supported()) {
+    EXPECT_TRUE(map->mapped());
+  }
+  fs::remove(path);
+}
+
+TEST_F(FileMapTest, MissingFileThrowsIoErrorWithSite) {
+  try {
+    FileMap::open("/nonexistent-dir-zz/table.dalutb");
+    FAIL() << "expected IoError";
+  } catch (const util::IoError& error) {
+    EXPECT_EQ(error.path(), "/nonexistent-dir-zz/table.dalutb");
+    EXPECT_EQ(error.site(), "filemap.open");
+    EXPECT_NE(std::string(error.what()).find("cannot open table"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FileMapTest, ZeroLengthFileYieldsEmptyView) {
+  const auto path = temp_file("dalut_fm_empty.bin", "");
+  const auto map = FileMap::open(path);
+  EXPECT_EQ(map->size(), 0u);
+  EXPECT_FALSE(map->mapped());  // nothing to map
+  fs::remove(path);
+}
+
+TEST_F(FileMapTest, InjectedOpenFailureSurfacesTheErrno) {
+  const auto path = temp_file("dalut_fm_openfail.bin", "payload");
+  util::fp::configure("filemap.open=EMFILE@1");
+  try {
+    FileMap::open(path);
+    FAIL() << "expected IoError";
+  } catch (const util::IoError& error) {
+    EXPECT_EQ(error.error_code(), EMFILE);
+    EXPECT_TRUE(error.retryable());  // fd exhaustion is worth a retry
+  }
+  // The site passes afterwards (first-1 trigger spent).
+  EXPECT_EQ(FileMap::open(path)->size(), 7u);
+  fs::remove(path);
+}
+
+TEST_F(FileMapTest, MmapRefusalDegradesToBufferedRead) {
+  const std::string contents(4096, 'x');
+  const auto path = temp_file("dalut_fm_fallback.bin", contents);
+  util::fp::configure("filemap.mmap=ENOMEM");
+  const auto map = FileMap::open(path);
+  EXPECT_FALSE(map->mapped());
+  ASSERT_EQ(map->size(), contents.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(map->data()),
+                        map->size()),
+            contents);
+  fs::remove(path);
+}
+
+TEST_F(FileMapTest, TruncatedBinaryTableIsDetectedThroughTheMap) {
+  // A torn writer cut the container mid-payload; the mapped reader must
+  // reject it (framing/digest), never serve half a table.
+  const auto spec = *func::benchmark_by_name("cos", 8);
+  const auto g = MultiOutputFunction::from_eval(spec.num_inputs,
+                                                spec.num_outputs, spec.eval);
+  const auto path =
+      (fs::temp_directory_path() / "dalut_fm_torn.dalutb").string();
+  save_function_file(path, g, TableEncoding::kBinary);
+  ASSERT_NO_THROW(load_function_file(path, TableLoadMode::kMap));
+
+  const auto full = static_cast<std::size_t>(fs::file_size(path));
+  fs::resize_file(path, full / 2);
+  EXPECT_THROW(load_function_file(path, TableLoadMode::kMap),
+               std::invalid_argument);
+  fs::remove(path);
+}
+
+TEST_F(FileMapTest, LoadLeU64ReadsMisalignedWords) {
+  unsigned char bytes[12] = {};
+  for (int i = 0; i < 12; ++i) bytes[i] = static_cast<unsigned char>(i + 1);
+  // At offset 3: bytes 04..0b, little-endian.
+  EXPECT_EQ(load_le_u64(bytes + 3), 0x0b0a090807060504ull);
+}
+
+}  // namespace
+}  // namespace dalut::core

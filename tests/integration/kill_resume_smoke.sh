@@ -56,16 +56,48 @@ echo "half-written garbage from a dead run" > "$ck.tmp"
 "$dalut_opt" "${args[@]}" --checkpoint "$ck" --resume \
     --config-out "$workdir/out.cfg"
 
-if [[ -f "$ck" ]]; then
-  echo "FAIL: completed run left a stale checkpoint behind" >&2
-  exit 1
-fi
-if [[ -f "$ck.tmp" ]]; then
-  echo "FAIL: completed run left a stale checkpoint tmp file behind" >&2
-  exit 1
-fi
+for leftover in "$ck" "$ck.tmp" "$ck.1"; do
+  if [[ -f "$leftover" ]]; then
+    echo "FAIL: completed run left '$leftover' behind" >&2
+    exit 1
+  fi
+done
 if ! cmp "$workdir/ref.cfg" "$workdir/out.cfg"; then
   echo "FAIL: resumed configuration differs from the uninterrupted run" >&2
   exit 1
 fi
 echo "PASS: resumed run is byte-identical to the uninterrupted reference"
+
+# 4. Generation fallback: kill again, then tear the published checkpoint
+#    mid-file (as a torn write would). The resume must degrade to the
+#    previous generation ("<ck>.1") — or a fresh start when none survives —
+#    and still land on the reference bits.
+"$dalut_opt" "${args[@]}" --checkpoint "$ck" --checkpoint-every 2 \
+    --config-out "$workdir/out2.cfg" &
+pid=$!
+sleep "$(awk "BEGIN { print $elapsed_ms / 2000 }")"
+kill -9 "$pid" 2>/dev/null || true
+status=0
+wait "$pid" || status=$?
+echo "second killed run exit status: $status"
+rm -f "$workdir/out2.cfg"
+if [[ $status -ne 0 && -f "$ck" ]]; then
+  size=$(wc -c < "$ck")
+  truncate -s "$(( size / 2 ))" "$ck"
+  echo "tore the latest checkpoint: $size -> $(( size / 2 )) bytes"
+fi
+
+"$dalut_opt" "${args[@]}" --checkpoint "$ck" --resume \
+    --config-out "$workdir/out2.cfg" 2> "$workdir/resume2.log"
+cat "$workdir/resume2.log" >&2
+for leftover in "$ck" "$ck.tmp" "$ck.1"; do
+  if [[ -f "$leftover" ]]; then
+    echo "FAIL: generation-fallback run left '$leftover' behind" >&2
+    exit 1
+  fi
+done
+if ! cmp "$workdir/ref.cfg" "$workdir/out2.cfg"; then
+  echo "FAIL: generation-fallback resume differs from the reference" >&2
+  exit 1
+fi
+echo "PASS: torn-checkpoint resume degraded cleanly to the reference result"

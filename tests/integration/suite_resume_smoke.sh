@@ -67,8 +67,10 @@ if ! cmp "$workdir/ref.csv" "$workdir/out.csv"; then
   echo "FAIL: resumed suite CSV differs from the uninterrupted reference" >&2
   exit 1
 fi
-if ls "$workdir/ck"/*.ck "$workdir/ck"/*.ck.tmp 2>/dev/null | grep -q .; then
-  echo "FAIL: completed suite left checkpoints behind" >&2
+if ls "$workdir/ck"/*.ck "$workdir/ck"/*.ck.tmp "$workdir/ck"/*.ck.1 \
+    2>/dev/null | grep -q .; then
+  echo "FAIL: completed suite left checkpoints (or stale generations)" \
+       "behind" >&2
   exit 1
 fi
 

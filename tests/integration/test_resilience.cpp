@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -15,7 +18,11 @@
 #include "core/bssa.hpp"
 #include "core/checkpoint.hpp"
 #include "core/dalta.hpp"
+#include "core/table_io.hpp"
 #include "func/registry.hpp"
+#include "suite/suite_runner.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 #include "util/run_control.hpp"
 #include "util/thread_pool.hpp"
 
@@ -209,7 +216,9 @@ TEST(Resilience, PreExpiredDeadlineStillYieldsValidSettings) {
       EXPECT_TRUE(setting.valid());
       // Fallback settings must stay inside the run's mode policy — a
       // normal-only target architecture rejects anything else.
-      if (normal_only) EXPECT_EQ(setting.mode, core::DecompMode::kNormal);
+      if (normal_only) {
+        EXPECT_EQ(setting.mode, core::DecompMode::kNormal);
+      }
     }
     // The degraded result still realizes and carries a finite error report.
     result.realize(g.num_inputs());
@@ -247,6 +256,166 @@ TEST(Resilience, ResumeRejectsMismatchedParameters) {
   auto wrong_algo = dalta_params(&pool);
   wrong_algo.resume = &checkpoints.front();
   EXPECT_THROW(core::run_dalta(g, dist, wrong_algo), std::invalid_argument);
+}
+
+// ---- Fault torture -------------------------------------------------------
+//
+// Enumerates EVERY registered failpoint site and, per site, injects a
+// transient fault (EIO on the first hit), a persistent fault (EACCES on
+// every hit), and — on *.write sites — a silent torn write, against a small
+// suite workload that crosses every hardened layer (checkpointed search,
+// result cache, table dump, table-file job). The contract under test:
+//
+//   clean success, clean retry, or clean detection — never partial state,
+//   never a bit-divergent result.
+//
+// Concretely: the faulted run must return (no escaped exception), every row
+// must be either completed or cleanly quarantined with an error, no *.tmp
+// may survive anywhere, and a fault-free re-run over the SAME directories
+// (inheriting whatever state the faulted run left: cache entries, torn
+// files, nothing) must complete every job with a CSV byte-identical to the
+// uninjected reference.
+
+namespace fs = std::filesystem;
+
+class FaultTorture : public ::testing::Test {
+ protected:
+  void TearDown() override { util::fp::reset(); }
+
+  static std::string csv_of(const suite::SuiteReport& report) {
+    std::ostringstream out;
+    suite::write_suite_csv(out, report);
+    return out.str();
+  }
+
+  static void expect_no_tmp_files(const std::string& dir) {
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+    }
+  }
+};
+
+TEST_F(FaultTorture, EverySiteDegradesCleanlyAndRecoversBitIdentically) {
+  const auto root = fs::temp_directory_path() / "dalut_fault_torture";
+  fs::remove_all(root);
+  fs::create_directories(root);
+  const auto table_path = (root / "tab.dalut").string();
+  {
+    const auto spec = *func::benchmark_by_name("cos", 6);
+    core::save_function_file(
+        table_path,
+        core::MultiOutputFunction::from_eval(spec.num_inputs,
+                                             spec.num_outputs, spec.eval));
+  }
+  const auto manifest = suite::manifest_from_string(
+      "dalut-manifest v1\n"
+      "default width=6 rounds=1 partitions=6 patterns=4\n"
+      "job search benchmark=cos algorithm=bssa seed=3\n"
+      "job tab table=" + table_path + " algorithm=round-in drop=1\n"
+      "end\n");
+
+  util::ThreadPool serial(1);
+  const auto make_options = [&](suite::SuiteOptions& options) {
+    options.pool = &serial;
+    options.cache_dir = (root / "cache").string();
+    options.checkpoint_dir = (root / "ck").string();
+    options.checkpoint_every = 1;
+    options.dump_tables_dir = (root / "dump").string();
+    options.job_retry.initial_backoff = std::chrono::microseconds{1};
+  };
+  std::string reference_csv;
+  {
+    suite::SuiteOptions reference_options;
+    reference_options.pool = &serial;
+    const auto reference = run_suite(manifest, reference_options);
+    ASSERT_FALSE(reference.any_failed);
+    reference_csv = csv_of(reference);
+  }
+
+  // Sites this workload genuinely drives. The others (filemap.* fires only
+  // for large mapped tables, atomic_write.* only for direct prefix-less
+  // writers) have dedicated unit coverage in test_filemap / test_format.
+  const std::set<std::string> exercised = {
+      "checkpoint.rotate",     "checkpoint.save.open",
+      "checkpoint.save.write", "checkpoint.save.fsync",
+      "checkpoint.save.rename", "checkpoint.save.dirsync",
+      "checkpoint.load.open",  "cache.store.open",
+      "cache.store.write",     "cache.store.fsync",
+      "cache.store.rename",    "cache.store.dirsync",
+      "cache.load.open",       "table.save.open",
+      "table.save.write",      "table.save.fsync",
+      "table.save.rename",     "table.save.dirsync",
+      "table.load.open",       "suite.job",
+  };
+
+  for (const auto& site : util::fp::all_sites()) {
+    std::vector<std::string> flavours = {site + "=EIO@1", site + "=EACCES"};
+    if (site.size() > 6 && site.rfind(".write") == site.size() - 6) {
+      flavours.push_back(site + "=torn");
+    }
+    for (const auto& spec : flavours) {
+      SCOPED_TRACE(spec);
+      const bool transient = spec.find("=EIO@1") != std::string::npos;
+
+      // Fresh per-pass state so every pass actually exercises its site
+      // (a pre-filled cache would short-circuit the search machinery).
+      fs::remove_all(root / "cache");
+      fs::remove_all(root / "ck");
+      fs::remove_all(root / "dump");
+
+      util::fp::reset();
+      util::fp::configure(spec);
+      suite::SuiteOptions options;
+      make_options(options);
+      const auto faulted = run_suite(manifest, options);  // must not throw
+      std::uint64_t hits = 0;
+      for (const auto& s : util::fp::stats()) {
+        if (s.site == site) hits = s.hits;
+      }
+      util::fp::reset();
+
+      if (exercised.count(site)) {
+        EXPECT_GT(hits, 0u) << "site never probed — dead instrumentation?";
+      }
+      ASSERT_EQ(faulted.outcomes.size(), manifest.jobs.size());
+      for (const auto& o : faulted.outcomes) {
+        EXPECT_TRUE(o.started) << o.job.name;
+        if (o.error.empty()) {
+          EXPECT_EQ(o.status, util::RunStatus::kCompleted) << o.job.name;
+        }
+      }
+      if (transient) {
+        // One transient fire must be absorbed invisibly: retried or
+        // degraded, never a failed row, and the results bit-identical.
+        EXPECT_FALSE(faulted.any_failed);
+        EXPECT_EQ(csv_of(faulted), reference_csv);
+      }
+      // Never partial state: atomic publication means no surviving tmp.
+      for (const char* sub : {"cache", "ck", "dump"}) {
+        expect_no_tmp_files((root / sub).string());
+      }
+
+      // Recovery: a fault-free run inheriting the faulted run's leftovers
+      // (cache entries, torn generations, quarantined jobs' nothing) must
+      // complete everything and land on the reference bits.
+      suite::SuiteOptions recovery_options;
+      make_options(recovery_options);
+      const auto recovered = run_suite(manifest, recovery_options);
+      EXPECT_FALSE(recovered.any_failed);
+      for (const auto& o : recovered.outcomes) {
+        EXPECT_EQ(o.status, util::RunStatus::kCompleted) << o.job.name;
+      }
+      EXPECT_EQ(csv_of(recovered), reference_csv);
+      // Completed jobs leave no checkpoint generations behind.
+      for (const auto& job : manifest.jobs) {
+        const auto ck = (root / "ck" / (job.name + ".ck")).string();
+        EXPECT_FALSE(fs::exists(ck)) << ck;
+        EXPECT_FALSE(fs::exists(ck + ".1")) << ck;
+        EXPECT_FALSE(fs::exists(ck + ".tmp")) << ck;
+      }
+    }
+  }
+  fs::remove_all(root);
 }
 
 }  // namespace

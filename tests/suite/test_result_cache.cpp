@@ -9,6 +9,7 @@
 
 #include "core/partition.hpp"
 #include "func/registry.hpp"
+#include "util/failpoint.hpp"
 
 namespace dalut::suite {
 namespace {
@@ -246,6 +247,60 @@ TEST(ResultCache, ThreadSafeConcurrentStoresAndLoads) {
 TEST(ResultCache, UnusableDirectoryThrows) {
   EXPECT_THROW(ResultCache("/proc/definitely/not/writable"),
                std::runtime_error);
+}
+
+class ResultCacheFailpoint : public ::testing::Test {
+ protected:
+  void TearDown() override { dalut::util::fp::reset(); }
+};
+
+TEST_F(ResultCacheFailpoint, FailedStoreDegradesToMissAndCleansUp) {
+  ResultCache cache(fresh_dir("dalut_rc_storefail"));
+  util::fp::configure("cache.store.open=EACCES");  // persistent: no retry
+  cache.store(11, sample_record());  // must not throw
+  util::fp::reset();
+  EXPECT_FALSE(fs::exists(cache.path_of(11)));
+  EXPECT_FALSE(fs::exists(cache.path_of(11) + ".tmp"));
+  EXPECT_FALSE(cache.load(11).has_value());  // degrades to recompute
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.store_failures, 1u);
+  EXPECT_EQ(stats.stores, 0u);
+  // The slot heals once the fault clears.
+  cache.store(11, sample_record());
+  EXPECT_TRUE(cache.load(11).has_value());
+  EXPECT_EQ(cache.stats().stores, 1u);
+  fs::remove_all(cache.dir());
+}
+
+TEST_F(ResultCacheFailpoint, TransientStoreFaultIsRetriedToSuccess) {
+  ResultCache cache(fresh_dir("dalut_rc_storeretry"));
+  util::fp::configure("cache.store.fsync=EIO@2");  // 2 fires < 3 attempts
+  cache.store(12, sample_record());
+  EXPECT_TRUE(cache.load(12).has_value());
+  EXPECT_EQ(cache.stats().store_failures, 0u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+  fs::remove_all(cache.dir());
+}
+
+TEST_F(ResultCacheFailpoint, TornStoreIsAMissNotAHit) {
+  // A torn cache write publishes a half-record; the loader must treat it as
+  // a miss (and remove it), never serve a mangled result.
+  ResultCache cache(fresh_dir("dalut_rc_storetorn"));
+  util::fp::configure("cache.store.write=torn");
+  cache.store(13, sample_record());
+  util::fp::reset();
+  EXPECT_FALSE(cache.load(13).has_value());
+  EXPECT_FALSE(fs::exists(cache.path_of(13)));
+  fs::remove_all(cache.dir());
+}
+
+TEST_F(ResultCacheFailpoint, InjectedLoadFailureCountsAsAMiss) {
+  ResultCache cache(fresh_dir("dalut_rc_loadfail"));
+  cache.store(14, sample_record());
+  util::fp::configure("cache.load.open=EIO@1");
+  EXPECT_FALSE(cache.load(14).has_value());  // fault -> miss, not a throw
+  EXPECT_TRUE(cache.load(14).has_value());   // trigger spent -> hit again
+  fs::remove_all(cache.dir());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "util/failpoint.hpp"
 #include "util/run_control.hpp"
 #include "util/thread_pool.hpp"
 
@@ -231,6 +232,105 @@ TEST(SuiteRunner, StaleCheckpointFromEditedJobIsDiscarded) {
   EXPECT_EQ(report.outcomes[0].status, util::RunStatus::kCompleted);
   EXPECT_FALSE(report.outcomes[0].resumed);
   fs::remove_all(ck_dir);
+}
+
+class SuiteRunnerFailpoint : public ::testing::Test {
+ protected:
+  void TearDown() override { dalut::util::fp::reset(); }
+};
+
+TEST_F(SuiteRunnerFailpoint, TransientJobFaultIsRetriedToCompletion) {
+  // suite.job=EIO@1: the first job attempt in the suite dies with a
+  // retryable fault; the bounded per-job retry must land it cleanly, with
+  // no failed rows and a CSV identical to an uninjected run.
+  const auto manifest = manifest_from_string(kManifest);
+  util::ThreadPool serial(1);
+  SuiteOptions options;
+  options.pool = &serial;
+  options.job_retry.initial_backoff = std::chrono::microseconds{1};
+  const auto reference = run_suite(manifest, options);
+
+  util::fp::configure("suite.job=EIO@1");
+  const auto injected = run_suite(manifest, options);
+  util::fp::reset();
+  EXPECT_FALSE(injected.any_failed);
+  for (const auto& o : injected.outcomes) {
+    EXPECT_TRUE(o.error.empty()) << o.job.name << ": " << o.error;
+    EXPECT_EQ(o.status, util::RunStatus::kCompleted) << o.job.name;
+  }
+  EXPECT_EQ(csv_of(injected), csv_of(reference));
+}
+
+TEST_F(SuiteRunnerFailpoint, PersistentJobFaultIsQuarantinedNotRetried) {
+  // An always-firing fatal fault: with one worker the first job hits it on
+  // every attempt, fails exactly once (no retry for EACCES), and the
+  // remaining hits quarantine the sibling jobs too — but the suite itself
+  // completes and reports every row.
+  const auto manifest = manifest_from_string(kManifest);
+  util::ThreadPool serial(1);
+  SuiteOptions options;
+  options.pool = &serial;
+  util::fp::configure("suite.job=EACCES");
+  const auto report = run_suite(manifest, options);
+  const auto fired = util::fp::stats();
+  util::fp::reset();
+  EXPECT_TRUE(report.any_failed);
+  EXPECT_EQ(report.status, util::RunStatus::kCompleted);
+  for (const auto& o : report.outcomes) {
+    EXPECT_TRUE(o.started) << o.job.name;
+    EXPECT_NE(o.error.find("injected job fault"), std::string::npos)
+        << o.job.name;
+  }
+  // Fatal errors burn exactly one attempt per job: 4 jobs -> 4 hits.
+  for (const auto& s : fired) {
+    if (s.site == "suite.job") {
+      EXPECT_EQ(s.hits, 4u);
+    }
+  }
+  EXPECT_NE(csv_of(report).find("failed"), std::string::npos);
+}
+
+TEST_F(SuiteRunnerFailpoint, RetryExhaustionQuarantinesTheJob) {
+  // Retryable fault that outlives the attempt budget: job 1 burns
+  // max_attempts tries, then lands in the failed row; siblings (which probe
+  // the spent trigger afterwards) complete untouched.
+  const auto manifest = manifest_from_string(kManifest);
+  util::ThreadPool serial(1);
+  SuiteOptions options;
+  options.pool = &serial;
+  options.job_retry.max_attempts = 2;
+  options.job_retry.initial_backoff = std::chrono::microseconds{1};
+  util::fp::configure("suite.job=EIO@2");  // fires attempts 1 and 2
+  const auto report = run_suite(manifest, options);
+  util::fp::reset();
+  EXPECT_TRUE(report.any_failed);
+  EXPECT_FALSE(report.outcomes[0].error.empty());
+  for (std::size_t i = 1; i < report.outcomes.size(); ++i) {
+    EXPECT_TRUE(report.outcomes[i].error.empty())
+        << report.outcomes[i].job.name;
+    EXPECT_EQ(report.outcomes[i].status, util::RunStatus::kCompleted);
+  }
+}
+
+TEST_F(SuiteRunnerFailpoint, BrokenCacheStoresDegradeToRecompute) {
+  // Every cache store fails (persistent): jobs still complete, rows still
+  // serialize, and a re-run simply misses again instead of hitting.
+  const auto manifest = manifest_from_string(kManifest);
+  const auto cache_dir = fresh_dir("dalut_suite_cachefail");
+  util::ThreadPool pool(2);
+  SuiteOptions options;
+  options.pool = &pool;
+  options.cache_dir = cache_dir;
+  util::fp::configure("cache.store.open=EACCES");
+  const auto first = run_suite(manifest, options);
+  const auto second = run_suite(manifest, options);
+  util::fp::reset();
+  EXPECT_FALSE(first.any_failed);
+  EXPECT_FALSE(second.any_failed);
+  EXPECT_EQ(second.cache_hits, 0u);  // nothing ever landed on disk
+  EXPECT_EQ(second.cache_misses, 4u);
+  EXPECT_EQ(csv_of(first), csv_of(second));
+  fs::remove_all(cache_dir);
 }
 
 TEST(SuiteRunner, RequiresAPool) {

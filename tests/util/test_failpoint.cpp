@@ -1,0 +1,204 @@
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dalut::util::fp {
+namespace {
+
+/// Every test leaves the process-wide registry disarmed — a leaked armed
+/// site would poison unrelated tests in the same binary.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+
+  std::uint64_t fires_of(const std::string& site) {
+    for (const auto& s : stats()) {
+      if (s.site == site) return s.fires;
+    }
+    ADD_FAILURE() << "unknown site " << site;
+    return 0;
+  }
+
+  std::uint64_t hits_of(const std::string& site) {
+    for (const auto& s : stats()) {
+      if (s.site == site) return s.hits;
+    }
+    ADD_FAILURE() << "unknown site " << site;
+    return 0;
+  }
+};
+
+TEST_F(Failpoint, DisarmedProbesAreNoOps) {
+  EXPECT_FALSE(active());
+  EXPECT_FALSE(maybe_trigger("checkpoint.save.fsync"));
+  EXPECT_EQ(maybe_fail("checkpoint.save.fsync"), 0);
+  EXPECT_EQ(maybe_fail("checkpoint.save", ".fsync"), 0);
+  // The disarmed fast path does not even count hits.
+  for (const auto& s : stats()) {
+    EXPECT_EQ(s.hits, 0u) << s.site;
+    EXPECT_EQ(s.fires, 0u) << s.site;
+    EXPECT_TRUE(s.spec.empty()) << s.site;
+  }
+}
+
+TEST_F(Failpoint, AlwaysTriggerFiresEveryHit) {
+  configure("cache.store.open=ENOSPC");
+  EXPECT_TRUE(active());
+  for (int i = 0; i < 3; ++i) {
+    errno = 0;
+    EXPECT_EQ(maybe_fail("cache.store.open"), ENOSPC);
+    EXPECT_EQ(errno, ENOSPC);
+  }
+  EXPECT_EQ(hits_of("cache.store.open"), 3u);
+  EXPECT_EQ(fires_of("cache.store.open"), 3u);
+}
+
+TEST_F(Failpoint, FirstNTriggerFiresThenPasses) {
+  configure("checkpoint.save.fsync=EIO@2");
+  EXPECT_EQ(maybe_fail("checkpoint.save.fsync"), EIO);
+  EXPECT_EQ(maybe_fail("checkpoint.save.fsync"), EIO);
+  EXPECT_EQ(maybe_fail("checkpoint.save.fsync"), 0);
+  EXPECT_EQ(maybe_fail("checkpoint.save.fsync"), 0);
+  EXPECT_EQ(hits_of("checkpoint.save.fsync"), 4u);
+  EXPECT_EQ(fires_of("checkpoint.save.fsync"), 2u);
+}
+
+TEST_F(Failpoint, EveryKTriggerFiresPeriodically) {
+  configure("table.save.rename=EIO@every-3");
+  std::vector<int> verdicts;
+  for (int i = 0; i < 7; ++i) verdicts.push_back(maybe_fail("table.save.rename"));
+  EXPECT_EQ(verdicts, (std::vector<int>{0, 0, EIO, 0, 0, EIO, 0}));
+}
+
+TEST_F(Failpoint, ProbabilisticTriggerIsDeterministic) {
+  const auto sample = [] {
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(maybe_fail("filemap.mmap") != 0);
+    }
+    return fired;
+  };
+  configure("filemap.mmap=EIO@p=0.5:42");
+  const auto first = sample();
+  reset();
+  configure("filemap.mmap=EIO@p=0.5:42");
+  EXPECT_EQ(sample(), first);  // same seed -> same fire sequence
+
+  std::size_t fires = 0;
+  for (const bool f : first) fires += f ? 1 : 0;
+  EXPECT_GT(fires, 50u);   // p=0.5 over 200 hits: wildly unlikely to
+  EXPECT_LT(fires, 150u);  // leave [50, 150] for any decent mixer
+
+  reset();
+  configure("filemap.mmap=EIO@p=0.5:43");
+  EXPECT_NE(sample(), first);  // different seed -> different sequence
+}
+
+TEST_F(Failpoint, ProbabilityExtremesSaturate) {
+  configure("filemap.open=ENOENT@p=1:1");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(maybe_fail("filemap.open"), ENOENT);
+  reset();
+  configure("filemap.open=ENOENT@p=0:1");
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(maybe_fail("filemap.open"), 0);
+}
+
+TEST_F(Failpoint, TornVerdictOnWriteSite) {
+  configure("checkpoint.save.write=torn@1");
+  const Fault fault = maybe_trigger("checkpoint.save.write");
+  EXPECT_EQ(fault.kind, FaultKind::kTorn);
+  EXPECT_EQ(fault.error, 0);
+  EXPECT_TRUE(static_cast<bool>(fault));
+  // maybe_fail cannot honor torn; it reports no-fault so the write runs.
+  reset();
+  configure("cache.store.write=torn@1");
+  EXPECT_EQ(maybe_fail("cache.store.write"), 0);
+  EXPECT_EQ(fires_of("cache.store.write"), 1u);
+}
+
+TEST_F(Failpoint, TornRejectedOffWriteSites) {
+  EXPECT_THROW(configure("checkpoint.save.fsync=torn"),
+               std::invalid_argument);
+  EXPECT_THROW(configure("filemap.open=torn@2"), std::invalid_argument);
+}
+
+TEST_F(Failpoint, MalformedSpecsAreRejected) {
+  EXPECT_THROW(configure("no.such.site=EIO"), std::invalid_argument);
+  EXPECT_THROW(configure("checkpoint.rotate"), std::invalid_argument);
+  EXPECT_THROW(configure("=EIO"), std::invalid_argument);
+  EXPECT_THROW(configure("checkpoint.rotate=EWHAT"), std::invalid_argument);
+  EXPECT_THROW(configure("checkpoint.rotate=EIO@zero"),
+               std::invalid_argument);
+  EXPECT_THROW(configure("checkpoint.rotate=EIO@every-0"),
+               std::invalid_argument);
+  EXPECT_THROW(configure("checkpoint.rotate=EIO@0"), std::invalid_argument);
+  EXPECT_THROW(configure("checkpoint.rotate=EIO@p=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(configure("checkpoint.rotate=EIO@p=1.5:3"),
+               std::invalid_argument);
+  // A rejected spec must not leave the registry armed.
+  EXPECT_FALSE(active());
+}
+
+TEST_F(Failpoint, JoinedProbeMatchesFullName) {
+  configure("checkpoint.save.fsync=EIO");
+  EXPECT_EQ(maybe_fail("checkpoint.save", ".fsync"), EIO);
+  EXPECT_EQ(maybe_fail("checkpoint.save", ".rename"), 0);
+  EXPECT_EQ(hits_of("checkpoint.save.rename"), 1u);
+}
+
+TEST_F(Failpoint, ConfigureStacksEntriesAndResetDisarms) {
+  configure("checkpoint.rotate=ENOSPC,cache.load.open=EIO@1");
+  configure("table.load.open=EACCES");
+  EXPECT_EQ(maybe_fail("checkpoint.rotate"), ENOSPC);
+  EXPECT_EQ(maybe_fail("cache.load.open"), EIO);
+  EXPECT_EQ(maybe_fail("table.load.open"), EACCES);
+  reset();
+  EXPECT_FALSE(active());
+  EXPECT_EQ(maybe_fail("checkpoint.rotate"), 0);
+  for (const auto& s : stats()) EXPECT_EQ(s.hits, 0u) << s.site;
+}
+
+TEST_F(Failpoint, ConfigureFromEnvReadsTheSpec) {
+  ::setenv("DALUT_FAILPOINTS", "filemap.open=ENOENT@1", 1);
+  EXPECT_TRUE(configure_from_env());
+  EXPECT_EQ(maybe_fail("filemap.open"), ENOENT);
+  ::unsetenv("DALUT_FAILPOINTS");
+  reset();
+  EXPECT_FALSE(configure_from_env());
+  EXPECT_FALSE(active());
+}
+
+TEST_F(Failpoint, AllSitesAreUniqueAndCoverEveryLayer) {
+  const auto sites = all_sites();
+  const std::set<std::string> unique(sites.begin(), sites.end());
+  EXPECT_EQ(unique.size(), sites.size());
+  for (const char* expected :
+       {"checkpoint.rotate", "checkpoint.save.fsync", "checkpoint.load.open",
+        "cache.store.rename", "table.save.write", "filemap.mmap",
+        "atomic_write.open", "suite.job"}) {
+    EXPECT_TRUE(unique.count(expected)) << expected;
+  }
+}
+
+TEST_F(Failpoint, DumpReportsArmedAndHitSites) {
+  EXPECT_EQ(dump(), "no failpoints armed, none hit\n");
+  configure("checkpoint.save.fsync=EIO@2");
+  maybe_fail("checkpoint.save.fsync");
+  const auto text = dump();
+  EXPECT_NE(text.find("checkpoint.save.fsync EIO@2 hits=1 fires=1"),
+            std::string::npos)
+      << text;
+  // Disarmed, unhit sites stay out of the report.
+  EXPECT_EQ(text.find("table.save.open"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace dalut::util::fp

@@ -1,0 +1,134 @@
+#include "util/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace dalut::util {
+namespace {
+
+/// A policy with negligible real sleeping, for fast retry-loop tests.
+RetryPolicy fast_policy(unsigned max_attempts = 3) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff = std::chrono::microseconds{1};
+  policy.max_backoff = std::chrono::microseconds{10};
+  return policy;
+}
+
+TEST(Retry, ErrnoTaxonomy) {
+  for (const int transient :
+       {EINTR, EAGAIN, EIO, EBUSY, ENFILE, EMFILE, ESTALE, ETIMEDOUT}) {
+    EXPECT_TRUE(errno_retryable(transient)) << std::strerror(transient);
+  }
+  for (const int persistent :
+       {ENOSPC, EROFS, EACCES, EPERM, ENOENT, ENOTDIR, EINVAL, ENODEV, 0}) {
+    EXPECT_FALSE(errno_retryable(persistent)) << std::strerror(persistent);
+  }
+}
+
+TEST(Retry, IoErrorKeepsTheEstablishedMessageShape) {
+  const IoError error("cannot write checkpoint", "/run/x.ck", ENOSPC,
+                      "checkpoint.save.write");
+  EXPECT_EQ(std::string(error.what()),
+            std::string("cannot write checkpoint '/run/x.ck': ") +
+                std::strerror(ENOSPC));
+  EXPECT_EQ(error.path(), "/run/x.ck");
+  EXPECT_EQ(error.error_code(), ENOSPC);
+  EXPECT_EQ(error.site(), "checkpoint.save.write");
+  EXPECT_FALSE(error.retryable());
+  EXPECT_TRUE(IoError("cannot fsync", "f", EIO).retryable());
+  // errno 0 (failure detected without an errno): no trailing strerror.
+  EXPECT_EQ(std::string(IoError("cannot open manifest", "m", 0).what()),
+            "cannot open manifest 'm'");
+}
+
+TEST(Retry, RunReturnsOnFirstSuccess) {
+  int attempts = 0;
+  const int result = fast_policy().run([&] {
+    ++attempts;
+    return 7;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(Retry, RunRetriesTransientErrorsUntilSuccess) {
+  int attempts = 0;
+  const int result = fast_policy(3).run([&]() -> int {
+    if (++attempts < 3) throw IoError("cannot fsync", "f", EIO);
+    return 42;
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(Retry, RunThrowsFatalErrorsImmediately) {
+  int attempts = 0;
+  EXPECT_THROW(fast_policy(5).run([&]() -> int {
+    ++attempts;
+    throw IoError("cannot create", "f", EACCES);
+  }),
+               IoError);
+  EXPECT_EQ(attempts, 1);  // a full disk does not empty itself: no retry
+}
+
+TEST(Retry, RunGivesUpAfterMaxAttempts) {
+  int attempts = 0;
+  try {
+    fast_policy(4).run([&]() -> int {
+      ++attempts;
+      throw IoError("cannot fsync", "f", EIO, "checkpoint.save.fsync");
+    });
+    FAIL() << "expected IoError";
+  } catch (const IoError& error) {
+    EXPECT_EQ(error.error_code(), EIO);
+    EXPECT_EQ(error.site(), "checkpoint.save.fsync");
+  }
+  EXPECT_EQ(attempts, 4);
+}
+
+TEST(Retry, RunPropagatesNonIoExceptionsUntouched) {
+  int attempts = 0;
+  EXPECT_THROW(fast_policy(5).run([&]() -> int {
+    ++attempts;
+    throw std::invalid_argument("corrupt checkpoint");
+  }),
+               std::invalid_argument);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(Retry, BackoffIsDeterministicBoundedAndJittered) {
+  RetryPolicy policy;  // the production defaults
+  RetryPolicy same;
+  EXPECT_EQ(policy.backoff_before(1).count(), 0);  // first attempt: no wait
+  double nominal = static_cast<double>(policy.initial_backoff.count());
+  for (unsigned attempt = 2; attempt <= 6; ++attempt) {
+    const auto wait = policy.backoff_before(attempt);
+    // Pure function of (policy, attempt): re-evaluation is bit-identical.
+    EXPECT_EQ(wait, same.backoff_before(attempt)) << attempt;
+    const double cap =
+        std::min(nominal, static_cast<double>(policy.max_backoff.count()));
+    EXPECT_GE(wait.count(), static_cast<std::int64_t>(cap * 0.5) - 1)
+        << attempt;
+    EXPECT_LE(wait.count(), static_cast<std::int64_t>(cap)) << attempt;
+    nominal *= policy.multiplier;
+  }
+  // Deep attempts stay clamped at max_backoff (times jitter < 1).
+  EXPECT_LE(policy.backoff_before(30).count(), policy.max_backoff.count());
+
+  RetryPolicy other = policy;
+  other.jitter_seed = 0x5eedf00d;
+  bool any_different = false;
+  for (unsigned attempt = 2; attempt <= 6; ++attempt) {
+    any_different |= other.backoff_before(attempt) !=
+                     policy.backoff_before(attempt);
+  }
+  EXPECT_TRUE(any_different);  // the seed actually decorrelates workers
+}
+
+}  // namespace
+}  // namespace dalut::util

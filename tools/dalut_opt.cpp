@@ -17,7 +17,14 @@
 //
 // Exit codes: 0 success, 1 fatal error, 2 usage error, 3 input parse
 // error, 4 deadline expired (valid best-so-far emitted), 5 cancelled by
-// signal (valid best-so-far emitted).
+// signal (valid best-so-far emitted), 6 I/O error (an input, output, or
+// checkpoint file could not be read or written; the message names the
+// failing path and errno).
+//
+// Fault injection (docs/robustness.md): --failpoints or DALUT_FAILPOINTS
+// arms deterministic I/O faults at named sites ("site=error[@trigger]");
+// --list-failpoints prints every site. Unset, the probes are disarmed
+// no-ops.
 //
 // Examples:
 //   dalut_opt --benchmark cos --width 12 --arch bto-normal-nd --report
@@ -27,11 +34,13 @@
 //   dalut_opt --benchmark log2 --deadline 30s --checkpoint ck.dalut
 //   dalut_opt --benchmark log2 --checkpoint ck.dalut --resume
 #include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
@@ -50,6 +59,8 @@
 #include "hw/tech_io.hpp"
 #include "hw/verilog.hpp"
 #include "util/cli.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 #include "util/run_control.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -61,10 +72,32 @@ using namespace dalut;
 
 constexpr int kExitOk = 0;
 constexpr int kExitFatal = 1;
-// kExitUsage = 2 is produced by CliParser directly (std::exit in parse()).
+// CliParser also produces 2 directly (std::exit in parse()) for unknown
+// options; kExitUsage covers malformed values parsed after it returns.
+constexpr int kExitUsage = 2;
 constexpr int kExitParse = 3;
 constexpr int kExitDeadline = 4;
 constexpr int kExitCancelled = 5;
+constexpr int kExitIo = 6;
+
+/// Checked text-artifact write: opens `path`, streams `body(out)`, flushes,
+/// and reports any failure (open or write) as an I/O error naming the path.
+/// Returns false after printing the error; the caller exits kExitIo.
+template <typename Body>
+bool write_text_artifact(const std::string& path, const char* what,
+                         Body&& body) {
+  std::ofstream out(path);
+  if (out) {
+    body(out);
+    out.flush();
+  }
+  if (!out) {
+    std::fprintf(stderr, "io error: cannot write %s to '%s': %s\n", what,
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  return true;
+}
 
 // The RunControl outlives main()'s locals so the signal handler can reach
 // it; request_cancel() is a relaxed atomic store, hence async-signal-safe.
@@ -177,7 +210,30 @@ int run(int argc, char** argv) {
   cli.add_flag("progress",
                "print a human-readable progress line (throttled, plus the "
                "final at-completion report) to stderr");
+  cli.add_option("failpoints", "",
+                 "arm deterministic I/O fault injection: "
+                 "\"site=error[@trigger]\" entries, comma-separated "
+                 "(also read from DALUT_FAILPOINTS; see --list-failpoints)");
+  cli.add_flag("list-failpoints",
+               "print every registered fault-injection site and exit");
   if (!cli.parse(argc, argv)) return kExitOk;
+
+  if (cli.flag("list-failpoints")) {
+    for (const auto& site : util::fp::all_sites()) {
+      std::printf("%s\n", site.c_str());
+    }
+    return kExitOk;
+  }
+  try {
+    util::fp::configure_from_env();
+    if (const auto spec = cli.str("failpoints"); !spec.empty()) {
+      util::fp::configure(spec);
+    }
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: --failpoints/DALUT_FAILPOINTS: %s\n",
+                 error.what());
+    return kExitUsage;
+  }
 
   // --- Run control: deadline + signals. ---
   util::RunControl& control = g_control;
@@ -223,25 +279,34 @@ int run(int argc, char** argv) {
   }
   std::optional<core::SearchCheckpoint> resume_state;
   if (cli.flag("resume")) {
-    std::ifstream probe(checkpoint_path);
-    if (probe) {
-      resume_state = core::load_checkpoint(checkpoint_path);
+    // Generation-aware load: a torn or corrupt latest checkpoint degrades
+    // to the previous generation ("<path>.1"); neither usable starts fresh.
+    if (auto loaded = core::load_checkpoint_with_fallback(checkpoint_path)) {
+      resume_state = std::move(loaded->checkpoint);
       std::fprintf(stderr,
-                   "resuming from %s (%s, round %u, %u bits done, %.2f s "
+                   "resuming from %s%s (%s, round %u, %u bits done, %.2f s "
                    "elapsed)\n",
-                   checkpoint_path.c_str(), resume_state->algorithm.c_str(),
-                   resume_state->round, resume_state->bits_done,
-                   resume_state->elapsed_seconds);
+                   checkpoint_path.c_str(),
+                   loaded->from_previous ? " (previous generation)" : "",
+                   resume_state->algorithm.c_str(), resume_state->round,
+                   resume_state->bits_done, resume_state->elapsed_seconds);
     } else {
       std::fprintf(stderr,
-                   "note: checkpoint '%s' not found, starting fresh\n",
+                   "note: no usable checkpoint at '%s', starting fresh\n",
                    checkpoint_path.c_str());
     }
   }
   std::function<void(const core::SearchCheckpoint&)> sink;
   if (!checkpoint_path.empty()) {
     sink = [&checkpoint_path](const core::SearchCheckpoint& ck) {
-      core::save_checkpoint(checkpoint_path, ck);
+      // Best-effort: a failed snapshot (after retries) must not kill the
+      // search — the run degrades to a coarser resume point.
+      if (!core::save_checkpoint_best_effort(checkpoint_path, ck)) {
+        std::fprintf(stderr,
+                     "warning: checkpoint save to '%s' failed, continuing "
+                     "without this snapshot\n",
+                     checkpoint_path.c_str());
+      }
     };
   }
 
@@ -372,9 +437,9 @@ int run(int argc, char** argv) {
   if (const auto tech_path = cli.str("tech"); !tech_path.empty()) {
     std::ifstream in(tech_path);
     if (!in) {
-      std::fprintf(stderr, "error: cannot open tech file '%s'\n",
-                   tech_path.c_str());
-      return kExitFatal;
+      std::fprintf(stderr, "io error: cannot open tech file '%s': %s\n",
+                   tech_path.c_str(), std::strerror(errno));
+      return kExitIo;
     }
     tech = hw::read_technology(in);
   }
@@ -399,20 +464,31 @@ int run(int argc, char** argv) {
 
   // --- Outputs. ---
   if (const auto path = cli.str("config-out"); !path.empty()) {
-    std::ofstream out(path);
-    core::write_config(
-        out, {g.num_inputs(), g.num_outputs(), result.settings});
+    if (!write_text_artifact(path, "configuration", [&](std::ostream& out) {
+          core::write_config(
+              out, {g.num_inputs(), g.num_outputs(), result.settings});
+        })) {
+      return kExitIo;
+    }
     std::printf("wrote configuration to %s\n", path.c_str());
   }
   if (const auto path = cli.str("verilog-out"); !path.empty()) {
-    std::ofstream(path) << hw::emit_system_verilog(system, "dalut_top");
+    if (!write_text_artifact(path, "Verilog", [&](std::ostream& out) {
+          out << hw::emit_system_verilog(system, "dalut_top");
+        })) {
+      return kExitIo;
+    }
     std::printf("wrote Verilog to %s\n", path.c_str());
   }
   if (const auto path = cli.str("testbench-out"); !path.empty()) {
-    std::ofstream(path) << hw::emit_system_testbench(
-        system, "dalut_top",
-        static_cast<std::size_t>(cli.integer("tb-vectors")),
-        static_cast<std::uint64_t>(cli.integer("seed")));
+    if (!write_text_artifact(path, "testbench", [&](std::ostream& out) {
+          out << hw::emit_system_testbench(
+              system, "dalut_top",
+              static_cast<std::size_t>(cli.integer("tb-vectors")),
+              static_cast<std::uint64_t>(cli.integer("seed")));
+        })) {
+      return kExitIo;
+    }
     std::printf("wrote testbench to %s\n", path.c_str());
   }
 
@@ -427,9 +503,9 @@ int run(int argc, char** argv) {
         .set(static_cast<double>(cache.bytes));
     std::ofstream out(metrics_out);
     if (!out) {
-      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                   metrics_out.c_str());
-      return kExitFatal;
+      std::fprintf(stderr, "io error: cannot write metrics to '%s': %s\n",
+                   metrics_out.c_str(), std::strerror(errno));
+      return kExitIo;
     }
     out << "{\n  \"schema\": \"dalut-metrics-v1\",\n  \"run\": {\n"
         << "    \"algorithm\": \"" << cli.str("algorithm") << "\",\n"
@@ -462,12 +538,17 @@ int run(int argc, char** argv) {
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
     if (!out) {
-      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
-                   trace_out.c_str());
-      return kExitFatal;
+      std::fprintf(stderr, "io error: cannot write trace to '%s': %s\n",
+                   trace_out.c_str(), std::strerror(errno));
+      return kExitIo;
     }
     util::telemetry::write_chrome_trace(out);
     std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
+
+  // Telemetry for the injection harness: which sites were hit and fired.
+  if (util::fp::active()) {
+    std::fprintf(stderr, "failpoints:\n%s", util::fp::dump().c_str());
   }
 
   switch (result.status) {
@@ -495,6 +576,13 @@ int main(int argc, char** argv) {
     // values) raise invalid_argument with line-anchored messages.
     std::fprintf(stderr, "parse error: %s\n", error.what());
     return kExitParse;
+  } catch (const util::IoError& error) {
+    // Fatal (or retry-exhausted) I/O on an input, output, or checkpoint
+    // file; the message already names the path.
+    std::fprintf(stderr, "io error: %s (errno %d%s%s)\n", error.what(),
+                 error.error_code(), error.site().empty() ? "" : ", site ",
+                 error.site().c_str());
+    return kExitIo;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fatal: %s\n", error.what());
     return kExitFatal;

@@ -12,14 +12,21 @@
 // The CSV report is deterministic: byte-identical across worker counts,
 // across kill/resume cycles, and across cache-hit re-runs.
 //
-// Exit codes: 0 success, 1 fatal error or any job failed, 2 usage error,
-// 3 manifest/input parse error, 4 deadline expired, 5 cancelled by signal
-// (valid partial report emitted for 4 and 5).
+// Fault isolation: a job failing with a transient I/O error is retried,
+// then quarantined as a `failed` CSV row with its error message; sibling
+// jobs always run to completion (docs/robustness.md, "Fault injection").
+//
+// Exit codes: 0 success, 1 fatal error, 2 usage error, 3 manifest/input
+// parse error, 4 deadline expired, 5 cancelled by signal (valid partial
+// report emitted for 4 and 5), 6 I/O failure (failing path + errno on
+// stderr), 7 suite completed but at least one job was quarantined as
+// failed (full report emitted; the failed rows carry the errors).
 //
 // Examples:
 //   dalut_suite --manifest suite.manifest -j8 --csv-out results.csv
-//   dalut_suite --manifest suite.manifest --cache-dir .dalut-cache \
+//   dalut_suite --manifest suite.manifest --cache-dir .dalut-cache
 //               --checkpoint-dir .dalut-ck --deadline 10m
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +39,8 @@
 #include "suite/manifest.hpp"
 #include "suite/suite_runner.hpp"
 #include "util/cli.hpp"
+#include "util/failpoint.hpp"
+#include "util/retry.hpp"
 #include "util/run_control.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
@@ -42,10 +51,12 @@ using namespace dalut;
 
 constexpr int kExitOk = 0;
 constexpr int kExitFatal = 1;
-// kExitUsage = 2 is produced by CliParser directly.
+constexpr int kExitUsage = 2;  // also produced by CliParser directly
 constexpr int kExitParse = 3;
 constexpr int kExitDeadline = 4;
 constexpr int kExitCancelled = 5;
+constexpr int kExitIo = 6;
+constexpr int kExitJobsFailed = 7;
 
 util::RunControl g_control;
 
@@ -110,6 +121,12 @@ int run(int argc, char** argv) {
                "dalut-table-bin v1 container instead of hex text");
   cli.add_flag("progress",
                "print throttled per-job progress lines to stderr");
+  cli.add_option("failpoints", "",
+                 "arm deterministic fault injection: "
+                 "site=error[@count|@every-k|@p=x:seed],... (also read "
+                 "from DALUT_FAILPOINTS; see docs/robustness.md)");
+  cli.add_flag("list-failpoints",
+               "print every registered fault-injection site and exit");
 
   const auto args = expand_short_jobs(argc, argv);
   std::vector<char*> argv2;
@@ -117,6 +134,23 @@ int run(int argc, char** argv) {
   for (const auto& a : args) argv2.push_back(const_cast<char*>(a.c_str()));
   if (!cli.parse(static_cast<int>(argv2.size()), argv2.data())) {
     return kExitOk;
+  }
+
+  if (cli.flag("list-failpoints")) {
+    for (const auto& site : util::fp::all_sites()) {
+      std::printf("%s\n", site.c_str());
+    }
+    return kExitOk;
+  }
+  try {
+    util::fp::configure_from_env();
+    if (const auto spec = cli.str("failpoints"); !spec.empty()) {
+      util::fp::configure(spec);
+    }
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "error: --failpoints/DALUT_FAILPOINTS: %s\n",
+                 error.what());
+    return kExitUsage;
   }
 
   const auto manifest_path = cli.str("manifest");
@@ -192,10 +226,17 @@ int run(int argc, char** argv) {
   if (const auto path = cli.str("csv-out"); !path.empty()) {
     std::ofstream out(path, std::ios::binary);
     if (!out) {
-      std::fprintf(stderr, "error: cannot write CSV to '%s'\n", path.c_str());
-      return kExitFatal;
+      std::fprintf(stderr, "io error: cannot write CSV to '%s': %s\n",
+                   path.c_str(), std::strerror(errno));
+      return kExitIo;
     }
     suite::write_suite_csv(out, report);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "io error: cannot write CSV to '%s': %s\n",
+                   path.c_str(), std::strerror(errno));
+      return kExitIo;
+    }
   } else {
     suite::write_suite_csv(std::cout, report);
   }
@@ -204,9 +245,9 @@ int run(int argc, char** argv) {
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
     if (!out) {
-      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                   metrics_out.c_str());
-      return kExitFatal;
+      std::fprintf(stderr, "io error: cannot write metrics to '%s': %s\n",
+                   metrics_out.c_str(), std::strerror(errno));
+      return kExitIo;
     }
     out << "{\n  \"schema\": \"dalut-metrics-v1\",\n  \"suite\": {\n"
         << "    \"manifest\": \""
@@ -229,7 +270,10 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
   }
 
-  if (report.any_failed) return kExitFatal;
+  if (util::fp::active()) {
+    std::fprintf(stderr, "failpoints:\n%s", util::fp::dump().c_str());
+  }
+
   switch (report.status) {
     case util::RunStatus::kDeadlineExpired:
       return kExitDeadline;
@@ -238,6 +282,10 @@ int run(int argc, char** argv) {
     case util::RunStatus::kCompleted:
       break;
   }
+  // Quarantined jobs exit distinctly *after* the full report is out: the
+  // suite finished, the CSV names the failures, and automation can tell
+  // "some jobs failed" (7) from "the suite itself fell over" (1/6).
+  if (report.any_failed) return kExitJobsFailed;
   return kExitOk;
 }
 
@@ -249,6 +297,12 @@ int main(int argc, char** argv) {
   } catch (const std::invalid_argument& error) {
     std::fprintf(stderr, "parse error: %s\n", error.what());
     return kExitParse;
+  } catch (const util::IoError& error) {
+    std::fprintf(stderr, "io error: %s (errno %d%s%s)\n", error.what(),
+                 error.error_code(),
+                 error.site().empty() ? "" : ", site ",
+                 error.site().c_str());
+    return kExitIo;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "fatal: %s\n", error.what());
     return kExitFatal;
