@@ -1,0 +1,83 @@
+// Structured lifecycle-event stream ("dalut-events v1").
+//
+// A process-wide JSONL log of the run's lifecycle moments — job start /
+// finish / retry / quarantine, checkpoint saves and fallbacks, cache stores
+// / hits / evictions, retry give-ups, failpoint fires. One background writer
+// thread owns the output file; producers (search workers, the suite runner,
+// the exporter) enqueue into a bounded MPSC queue and never block: when the
+// queue is full the event is dropped and counted ("events.dropped"), so the
+// log can never stall a search thread.
+//
+// File layout: a "dalut-events v1" header line (core/format framing, shared
+// with every other dalut on-disk format), then one JSON object per line,
+// then a {"event":"log.close", ...} trailer carrying the final drop count.
+// Each row records a sequence number (gap-free at enqueue; gaps in the file
+// mean drops or injected write faults), a monotonic timestamp relative to
+// open(), the producing thread's small id, the enclosing job name when a
+// JobScope is active on that thread, the event kind, the boundary site if
+// any, and a kind-specific numeric value.
+//
+// Fault semantics: every row write probes the "obs.events.write" failpoint
+// (errno faults drop the row, torn faults truncate it); a dying event log
+// degrades to counting failures and never fails the run. Like every
+// observability surface, the log is write-only for the searches — nothing
+// is ever read back into search state, so results are bit-identical with
+// the log on or off (docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dalut::obs {
+
+class EventLog {
+ public:
+  /// The process-wide log. Producers reach it through emit(); tools open and
+  /// close it around a run.
+  static EventLog& instance();
+
+  /// Opens `path` (truncating), writes the header, installs the
+  /// util::obsink bridge, and starts the writer thread. Throws
+  /// std::runtime_error when the file cannot be opened or a log is already
+  /// open. `queue_capacity` bounds the producer queue; past it events drop.
+  void open(const std::string& path, std::size_t queue_capacity = 4096);
+
+  /// Drains the queue, writes the trailer, joins the writer, and removes
+  /// the obsink bridge. Idempotent.
+  void close();
+
+  bool active() const noexcept;
+
+  /// Enqueues one event. Never blocks: with no log open this is a relaxed
+  /// load and a branch; with a full queue the event is dropped and counted.
+  /// `kind` and `site` are copied, so any lifetime is fine.
+  void emit(const char* kind, std::string_view site = {},
+            std::uint64_t value = 0);
+
+  /// Events dropped so far (queue overflow), including after close().
+  std::uint64_t dropped() const noexcept;
+
+  /// Rows that failed to reach the file (injected or real write errors).
+  std::uint64_t write_failures() const noexcept;
+
+  /// Labels events emitted from the current thread with a job name for the
+  /// scope's lifetime. Nests: the innermost scope wins, and the previous
+  /// label is restored on destruction.
+  class JobScope {
+   public:
+    explicit JobScope(std::string_view job);
+    ~JobScope();
+    JobScope(const JobScope&) = delete;
+    JobScope& operator=(const JobScope&) = delete;
+
+   private:
+    std::string job_;
+    const std::string* previous_;
+  };
+
+ private:
+  EventLog() = default;
+};
+
+}  // namespace dalut::obs

@@ -1,0 +1,356 @@
+#include "obs/exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/event_log.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/run_registry.hpp"
+#include "util/failpoint.hpp"
+#include "util/telemetry.hpp"
+
+namespace dalut::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kPollTimeoutMs = 50;       ///< stop-flag latency bound
+constexpr int kClientTimeoutSecs = 2;    ///< per-request recv/send budget
+
+/// Write-only exporter counters (docs/observability.md naming scheme).
+struct HttpMetrics {
+  util::telemetry::Counter requests =
+      util::telemetry::Counter::get("obs.http.requests");
+  util::telemetry::Counter errors =
+      util::telemetry::Counter::get("obs.http.errors");
+  util::telemetry::Counter accept_failures =
+      util::telemetry::Counter::get("obs.accept_failures");
+};
+
+HttpMetrics& http_metrics() {
+  static HttpMetrics metrics;
+  return metrics;
+}
+
+struct Response {
+  int status = 200;
+  const char* reason = "OK";
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+Response error_response(int status, const char* reason, const char* detail) {
+  Response response;
+  response.status = status;
+  response.reason = reason;
+  response.body = std::string(detail) + "\n";
+  return response;
+}
+
+std::string healthz_json(const util::RunControl* control, double uptime) {
+  std::ostringstream out;
+  out << "{\"status\": \"ok\", \"run\": \"";
+  if (control == nullptr) {
+    out << "detached";
+  } else if (control->stopped()) {
+    out << util::to_string(control->status());
+  } else {
+    out << "running";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", uptime);
+  out << "\", \"uptime_seconds\": " << buf << "}\n";
+  return out.str();
+}
+
+std::string runs_json() {
+  namespace telemetry = util::telemetry;
+  const telemetry::MetricsSnapshot snapshot = telemetry::snapshot_metrics();
+  std::ostringstream out;
+  out << "{\n  \"jobs\":\n";
+  RunRegistry::instance().write_jobs_json(out, 2);
+  out << ",\n  \"cache\": {\"hits\": "
+      << snapshot.counter_value("suite.cache.hits") << ", \"misses\": "
+      << snapshot.counter_value("suite.cache.misses") << ", \"stores\": "
+      << snapshot.counter_value("suite.cache.stores") << ", \"evictions\": "
+      << snapshot.counter_value("suite.cache.evictions") << "},\n";
+  out << "  \"events\": {\"emitted\": "
+      << snapshot.counter_value("events.emitted") << ", \"written\": "
+      << snapshot.counter_value("events.written") << ", \"dropped\": "
+      << EventLog::instance().dropped() << ", \"write_failures\": "
+      << EventLog::instance().write_failures() << "},\n";
+  // Per-site failpoint rows only where there is something to report, so the
+  // common (disarmed) payload stays small.
+  out << "  \"failpoints\": {\"fires\": "
+      << snapshot.counter_value("failpoint.fires") << ", \"sites\": [";
+  bool first = true;
+  for (const util::fp::SiteStats& site : util::fp::stats()) {
+    if (site.spec.empty() && site.hits == 0) continue;
+    out << (first ? "\n" : ",\n") << "    {\"site\": \""
+        << telemetry::json_escape(site.site) << "\", \"spec\": \""
+        << telemetry::json_escape(site.spec) << "\", \"hits\": " << site.hits
+        << ", \"fires\": " << site.fires << "}";
+    first = false;
+  }
+  out << (first ? "]}" : "\n  ]}") << "\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::pair<std::string, std::uint16_t> parse_listen_spec(
+    const std::string& spec) {
+  std::string host = "127.0.0.1";
+  std::string port_text = spec;
+  if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+    if (colon > 0) host = spec.substr(0, colon);
+    port_text = spec.substr(colon + 1);
+  }
+  if (port_text.empty()) {
+    throw std::invalid_argument("bad --listen '" + spec +
+                                "': expected host:port");
+  }
+  unsigned long port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("bad --listen '" + spec +
+                                  "': malformed port '" + port_text + "'");
+    }
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) {
+      throw std::invalid_argument("bad --listen '" + spec +
+                                  "': port out of range");
+    }
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+struct MetricsExporter::Impl {
+  ExporterOptions options;
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::thread server;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> running{false};
+  std::chrono::steady_clock::time_point start{};
+
+  void serve();
+  void handle_client(int fd);
+  Response dispatch(const std::string& method, const std::string& path);
+};
+
+MetricsExporter::~MetricsExporter() {
+  stop();
+  delete impl_;
+}
+
+void MetricsExporter::start(const ExporterOptions& options) {
+  if (impl_ != nullptr && impl_->running.load(std::memory_order_acquire)) {
+    throw std::runtime_error("exporter already running");
+  }
+  delete impl_;
+  impl_ = new Impl();
+  impl_->options = options;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("exporter socket: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("exporter: bad listen address '" + options.host +
+                             "' (IPv4 dotted-quad expected)");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int error = errno;
+    ::close(fd);
+    throw std::runtime_error("exporter: cannot bind " + options.host + ":" +
+                             std::to_string(options.port) + ": " +
+                             std::strerror(error));
+  }
+  if (::listen(fd, 8) != 0) {
+    const int error = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("exporter listen: ") +
+                             std::strerror(error));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const int error = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("exporter getsockname: ") +
+                             std::strerror(error));
+  }
+
+  impl_->listen_fd = fd;
+  impl_->bound_port = ntohs(bound.sin_port);
+  impl_->start = std::chrono::steady_clock::now();
+  impl_->stop.store(false, std::memory_order_release);
+  impl_->running.store(true, std::memory_order_release);
+  impl_->server = std::thread([impl = impl_] { impl->serve(); });
+}
+
+void MetricsExporter::stop() {
+  if (impl_ == nullptr) return;
+  if (impl_->server.joinable()) {
+    impl_->stop.store(true, std::memory_order_release);
+    impl_->server.join();
+  }
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  impl_->running.store(false, std::memory_order_release);
+}
+
+bool MetricsExporter::running() const noexcept {
+  return impl_ != nullptr && impl_->running.load(std::memory_order_acquire);
+}
+
+std::uint16_t MetricsExporter::port() const noexcept {
+  return impl_ == nullptr ? 0 : impl_->bound_port;
+}
+
+std::string MetricsExporter::endpoint() const {
+  if (impl_ == nullptr) return "";
+  return impl_->options.host + ":" + std::to_string(impl_->bound_port);
+}
+
+void MetricsExporter::Impl::serve() {
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+
+    // The accept boundary is fallible in production (fd pressure, aborted
+    // handshakes) and injectable in torture runs; either way the exporter
+    // counts the failure and keeps serving — it must never fail the run.
+    if (util::fp::maybe_fail("obs.accept") != 0) {
+      http_metrics().accept_failures.add(1);
+      // Drain the pending connection so an always-firing site cannot spin
+      // this loop hot on the same readable listener.
+      const int doomed = ::accept(listen_fd, nullptr, nullptr);
+      if (doomed >= 0) ::close(doomed);
+      continue;
+    }
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      http_metrics().accept_failures.add(1);
+      continue;
+    }
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+void MetricsExporter::Impl::handle_client(int fd) {
+  timeval timeout{};
+  timeout.tv_sec = kClientTimeoutSecs;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    if (request.size() > kMaxRequestBytes) {
+      http_metrics().errors.add(1);
+      return;  // oversized header block: drop without parsing
+    }
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got <= 0) {
+      http_metrics().errors.add(1);
+      return;  // timeout, reset, or EOF before the header terminator
+    }
+    request.append(buf, static_cast<std::size_t>(got));
+  }
+
+  std::string method;
+  std::string path;
+  {
+    std::istringstream line(request.substr(0, request.find('\n')));
+    line >> method >> path;
+  }
+  const Response response =
+      method.empty() || path.empty()
+          ? error_response(400, "Bad Request", "malformed request line")
+          : dispatch(method, path);
+
+  http_metrics().requests.add(1);
+  if (response.status >= 400) http_metrics().errors.add(1);
+
+  std::ostringstream head;
+  head << "HTTP/1.1 " << response.status << ' ' << response.reason
+       << "\r\nContent-Type: " << response.content_type
+       << "\r\nContent-Length: " << response.body.size()
+       << "\r\nConnection: close\r\n\r\n";
+  const std::string payload = head.str() + response.body;
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t put = ::send(fd, payload.data() + sent,
+                               payload.size() - sent, MSG_NOSIGNAL);
+    if (put <= 0) {
+      if (put < 0 && errno == EINTR) continue;
+      break;  // slow or vanished scraper: its problem, not the run's
+    }
+    sent += static_cast<std::size_t>(put);
+  }
+}
+
+Response MetricsExporter::Impl::dispatch(const std::string& method,
+                                         const std::string& path) {
+  if (method != "GET") {
+    return error_response(405, "Method Not Allowed", "only GET is served");
+  }
+  // Ignore any query string: scrapers sometimes append cache busters.
+  const std::string route = path.substr(0, path.find('?'));
+  if (route == "/metrics") {
+    Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body =
+        render_prometheus(util::telemetry::snapshot_metrics());
+    return response;
+  }
+  if (route == "/healthz") {
+    Response response;
+    response.content_type = "application/json";
+    response.body = healthz_json(
+        options.control,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    return response;
+  }
+  if (route == "/runs") {
+    Response response;
+    response.content_type = "application/json";
+    response.body = runs_json();
+    return response;
+  }
+  return error_response(404, "Not Found",
+                        "unknown path (try /metrics, /healthz, /runs)");
+}
+
+}  // namespace dalut::obs

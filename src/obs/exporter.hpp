@@ -1,0 +1,75 @@
+// Embedded, dependency-free HTTP exporter for live observability.
+//
+// One background thread, POSIX sockets, poll()-based: no third-party HTTP
+// stack. Binds IPv4 loopback by default and serves
+//
+//   GET /metrics  Prometheus text exposition (version 0.0.4) rendered from
+//                 util::telemetry::snapshot_metrics()
+//   GET /healthz  liveness JSON: process status plus the attached
+//                 RunControl's state (running / completed / cancelled /
+//                 deadline-expired)
+//   GET /runs     live run JSON: per-job status and bounded best-error
+//                 trajectories from obs::RunRegistry, cache hit/miss/store
+//                 totals, event-log accounting, and failpoint fire counts
+//
+// Requests are handled one at a time with short socket timeouts — bounded
+// by construction (kernel backlog plus one in-flight request), which is the
+// right shape for a diagnostics endpoint: a stalled scraper delays other
+// scrapers, never the run. The accept boundary probes the "obs.accept"
+// failpoint; accept errors (injected or real) are counted and served past,
+// so a dying exporter never fails a run.
+//
+// Off unless a tool passes --listen. Like every observability surface the
+// exporter is write-only for the searches: it reads snapshots, publishes
+// nothing back, so results are bit-identical with the exporter on or off at
+// any worker count (docs/observability.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/run_control.hpp"
+
+namespace dalut::obs {
+
+struct ExporterOptions {
+  std::string host = "127.0.0.1";  ///< IPv4 dotted-quad to bind
+  std::uint16_t port = 0;          ///< 0 = ephemeral (see MetricsExporter::port)
+  /// RunControl surfaced on /healthz; optional.
+  const util::RunControl* control = nullptr;
+};
+
+/// Parses a --listen spec: "host:port", ":port", or bare "port" (host
+/// defaults to 127.0.0.1). Throws std::invalid_argument on malformed input.
+std::pair<std::string, std::uint16_t> parse_listen_spec(
+    const std::string& spec);
+
+class MetricsExporter {
+ public:
+  MetricsExporter() = default;
+  ~MetricsExporter();
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Binds, listens, and starts the serving thread. Throws
+  /// std::runtime_error (with errno text) when the address cannot be bound.
+  void start(const ExporterOptions& options);
+
+  /// Stops the serving thread and closes the socket. Idempotent.
+  void stop();
+
+  bool running() const noexcept;
+
+  /// The actually-bound port (resolves port 0 requests).
+  std::uint16_t port() const noexcept;
+
+  /// "host:port" of the bound endpoint, for log lines.
+  std::string endpoint() const;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+}  // namespace dalut::obs

@@ -1,0 +1,123 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace dalut::obs {
+
+namespace {
+
+bool valid_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Escapes a label value per the exposition spec (backslash, quote, LF).
+std::string label_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void write_help_type(std::ostream& out, const std::string& name,
+                     std::string_view source, const char* type) {
+  // HELP text carries the registry-side name so a scrape can be mapped back
+  // to docs/observability.md's catalogue without un-sanitizing.
+  out << "# HELP " << name << " dalut metric \"" << label_escape(source)
+      << "\"\n";
+  out << "# TYPE " << name << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "dalut_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += valid_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string prometheus_value(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  // Integral values print plain ("10", never "1e+01"): le edges and counts
+  // must read naturally in scrape output and dashboards.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  // Shortest decimal that round-trips: exposition consumers re-parse the
+  // text, so fidelity matters more than fixed width.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string render_prometheus(
+    const util::telemetry::MetricsSnapshot& snapshot) {
+  namespace telemetry = util::telemetry;
+  std::ostringstream out;
+
+  for (const auto& counter : snapshot.counters) {
+    const std::string name = prometheus_name(counter.name) + "_total";
+    write_help_type(out, name, counter.name, "counter");
+    out << name << ' ' << counter.value << '\n';
+    for (const auto& [tid, contribution] : counter.per_thread) {
+      out << name << "{thread=\"";
+      if (tid == telemetry::kRetiredThreadId) {
+        out << "retired";
+      } else {
+        out << 't' << tid;
+      }
+      out << "\"} " << contribution << '\n';
+    }
+  }
+
+  for (const auto& gauge : snapshot.gauges) {
+    if (!gauge.ever_set) continue;
+    const std::string name = prometheus_name(gauge.name);
+    write_help_type(out, name, gauge.name, "gauge");
+    out << name << ' ' << prometheus_value(gauge.value) << '\n';
+  }
+
+  for (const auto& histogram : snapshot.histograms) {
+    const std::string name = prometheus_name(histogram.name);
+    write_help_type(out, name, histogram.name, "histogram");
+    // The registry's buckets are disjoint [lo, hi) counts; the exposition
+    // wants cumulative counts per upper edge. Summing in edge order makes
+    // the emitted series non-decreasing by construction.
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+      cumulative += histogram.buckets[b];
+      out << name << "_bucket{le=\"" << prometheus_value(histogram.bounds[b])
+          << "\"} " << cumulative << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << histogram.count << '\n';
+    out << name << "_sum " << prometheus_value(histogram.sum) << '\n';
+    out << name << "_count " << histogram.count << '\n';
+  }
+
+  return out.str();
+}
+
+}  // namespace dalut::obs

@@ -1,0 +1,42 @@
+// Prometheus text exposition (version 0.0.4) for telemetry snapshots.
+//
+// Pure rendering: a MetricsSnapshot goes in, an exposition page comes out.
+// The embedded exporter (src/obs/exporter) serves the result on /metrics;
+// keeping the renderer free of sockets lets the conformance tests pin the
+// exact output against golden files.
+//
+// Conventions:
+//  * Every metric is prefixed "dalut_" and sanitized to the exposition
+//    charset [a-zA-Z0-9_:] ("suite.cache.hits" -> "dalut_suite_cache_hits").
+//  * Counters get the "_total" suffix. Counters registered with
+//    per-thread detail additionally emit one labeled series per shard
+//    ({thread="t3"}, retired shards folded into {thread="retired"}) whose
+//    sum equals the unlabeled total.
+//  * Gauges render only once set; NaN / +Inf / -Inf use the exposition
+//    spellings ("NaN", "+Inf", "-Inf").
+//  * Histograms emit cumulative "_bucket" rows (le edges ascending, closed
+//    with le="+Inf"), then "_sum" and "_count". The registry's half-open
+//    [lo, hi) buckets are summed cumulatively, so bucket values are
+//    monotonically non-decreasing by construction.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/telemetry.hpp"
+
+namespace dalut::obs {
+
+/// Maps a registry metric name onto the exposition charset: "dalut_" prefix,
+/// every character outside [a-zA-Z0-9_:] replaced by '_'.
+std::string prometheus_name(std::string_view name);
+
+/// Formats a sample value per the exposition spec ("NaN", "+Inf", "-Inf"
+/// for non-finite values, shortest round-trip decimal otherwise).
+std::string prometheus_value(double value);
+
+/// Renders the full exposition page: counters, gauges, histograms, each with
+/// # HELP and # TYPE headers, in snapshot (registration) order.
+std::string render_prometheus(const util::telemetry::MetricsSnapshot& snapshot);
+
+}  // namespace dalut::obs

@@ -1,0 +1,230 @@
+#include "obs/run_registry.hpp"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/telemetry.hpp"
+
+namespace dalut::obs {
+
+namespace {
+
+struct JobState {
+  JobView view;
+  std::deque<RunTrajectoryRow> trajectory;
+};
+
+struct RegistryState {
+  mutable std::mutex mutex;
+  std::atomic<bool> enabled{false};
+  std::atomic<std::size_t> trajectory_capacity{64};
+  std::vector<JobState> jobs;                       ///< declaration order
+  std::unordered_map<std::string, std::size_t> index;
+};
+
+RegistryState& state() {
+  static RegistryState* s = new RegistryState();  // never destroyed: the
+  return *s;  // exporter thread may snapshot during process teardown
+}
+
+/// The row for `name`, created on demand. The registry lock is held.
+JobState& job_of(RegistryState& reg, std::string_view name) {
+  const auto it = reg.index.find(std::string(name));
+  if (it != reg.index.end()) return reg.jobs[it->second];
+  reg.index.emplace(std::string(name), reg.jobs.size());
+  reg.jobs.emplace_back();
+  reg.jobs.back().view.name = name;
+  return reg.jobs.back();
+}
+
+}  // namespace
+
+const char* to_string(JobPhase phase) noexcept {
+  switch (phase) {
+    case JobPhase::kPending:
+      return "pending";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kRetrying:
+      return "retrying";
+    case JobPhase::kCompleted:
+      return "completed";
+    case JobPhase::kCached:
+      return "cached";
+    case JobPhase::kFailed:
+      return "failed";
+    case JobPhase::kCancelled:
+      return "cancelled";
+    case JobPhase::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+RunRegistry& RunRegistry::instance() {
+  static RunRegistry registry;
+  return registry;
+}
+
+void RunRegistry::set_enabled(bool on) noexcept {
+  state().enabled.store(on, std::memory_order_relaxed);
+}
+
+bool RunRegistry::enabled() const noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void RunRegistry::set_trajectory_capacity(std::size_t rows) noexcept {
+  state().trajectory_capacity.store(rows, std::memory_order_relaxed);
+}
+
+void RunRegistry::reset() {
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  reg.jobs.clear();
+  reg.index.clear();
+}
+
+void RunRegistry::declare(std::string_view name, std::string_view algorithm) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  JobState& job = job_of(reg, name);
+  job.view.algorithm = algorithm;
+}
+
+void RunRegistry::job_started(std::string_view name) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  JobState& job = job_of(reg, name);
+  job.view.phase = JobPhase::kRunning;
+  ++job.view.attempts;
+}
+
+void RunRegistry::job_retrying(std::string_view name) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  job_of(reg, name).view.phase = JobPhase::kRetrying;
+}
+
+void RunRegistry::job_progress(std::string_view name,
+                               const util::RunProgress& progress) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  JobState& job = job_of(reg, name);
+  job.view.stage = progress.stage;
+  job.view.steps_done = progress.steps_done;
+  job.view.steps_total = progress.steps_total;
+  // Best-so-far is the min across reports: stages may restart their local
+  // objective, but /runs wants the run-level best trajectory.
+  if (!job.view.has_best || progress.best_error < job.view.best_error) {
+    job.view.has_best = true;
+    job.view.best_error = progress.best_error;
+  }
+  const std::size_t cap =
+      reg.trajectory_capacity.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  while (job.trajectory.size() >= cap) {
+    job.trajectory.pop_front();
+    ++job.view.trajectory_dropped;
+  }
+  job.trajectory.push_back({progress.stage, progress.round, progress.bit,
+                            progress.steps_done, progress.steps_total,
+                            progress.best_error});
+}
+
+void RunRegistry::job_completed(std::string_view name, double best_error,
+                                bool from_cache, bool resumed) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  JobState& job = job_of(reg, name);
+  job.view.phase = from_cache ? JobPhase::kCached : JobPhase::kCompleted;
+  job.view.from_cache = from_cache;
+  job.view.resumed = resumed;
+  job.view.has_best = true;
+  job.view.best_error = best_error;
+}
+
+void RunRegistry::job_failed(std::string_view name, std::string_view error) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  JobState& job = job_of(reg, name);
+  job.view.phase = JobPhase::kFailed;
+  job.view.error = error;
+}
+
+void RunRegistry::job_cancelled(std::string_view name) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  job_of(reg, name).view.phase = JobPhase::kCancelled;
+}
+
+void RunRegistry::job_skipped(std::string_view name) {
+  if (!enabled()) return;
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  job_of(reg, name).view.phase = JobPhase::kSkipped;
+}
+
+std::vector<JobView> RunRegistry::snapshot() const {
+  RegistryState& reg = state();
+  std::lock_guard lock(reg.mutex);
+  std::vector<JobView> out;
+  out.reserve(reg.jobs.size());
+  for (const JobState& job : reg.jobs) {
+    out.push_back(job.view);
+    out.back().trajectory.assign(job.trajectory.begin(),
+                                 job.trajectory.end());
+  }
+  return out;
+}
+
+void RunRegistry::write_jobs_json(std::ostream& out, int indent) const {
+  namespace telemetry = util::telemetry;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::vector<JobView> jobs = snapshot();
+  out << pad << "[";
+  bool first_job = true;
+  for (const JobView& job : jobs) {
+    out << (first_job ? "\n" : ",\n") << pad << "  {\"name\": \""
+        << telemetry::json_escape(job.name) << "\", \"algorithm\": \""
+        << telemetry::json_escape(job.algorithm) << "\", \"state\": \""
+        << to_string(job.phase) << "\", \"attempts\": " << job.attempts
+        << ", \"from_cache\": " << (job.from_cache ? "true" : "false")
+        << ", \"resumed\": " << (job.resumed ? "true" : "false");
+    if (!job.error.empty()) {
+      out << ", \"error\": \"" << telemetry::json_escape(job.error) << '"';
+    }
+    out << ", \"best_error\": "
+        << (job.has_best ? telemetry::json_number(job.best_error) : "null")
+        << ", \"stage\": \"" << telemetry::json_escape(job.stage)
+        << "\", \"steps_done\": " << job.steps_done
+        << ", \"steps_total\": " << job.steps_total
+        << ", \"trajectory_dropped\": " << job.trajectory_dropped
+        << ",\n" << pad << "   \"trajectory\": [";
+    bool first_row = true;
+    for (const RunTrajectoryRow& row : job.trajectory) {
+      out << (first_row ? "\n" : ",\n") << pad << "    {\"stage\": \""
+          << telemetry::json_escape(row.stage) << "\", \"round\": "
+          << row.round << ", \"bit\": " << row.bit << ", \"steps_done\": "
+          << row.steps_done << ", \"steps_total\": " << row.steps_total
+          << ", \"best_error\": " << telemetry::json_number(row.best_error)
+          << "}";
+      first_row = false;
+    }
+    out << (first_row ? "]}" : ("\n" + pad + "   ]}"));
+    first_job = false;
+  }
+  out << (first_job ? "]" : ("\n" + pad + "]"));
+}
+
+}  // namespace dalut::obs

@@ -12,6 +12,7 @@
 
 #include "core/format.hpp"
 #include "core/serialize_detail.hpp"
+#include "obs/event_log.hpp"
 #include "util/failpoint.hpp"
 #include "util/retry.hpp"
 #include "util/telemetry.hpp"
@@ -229,6 +230,7 @@ std::optional<ResultRecord> ResultCache::load(std::uint64_t key) {
     std::lock_guard lock(mutex_);
     ++stats_.hits;
     cache_metrics().hits.add(1);
+    obs::EventLog::instance().emit("cache.hit", "", key);
     return record;
   } catch (const std::invalid_argument&) {
     // A corrupt entry (torn disk, format drift) behaves like a miss; remove
@@ -262,10 +264,12 @@ void ResultCache::store(std::uint64_t key, const ResultRecord& record) {
     std::remove((path + ".tmp").c_str());
     ++stats_.store_failures;
     cache_metrics().store_failures.add(1);
+    obs::EventLog::instance().emit("cache.store_failure", "", key);
     return;
   }
   ++stats_.stores;
   cache_metrics().stores.add(1);
+  obs::EventLog::instance().emit("cache.store", "", key);
   trim_locked();
 }
 
@@ -294,6 +298,7 @@ void ResultCache::trim_locked() {
     if (fs::remove(entries[i].path, rm_ec) && !rm_ec) {
       ++stats_.evictions;
       cache_metrics().evictions.add(1);
+      obs::EventLog::instance().emit("cache.evict");
     }
   }
 }

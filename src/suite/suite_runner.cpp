@@ -21,6 +21,8 @@
 #include "core/table_io.hpp"
 #include "func/extended.hpp"
 #include "func/registry.hpp"
+#include "obs/event_log.hpp"
+#include "obs/run_registry.hpp"
 #include "util/failpoint.hpp"
 #include "util/retry.hpp"
 #include "util/run_control.hpp"
@@ -119,6 +121,8 @@ struct JobProgressRelay {
       std::lock_guard lock(state->trajectory_mutex);
       state->trajectory.push_back(std::move(row));
     }
+    // Live /runs state rides the same observation-only callback path.
+    obs::RunRegistry::instance().job_progress(job_name, p);
     if (!state->options->progress) return;
     const bool final_step =
         p.steps_total != 0 && p.steps_done >= p.steps_total;
@@ -179,7 +183,11 @@ void run_search_job(const SuiteJob& job, const core::MultiOutputFunction& g,
     // fault) is dropped — the search must keep running; a crash then merely
     // resumes from an older generation.
     sink = [checkpoint_path](const core::SearchCheckpoint& ck) {
-      core::save_checkpoint_best_effort(checkpoint_path, ck);
+      if (core::save_checkpoint_best_effort(checkpoint_path, ck)) {
+        obs::EventLog::instance().emit("checkpoint.save");
+      } else {
+        obs::EventLog::instance().emit("checkpoint.save_failure");
+      }
     };
   }
   std::optional<core::SearchCheckpoint> resume_state;
@@ -187,6 +195,9 @@ void run_search_job(const SuiteJob& job, const core::MultiOutputFunction& g,
     // Generation-aware: a torn/corrupt latest checkpoint falls back to
     // "<path>.1"; with no loadable generation the job starts fresh.
     if (auto loaded = core::load_checkpoint_with_fallback(checkpoint_path)) {
+      if (loaded->from_previous) {
+        obs::EventLog::instance().emit("checkpoint.fallback");
+      }
       resume_state = std::move(loaded->checkpoint);
     }
   }
@@ -264,7 +275,9 @@ void run_search_job(const SuiteJob& job, const core::MultiOutputFunction& g,
 
 void run_one_job(const SuiteJob& job, SuiteState& state, ResultCache* cache,
                  JobOutcome& out) {
-  const util::telemetry::Span span("suite.job");
+  // Interned so the span arg outlives the manifest that owns the name.
+  const util::telemetry::Span span(
+      "suite.job", util::telemetry::trace_intern(job.name));
   const util::WallTimer timer;
   const auto g = load_job_function(job);
   if (const auto& dir = state.options->dump_tables_dir; !dir.empty()) {
@@ -317,8 +330,15 @@ void run_one_job(const SuiteJob& job, SuiteState& state, ResultCache* cache,
 /// only burns time.
 void run_job_isolated(const SuiteJob& job, SuiteState& state,
                       ResultCache* cache, JobOutcome& out) {
+  // Lifecycle events emitted on this thread (including from lower layers:
+  // checkpoint sinks, cache probes, failpoint fires) carry the job's name.
+  const obs::EventLog::JobScope event_scope(job.name);
+  auto& registry = obs::RunRegistry::instance();
+  auto& events = obs::EventLog::instance();
   const util::RetryPolicy& policy = state.options->job_retry;
   for (unsigned attempt = 1;; ++attempt) {
+    registry.job_started(job.name);
+    events.emit("job.start", {}, attempt);
     try {
       if (const int error = util::fp::maybe_fail("suite.job")) {
         throw util::IoError("injected job fault", job.name, error,
@@ -328,6 +348,9 @@ void run_job_isolated(const SuiteJob& job, SuiteState& state,
       suite_metrics().completed.add(
           out.status == util::RunStatus::kCompleted ? 1 : 0);
       suite_metrics().resumed.add(out.resumed ? 1 : 0);
+      events.emit("job.finish", {}, attempt);
+      registry.job_completed(job.name, out.record.med, out.from_cache,
+                             out.resumed);
       return;
     } catch (const util::CancelledError&) {
       // The master control tripped while this job was inside a kernel: the
@@ -336,10 +359,14 @@ void run_job_isolated(const SuiteJob& job, SuiteState& state,
       out.status = state.options->control != nullptr
                        ? state.options->control->status()
                        : util::RunStatus::kCancelled;
+      events.emit("job.cancelled", {}, attempt);
+      registry.job_cancelled(job.name);
       return;
     } catch (const util::IoError& error) {
       if (error.retryable() && attempt < policy.max_attempts) {
         suite_metrics().retries.add(1);
+        events.emit("job.retry", error.site(), attempt);
+        registry.job_retrying(job.name);
         std::this_thread::sleep_for(policy.backoff_before(attempt + 1));
         // Drop any partial outcome of the failed attempt before rerunning.
         out = JobOutcome{};
@@ -349,14 +376,20 @@ void run_job_isolated(const SuiteJob& job, SuiteState& state,
       }
       out.error = error.what();
       suite_metrics().failed.add(1);
+      events.emit("job.quarantine", error.site(), attempt);
+      registry.job_failed(job.name, out.error);
       return;
     } catch (const std::exception& error) {
       out.error = error.what();
       suite_metrics().failed.add(1);
+      events.emit("job.quarantine", {}, attempt);
+      registry.job_failed(job.name, out.error);
       return;
     } catch (...) {
       out.error = "unknown non-standard exception";
       suite_metrics().failed.add(1);
+      events.emit("job.quarantine", {}, attempt);
+      registry.job_failed(job.name, out.error);
       return;
     }
   }
@@ -389,6 +422,11 @@ SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options) {
   SuiteReport report;
   report.outcomes.resize(manifest.jobs.size());
   suite_metrics().jobs.add(manifest.jobs.size());
+  // Declare every job up front so /runs lists the whole suite (pending rows
+  // included) from the first scrape, in manifest order.
+  for (const auto& job : manifest.jobs) {
+    obs::RunRegistry::instance().declare(job.name, job.algorithm);
+  }
 
   // Jobs shard across the pool; each job body may itself call parallel_for
   // on the same pool (nested calls drain on the job's worker). Per-job
@@ -402,6 +440,9 @@ SuiteReport run_suite(const Manifest& manifest, const SuiteOptions& options) {
         out.job = manifest.jobs[i];
         if (options.control != nullptr && options.control->stop_requested()) {
           out.status = options.control->status();
+          const obs::EventLog::JobScope scope(manifest.jobs[i].name);
+          obs::EventLog::instance().emit("job.skip");
+          obs::RunRegistry::instance().job_skipped(manifest.jobs[i].name);
           return;  // never started; reported as skipped
         }
         out.started = true;

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/obs_sink.hpp"
 #include "util/telemetry.hpp"
 
 namespace dalut::util::fp {
@@ -66,6 +67,8 @@ constexpr SiteInfo kSites[] = {
     {"atomic_write.rename", false},
     {"atomic_write.dirsync", false},
     {"suite.job", false},
+    {"obs.accept", false},
+    {"obs.events.write", kTorn},
 };
 
 constexpr std::size_t kSiteCount = std::size(kSites);
@@ -250,6 +253,8 @@ Fault check(const char* site_name) noexcept {
 
   ++site.fires;
   fires_counter().add(1);
+  obsink::emit({"failpoint.fire", kSites[index].name,
+                static_cast<std::uint64_t>(site.error)});
   if (site.torn) return {FaultKind::kTorn, 0};
   return {FaultKind::kError, site.error};
 }

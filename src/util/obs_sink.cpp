@@ -1,0 +1,11 @@
+#include "util/obs_sink.hpp"
+
+namespace dalut::util::obsink {
+
+std::atomic<Sink> detail::g_sink{nullptr};
+
+void install(Sink sink) noexcept {
+  detail::g_sink.store(sink, std::memory_order_release);
+}
+
+}  // namespace dalut::util::obsink

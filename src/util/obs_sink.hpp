@@ -1,0 +1,48 @@
+// Process-wide lifecycle-event tap for layers below src/obs.
+//
+// The structured event log (src/obs/event_log) wants events from code that
+// obs itself depends on — failpoint fires in util/failpoint, retry give-ups
+// in util/retry. Those layers cannot link against obs, so they report
+// through this tiny hook instead: obs installs the one consumer, util code
+// emits. Disarmed (no consumer installed) an emit is one relaxed atomic
+// load and a branch, the same zero-overhead discipline as telemetry's
+// enable flag and failpoint's armed flag.
+//
+// Like everything observability-side, the tap is write-only for the
+// searches: consumers must never feed anything back into search state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace dalut::util::obsink {
+
+/// One lifecycle moment. Strings must be static or interned — the record is
+/// passed by reference and may be copied by the consumer, so only pointer
+/// lifetime matters: `kind` and `site` are string literals at every emit
+/// site.
+struct LifecycleEvent {
+  const char* kind = "";   ///< e.g. "failpoint.fire", "io.retry_giveup"
+  const char* site = "";   ///< failpoint/boundary site name, "" if none
+  std::uint64_t value = 0; ///< kind-specific payload (errno, ordinal, ...)
+};
+
+using Sink = void (*)(const LifecycleEvent&) noexcept;
+
+namespace detail {
+extern std::atomic<Sink> g_sink;
+}
+
+/// Installs (or, with nullptr, removes) the process-wide consumer. The
+/// consumer must be callable from any thread and must not block: it runs
+/// inline at the emit site, inside I/O boundaries and retry loops.
+void install(Sink sink) noexcept;
+
+/// Delivers `event` to the installed consumer, if any.
+inline void emit(const LifecycleEvent& event) noexcept {
+  if (Sink sink = detail::g_sink.load(std::memory_order_acquire)) {
+    sink(event);
+  }
+}
+
+}  // namespace dalut::util::obsink

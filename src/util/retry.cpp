@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "util/obs_sink.hpp"
 #include "util/telemetry.hpp"
 
 namespace dalut::util {
@@ -77,6 +78,7 @@ void RetryPolicy::note_retry_giveup() noexcept {
   static telemetry::Counter counter =
       telemetry::Counter::get("io.retry_giveups");
   counter.add(1);
+  obsink::emit({"io.retry_giveup", "", 0});
 }
 
 }  // namespace dalut::util

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@ std::atomic<bool> detail::g_tracing_enabled{false};
 namespace {
 
 std::atomic<std::size_t> g_ring_capacity{16384};
+std::atomic<std::size_t> g_retired_capacity{65536};
 
 /// First-span anchor (steady-clock ns since epoch). Timestamps are offsets
 /// from it so traces start near t=0. Set once, lock-free, by whichever
@@ -26,6 +29,7 @@ std::atomic<std::int64_t> g_anchor{0};
 
 struct SpanRecord {
   const char* name = nullptr;
+  const char* arg = nullptr;  ///< optional label ("args": {"arg": ...})
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
 };
@@ -39,12 +43,13 @@ struct SpanRing {
       : tid(id), slots(capacity) {}
 
   /// Returns true when the push overwrote (dropped) the oldest span.
-  bool push(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns) {
+  bool push(const char* name, const char* arg, std::uint64_t start_ns,
+            std::uint64_t dur_ns) {
     std::lock_guard lock(mutex);
     if (slots.empty()) return false;
     const bool overwrote = total >= slots.size();
     if (overwrote) ++dropped;  // overwrites the oldest span
-    slots[head] = {name, start_ns, dur_ns};
+    slots[head] = {name, arg, start_ns, dur_ns};
     head = (head + 1) % slots.size();
     ++total;
     return overwrote;
@@ -79,6 +84,14 @@ struct SpanRing {
   std::uint64_t dropped = 0;
 };
 
+/// Spans that survived a thread's exit, grouped by the ring they came from
+/// so the export can keep labeling them with the original track.
+struct RetiredRing {
+  std::uint32_t tid = 0;
+  std::vector<SpanRecord> spans;  ///< oldest first
+  std::uint64_t dropped = 0;      ///< ring-overflow drops while live
+};
+
 class TraceStore {
  public:
   static TraceStore& instance() {
@@ -94,37 +107,90 @@ class TraceStore {
     return ring;
   }
 
+  /// Folds a departing thread's ring into the bounded retired list
+  /// (mirroring telemetry's retired-shard accumulator): its retained spans
+  /// stay exportable, the full-capacity ring itself is freed, and past the
+  /// retired cap the oldest retired spans are dropped first and counted.
+  void retire_ring(const std::shared_ptr<SpanRing>& ring) {
+    std::lock_guard lock(mutex_);
+    RetiredRing retired;
+    retired.tid = ring->tid;
+    ring->collect(retired.spans);
+    retired.dropped = ring->dropped_count();
+    retired_dropped_ += retired.dropped;
+    retired_span_count_ += retired.spans.size();
+    if (!retired.spans.empty() || retired.dropped != 0) {
+      retired_.push_back(std::move(retired));
+    }
+    rings_.erase(std::find(rings_.begin(), rings_.end(), ring));
+    trim_retired();
+  }
+
   std::vector<std::shared_ptr<SpanRing>> rings() {
     std::lock_guard lock(mutex_);
     return rings_;
   }
 
+  /// Copies the retired spans (grouped per origin thread, oldest first).
+  std::vector<RetiredRing> retired() {
+    std::lock_guard lock(mutex_);
+    return {retired_.begin(), retired_.end()};
+  }
+
+  std::uint64_t retired_dropped() {
+    std::lock_guard lock(mutex_);
+    return retired_dropped_;
+  }
+
   void reset() {
     std::lock_guard lock(mutex_);
-    // Live rings (still owned by a thread_local) survive with cleared
-    // contents; rings whose thread exited are dropped entirely.
-    std::vector<std::shared_ptr<SpanRing>> kept;
-    for (auto& ring : rings_) {
-      if (ring.use_count() > 1) {
-        ring->clear();
-        kept.push_back(ring);
-      }
-    }
-    rings_ = std::move(kept);
+    for (auto& ring : rings_) ring->clear();
+    retired_.clear();
+    retired_span_count_ = 0;
+    retired_dropped_ = 0;
   }
 
  private:
   TraceStore() = default;
 
+  // Oldest retired spans go first once the cap is exceeded — the tail of a
+  // run is what gets debugged, same policy as ring overflow.
+  void trim_retired() {
+    const std::size_t cap = g_retired_capacity.load(std::memory_order_relaxed);
+    while (retired_span_count_ > cap && !retired_.empty()) {
+      auto& oldest = retired_.front();
+      const std::size_t excess = retired_span_count_ - cap;
+      if (oldest.spans.size() <= excess) {
+        retired_span_count_ -= oldest.spans.size();
+        retired_dropped_ += oldest.spans.size();
+        retired_.pop_front();
+      } else {
+        oldest.spans.erase(oldest.spans.begin(),
+                           oldest.spans.begin() +
+                               static_cast<std::ptrdiff_t>(excess));
+        retired_span_count_ -= excess;
+        retired_dropped_ += excess;
+      }
+    }
+  }
+
   std::mutex mutex_;
-  std::vector<std::shared_ptr<SpanRing>> rings_;
+  std::vector<std::shared_ptr<SpanRing>> rings_;  ///< live threads only
+  std::deque<RetiredRing> retired_;
+  std::size_t retired_span_count_ = 0;   ///< spans held across retired_
+  std::uint64_t retired_dropped_ = 0;    ///< drops charged to retirement
   std::uint32_t next_tid_ = 1;
 };
 
+/// Ties one ring to one thread; folds it into the retired list on exit.
+struct RingOwner {
+  std::shared_ptr<SpanRing> ring = TraceStore::instance().adopt_ring();
+  ~RingOwner() { TraceStore::instance().retire_ring(ring); }
+};
+
 SpanRing& local_ring() {
-  thread_local std::shared_ptr<SpanRing> ring =
-      TraceStore::instance().adopt_ring();
-  return *ring;
+  thread_local RingOwner owner;
+  return *owner.ring;
 }
 
 }  // namespace
@@ -144,12 +210,28 @@ std::uint64_t detail::trace_now_ns() noexcept {
   return static_cast<std::uint64_t>(now - anchor);
 }
 
-void detail::record_span(const char* name, std::uint64_t start_ns,
+void detail::record_span(const char* name, const char* arg,
+                         std::uint64_t start_ns,
                          std::uint64_t dur_ns) noexcept {
-  if (local_ring().push(name, start_ns, dur_ns)) {
+  if (local_ring().push(name, arg, start_ns, dur_ns)) {
     static const Counter dropped = Counter::get("trace.dropped_spans");
     dropped.add(1);
   }
+}
+
+const char* trace_intern(std::string_view text) {
+  // Pointers into the set's node-based storage stay stable across inserts;
+  // the set is leaked deliberately so span pointers outlive main().
+  constexpr std::size_t kMaxInterned = 4096;
+  static std::mutex* mutex = new std::mutex();
+  static std::set<std::string, std::less<>>* interned =
+      new std::set<std::string, std::less<>>();
+  std::lock_guard lock(*mutex);
+  if (const auto it = interned->find(text); it != interned->end()) {
+    return it->c_str();
+  }
+  if (interned->size() >= kMaxInterned) return "(interned-overflow)";
+  return interned->emplace(text).first->c_str();
 }
 
 void set_tracing_enabled(bool on) noexcept {
@@ -157,7 +239,7 @@ void set_tracing_enabled(bool on) noexcept {
 }
 
 std::uint64_t dropped_span_count() noexcept {
-  std::uint64_t total = 0;
+  std::uint64_t total = TraceStore::instance().retired_dropped();
   for (const auto& ring : TraceStore::instance().rings()) {
     total += ring->dropped_count();
   }
@@ -166,6 +248,10 @@ std::uint64_t dropped_span_count() noexcept {
 
 void set_span_ring_capacity(std::size_t spans_per_thread) noexcept {
   g_ring_capacity.store(spans_per_thread, std::memory_order_relaxed);
+}
+
+void set_retired_span_capacity(std::size_t total_spans) noexcept {
+  g_retired_capacity.store(total_spans, std::memory_order_relaxed);
 }
 
 void reset_tracing_for_test() {
@@ -185,6 +271,28 @@ std::string format_us(std::uint64_t ns) {
   return buf;
 }
 
+void write_thread_meta(std::ostream& out, bool& first, std::uint32_t tid,
+                       bool retired) {
+  out << (first ? "\n" : ",\n")
+      << "    {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
+         "\"tid\": "
+      << tid << ", \"args\": {\"name\": \"thread-" << tid
+      << (retired ? " (exited)" : "") << "\"}}";
+  first = false;
+}
+
+void write_span(std::ostream& out, const SpanRecord& span,
+                std::uint32_t tid) {
+  out << ",\n    {\"name\": \"" << json_escape(span.name)
+      << "\", \"cat\": \"dalut\", \"ph\": \"X\", \"ts\": "
+      << format_us(span.start_ns) << ", \"dur\": " << format_us(span.dur_ns)
+      << ", \"pid\": 1, \"tid\": " << tid;
+  if (span.arg != nullptr) {
+    out << ", \"args\": {\"arg\": \"" << json_escape(span.arg) << "\"}";
+  }
+  out << "}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& out) {
@@ -195,20 +303,15 @@ void write_chrome_trace(std::ostream& out) {
     ring->collect(spans);
     if (!spans.empty()) {
       // Thread-name metadata event so Perfetto labels the track.
-      out << (first ? "\n" : ",\n")
-          << "    {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, "
-             "\"tid\": "
-          << ring->tid << ", \"args\": {\"name\": \"thread-" << ring->tid
-          << "\"}}";
-      first = false;
+      write_thread_meta(out, first, ring->tid, /*retired=*/false);
     }
-    for (const auto& span : spans) {
-      out << ",\n    {\"name\": \"" << json_escape(span.name)
-          << "\", \"cat\": \"dalut\", \"ph\": \"X\", \"ts\": "
-          << format_us(span.start_ns) << ", \"dur\": "
-          << format_us(span.dur_ns) << ", \"pid\": 1, \"tid\": " << ring->tid
-          << "}";
+    for (const auto& span : spans) write_span(out, span, ring->tid);
+  }
+  for (const auto& retired : TraceStore::instance().retired()) {
+    if (!retired.spans.empty()) {
+      write_thread_meta(out, first, retired.tid, /*retired=*/true);
     }
+    for (const auto& span : retired.spans) write_span(out, span, retired.tid);
   }
   out << "\n  ],\n  \"dropped_spans\": " << dropped_span_count()
       << "\n}\n";

@@ -11,8 +11,11 @@
 // write_chrome_trace() emits the collected spans as Chrome trace-event JSON
 // ("X" complete events, microsecond timestamps relative to the first span
 // anchor) loadable in Perfetto (https://ui.perfetto.dev) or
-// chrome://tracing. Rings of exited threads are retained until reset, so a
-// trace survives worker churn.
+// chrome://tracing. When a thread exits, its ring folds into a bounded
+// retired-span list (the tracing analogue of telemetry's retired-shard
+// accumulator), so the spans of short-lived workers survive into the export
+// without the store growing a full-capacity ring per departed thread; past
+// the retired bound the oldest retired spans are dropped and counted.
 //
 // Like the metrics registry, tracing is write-only for the searches:
 // nothing reads a span back, timestamps land only in the exported artifact,
@@ -24,13 +27,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string_view>
 
 namespace dalut::util::telemetry {
 
 namespace detail {
 extern std::atomic<bool> g_tracing_enabled;
 std::uint64_t trace_now_ns() noexcept;
-void record_span(const char* name, std::uint64_t start_ns,
+void record_span(const char* name, const char* arg, std::uint64_t start_ns,
                  std::uint64_t dur_ns) noexcept;
 }  // namespace detail
 
@@ -41,18 +45,23 @@ inline bool tracing_enabled() noexcept {
   return detail::g_tracing_enabled.load(std::memory_order_relaxed);
 }
 
-/// RAII span. `name` must outlive the trace (string literals only — the
-/// ring stores the pointer, not a copy).
+/// RAII span. `name` (and `arg`, when given) must outlive the trace —
+/// string literals or trace_intern() results only; the ring stores the
+/// pointer, not a copy.
 class Span {
  public:
-  explicit Span(const char* name) noexcept
-      : name_(name), start_ns_(0), active_(tracing_enabled()) {
+  explicit Span(const char* name) noexcept : Span(name, nullptr) {}
+
+  /// `arg` labels the span in the export (`"args": {"arg": ...}`) — the
+  /// suite tags each `suite.job` span with its interned job name this way.
+  Span(const char* name, const char* arg) noexcept
+      : name_(name), arg_(arg), start_ns_(0), active_(tracing_enabled()) {
     if (active_) start_ns_ = detail::trace_now_ns();
   }
 
   ~Span() {
     if (active_) {
-      detail::record_span(name_, start_ns_,
+      detail::record_span(name_, arg_, start_ns_,
                           detail::trace_now_ns() - start_ns_);
     }
   }
@@ -62,9 +71,17 @@ class Span {
 
  private:
   const char* name_;
+  const char* arg_;
   std::uint64_t start_ns_;
   bool active_;
 };
+
+/// Interns a dynamic string (a job name, a stage label) into storage that
+/// outlives every trace export, returning a stable pointer usable as a Span
+/// name or arg. Idempotent per content; bounded — past the cap every new
+/// string maps to a shared overflow sentinel rather than growing without
+/// limit.
+const char* trace_intern(std::string_view text);
 
 /// Emits every retained span (live and retired rings) as a Chrome
 /// trace-event JSON document.
@@ -76,6 +93,12 @@ std::uint64_t dropped_span_count() noexcept;
 /// Ring capacity (spans per thread) for rings created after the call.
 /// Default: 16384. Exists so tests can force overflow cheaply.
 void set_span_ring_capacity(std::size_t spans_per_thread) noexcept;
+
+/// Cap on spans retained from exited threads, across all of them (default:
+/// 65536). When a retiring ring would push the total past the cap, the
+/// oldest retired spans are dropped first and counted in
+/// dropped_span_count() / `trace.dropped_spans`.
+void set_retired_span_capacity(std::size_t total_spans) noexcept;
 
 /// Drops retired rings and clears live ones. Only safe while no other
 /// thread is recording spans (tests and benchmarks).

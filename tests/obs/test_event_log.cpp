@@ -1,0 +1,259 @@
+// Event-log stream tests: framing and trailer, job labels, bounded-queue
+// drop accounting, injected write faults (errno and torn), the obsink
+// bridge, and the never-block / never-fail-the-run guarantees.
+#include "obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/failpoint.hpp"
+#include "util/obs_sink.hpp"
+#include "util/telemetry.hpp"
+
+namespace dalut::obs {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fp = util::fp;
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::telemetry::reset_metrics_for_test();
+    util::telemetry::set_metrics_enabled(true);
+    // Unique per test: ctest runs each test of this binary as its own
+    // process, possibly in parallel, so a shared path would collide.
+    path_ = (fs::temp_directory_path() /
+             ("dalut_event_log_" +
+              std::string(::testing::UnitTest::GetInstance()
+                              ->current_test_info()
+                              ->name()) +
+              ".jsonl"))
+                .string();
+    fs::remove(path_);
+  }
+  void TearDown() override {
+    EventLog::instance().close();
+    fp::reset();
+    fs::remove(path_);
+    util::telemetry::set_metrics_enabled(false);
+    util::telemetry::reset_metrics_for_test();
+  }
+
+  std::vector<std::string> read_lines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    return lines;
+  }
+
+  std::string path_;
+};
+
+TEST_F(EventLogTest, WritesHeaderRowsAndTrailer) {
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  EXPECT_TRUE(log.active());
+  log.emit("suite.start", {}, 3);
+  {
+    const EventLog::JobScope scope("cos8");
+    log.emit("job.start", {}, 1);
+    log.emit("job.retry", "cache.store.write", 1);
+  }
+  log.emit("suite.finish");
+  log.close();
+  EXPECT_FALSE(log.active());
+
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 6u);  // header + 4 rows + trailer
+  EXPECT_EQ(lines[0], "dalut-events v1");
+  EXPECT_NE(lines[1].find("\"seq\": 1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\": \"suite.start\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"value\": 3"), std::string::npos);
+  // Rows inside a JobScope carry the job label; the site lands verbatim.
+  EXPECT_NE(lines[2].find("\"job\": \"cos8\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"site\": \"cache.store.write\""),
+            std::string::npos);
+  // Outside the scope the label is gone again.
+  EXPECT_EQ(lines[4].find("\"job\""), std::string::npos);
+  // Clean-close trailer with final accounting.
+  EXPECT_NE(lines[5].find("\"event\": \"log.close\""), std::string::npos);
+  EXPECT_NE(lines[5].find("\"next_seq\": 5"), std::string::npos);
+  EXPECT_NE(lines[5].find("\"dropped\": 0"), std::string::npos);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.write_failures(), 0u);
+}
+
+TEST_F(EventLogTest, SequenceNumbersAreGapFreeAndTimestampsMonotone) {
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  for (int i = 0; i < 16; ++i) log.emit("tick");
+  log.close();
+
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 18u);
+  std::uint64_t previous_ts = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    std::ostringstream want;
+    want << "\"seq\": " << i;
+    EXPECT_NE(lines[i].find(want.str()), std::string::npos) << lines[i];
+    const auto ts_pos = lines[i].find("\"ts_ns\": ");
+    ASSERT_NE(ts_pos, std::string::npos);
+    const std::uint64_t ts = std::strtoull(
+        lines[i].c_str() + ts_pos + sizeof("\"ts_ns\": ") - 1, nullptr, 10);
+    EXPECT_GE(ts, previous_ts);  // one emitting thread: strictly ordered
+    previous_ts = ts;
+  }
+}
+
+TEST_F(EventLogTest, JobScopesNestInnermostWins) {
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  {
+    const EventLog::JobScope outer("outer-job");
+    log.emit("a");
+    {
+      const EventLog::JobScope inner("inner-job");
+      log.emit("b");
+    }
+    log.emit("c");  // outer label restored
+  }
+  log.close();
+
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_NE(lines[1].find("\"job\": \"outer-job\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"job\": \"inner-job\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"job\": \"outer-job\""), std::string::npos);
+}
+
+TEST_F(EventLogTest, FullQueueDropsInsteadOfBlockingAndAccountsExactly) {
+  constexpr std::uint64_t kBurst = 20000;
+  EventLog& log = EventLog::instance();
+  log.open(path_, /*queue_capacity=*/1);
+  // A tight burst against a single-slot queue: the producer enqueues at
+  // memory speed while the writer needs a wake/drain cycle per slot, so
+  // most of the burst must drop — and none of it may block.
+  for (std::uint64_t i = 0; i < kBurst; ++i) log.emit("burst");
+  log.close();
+
+  const auto lines = read_lines();
+  ASSERT_GE(lines.size(), 3u);
+  const std::uint64_t rows = lines.size() - 2;  // minus header + trailer
+  EXPECT_GT(log.dropped(), 0u);
+  // Every event either landed as a row or was counted dropped.
+  EXPECT_EQ(rows + log.dropped(), kBurst);
+  std::ostringstream want;
+  want << "\"dropped\": " << log.dropped();
+  EXPECT_NE(lines.back().find(want.str()), std::string::npos);
+  EXPECT_EQ(util::telemetry::snapshot_metrics().counter_value(
+                "events.dropped"),
+            log.dropped());
+}
+
+TEST_F(EventLogTest, ErrnoWriteFaultDropsRowsButNeverThrows) {
+  fp::configure("obs.events.write=EIO@2");  // first two writes fail
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  for (int i = 0; i < 4; ++i) log.emit("row");
+  log.close();
+  fp::reset();
+
+  EXPECT_EQ(log.write_failures(), 2u);
+  const auto lines = read_lines();
+  // Header + 2 surviving rows + trailer; the failed rows leave seq gaps.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "dalut-events v1");
+  EXPECT_NE(lines[1].find("\"seq\": 3"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"seq\": 4"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"write_failures\": 2"), std::string::npos);
+}
+
+TEST_F(EventLogTest, TornWriteTruncatesRowAndCountsFailure) {
+  fp::configure("obs.events.write=torn@1");
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  log.emit("torn-victim");
+  log.emit("survivor");
+  log.close();
+  fp::reset();
+
+  EXPECT_EQ(log.write_failures(), 1u);
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 4u);
+  // The torn row is cut mid-line: no closing brace, event name truncated.
+  EXPECT_NE(lines[1].find("{\"seq\": 1"), std::string::npos);
+  EXPECT_EQ(lines[1].back() == '}', false);
+  // Later rows land intact after the fault passes.
+  EXPECT_NE(lines[2].find("\"event\": \"survivor\""), std::string::npos);
+  EXPECT_EQ(lines[2].back(), '}');
+  EXPECT_NE(lines[3].find("\"event\": \"log.close\""), std::string::npos);
+}
+
+TEST_F(EventLogTest, ObsinkBridgeRecordsFailpointFires) {
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  // Arm an unrelated I/O site and probe it: the failpoint layer reports the
+  // fire through util::obsink, which the open log bridges into a row.
+  fp::configure("cache.load.open=ENOENT@1");
+  EXPECT_EQ(fp::maybe_fail("cache.load.open"), ENOENT);
+  log.close();
+  fp::reset();
+
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("\"event\": \"failpoint.fire\""),
+            std::string::npos);
+  EXPECT_NE(lines[1].find("\"site\": \"cache.load.open\""),
+            std::string::npos);
+  std::ostringstream want;
+  want << "\"value\": " << ENOENT;
+  EXPECT_NE(lines[1].find(want.str()), std::string::npos);
+}
+
+TEST_F(EventLogTest, SelfInflictedWriteFaultDoesNotFeedBack) {
+  // The writer's own "obs.events.write" probes fire the failpoint, which
+  // emits through the bridge *on the writer thread*. Without the recursion
+  // guard each dropped row would spawn a failpoint.fire row whose write
+  // fires again, self-sustaining forever. The log must converge instead.
+  fp::configure("obs.events.write=EIO@every-1");  // every write fails
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  for (int i = 0; i < 8; ++i) log.emit("doomed");
+  log.close();  // must terminate
+  fp::reset();
+
+  // 8 rows + the trailer all failed; nothing re-entered the queue.
+  EXPECT_EQ(log.write_failures(), 9u);
+  const auto lines = read_lines();
+  ASSERT_EQ(lines.size(), 1u);  // only the header survives
+  EXPECT_EQ(lines[0], "dalut-events v1");
+}
+
+TEST_F(EventLogTest, EmitWithoutOpenIsANoop) {
+  EventLog& log = EventLog::instance();
+  ASSERT_FALSE(log.active());
+  log.emit("ignored", "site", 7);  // must not crash or count
+  log.close();                     // idempotent on a closed log
+  EXPECT_FALSE(fs::exists(path_));
+}
+
+TEST_F(EventLogTest, DoubleOpenAndBadPathThrow) {
+  EventLog& log = EventLog::instance();
+  log.open(path_);
+  EXPECT_THROW(log.open(path_), std::runtime_error);
+  log.close();
+  EXPECT_THROW(log.open("/nonexistent-dir/events.jsonl"),
+               std::runtime_error);
+  EXPECT_FALSE(log.active());
+}
+
+}  // namespace
+}  // namespace dalut::obs

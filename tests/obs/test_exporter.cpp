@@ -1,0 +1,388 @@
+// Embedded HTTP exporter tests: --listen spec parsing, the three endpoints
+// against a live server, run-registry JSON, concurrent scrape integrity,
+// and fault tolerance at the accept boundary (a dying exporter must never
+// fail the run).
+#include "obs/exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/run_registry.hpp"
+#include "util/failpoint.hpp"
+#include "util/run_control.hpp"
+#include "util/telemetry.hpp"
+
+namespace dalut::obs {
+namespace {
+
+namespace telemetry = util::telemetry;
+namespace fp = util::fp;
+
+struct HttpReply {
+  bool ok = false;  ///< a status line came back at all
+  int status = 0;
+  std::string text;  ///< full response (headers + body)
+  std::string body;
+};
+
+/// Minimal blocking HTTP exchange against 127.0.0.1:port. `ok` stays false
+/// when the server closes the connection without answering (the injected
+/// accept-fault path), which callers must tolerate.
+HttpReply http_exchange(std::uint16_t port, const std::string& request) {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return reply;
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t put =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (put <= 0) break;
+    sent += static_cast<std::size_t>(put);
+  }
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+    if (got <= 0) break;
+    reply.text.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  if (reply.text.rfind("HTTP/1.1 ", 0) == 0) {
+    reply.ok = true;
+    reply.status = std::atoi(reply.text.c_str() + sizeof("HTTP/1.1 ") - 1);
+    const auto split = reply.text.find("\r\n\r\n");
+    if (split != std::string::npos) reply.body = reply.text.substr(split + 4);
+  }
+  return reply;
+}
+
+HttpReply http_get(std::uint16_t port, const std::string& path) {
+  return http_exchange(port, "GET " + path +
+                                 " HTTP/1.1\r\nHost: localhost\r\n"
+                                 "Connection: close\r\n\r\n");
+}
+
+TEST(ParseListenSpec, AcceptsHostPortPortOnlyAndBarePort) {
+  EXPECT_EQ(parse_listen_spec("127.0.0.1:9090"),
+            (std::pair<std::string, std::uint16_t>{"127.0.0.1", 9090}));
+  EXPECT_EQ(parse_listen_spec(":8080"),
+            (std::pair<std::string, std::uint16_t>{"127.0.0.1", 8080}));
+  EXPECT_EQ(parse_listen_spec("9100"),
+            (std::pair<std::string, std::uint16_t>{"127.0.0.1", 9100}));
+  EXPECT_EQ(parse_listen_spec("0.0.0.0:0"),
+            (std::pair<std::string, std::uint16_t>{"0.0.0.0", 0}));
+}
+
+TEST(ParseListenSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_listen_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_listen_spec("host:"), std::invalid_argument);
+  EXPECT_THROW(parse_listen_spec("host:port"), std::invalid_argument);
+  EXPECT_THROW(parse_listen_spec("127.0.0.1:70000"), std::invalid_argument);
+  EXPECT_THROW(parse_listen_spec("127.0.0.1:-1"), std::invalid_argument);
+}
+
+class ObsExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    telemetry::reset_metrics_for_test();
+    telemetry::set_metrics_enabled(true);
+    RunRegistry::instance().set_enabled(true);
+    RunRegistry::instance().reset();
+  }
+  void TearDown() override {
+    exporter_.stop();
+    fp::reset();
+    RunRegistry::instance().reset();
+    RunRegistry::instance().set_enabled(false);
+    RunRegistry::instance().set_trajectory_capacity(64);
+    telemetry::set_metrics_enabled(false);
+    telemetry::reset_metrics_for_test();
+  }
+
+  /// Starts on an ephemeral loopback port and returns it.
+  std::uint16_t start(const util::RunControl* control = nullptr) {
+    ExporterOptions options;
+    options.control = control;
+    exporter_.start(options);
+    return exporter_.port();
+  }
+
+  MetricsExporter exporter_;
+};
+
+TEST_F(ObsExporterTest, BindsEphemeralPortAndStopsIdempotently) {
+  const std::uint16_t port = start();
+  EXPECT_NE(port, 0);
+  EXPECT_TRUE(exporter_.running());
+  EXPECT_EQ(exporter_.endpoint(), "127.0.0.1:" + std::to_string(port));
+  exporter_.stop();
+  EXPECT_FALSE(exporter_.running());
+  exporter_.stop();  // idempotent
+}
+
+TEST_F(ObsExporterTest, ServesMetricsAsPrometheusExposition) {
+  telemetry::Counter::get("exporter.test.counter").add(11);
+  const std::uint16_t port = start();
+  const HttpReply reply = http_get(port, "/metrics");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(
+      reply.text.find("Content-Type: text/plain; version=0.0.4"),
+      std::string::npos);
+  EXPECT_NE(reply.body.find("# TYPE dalut_exporter_test_counter_total "
+                            "counter\n"),
+            std::string::npos);
+  EXPECT_NE(reply.body.find("dalut_exporter_test_counter_total 11\n"),
+            std::string::npos);
+}
+
+TEST_F(ObsExporterTest, HealthzTracksRunControlState) {
+  util::RunControl control;
+  const std::uint16_t port = start(&control);
+
+  HttpReply reply = http_get(port, "/healthz");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.text.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(reply.body.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"run\": \"running\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"uptime_seconds\": "), std::string::npos);
+
+  control.request_cancel();
+  ASSERT_TRUE(control.stop_requested());  // latch the reason
+  reply = http_get(port, "/healthz");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_NE(reply.body.find("\"run\": \"cancelled\""), std::string::npos);
+}
+
+TEST_F(ObsExporterTest, HealthzWithoutControlReportsDetached) {
+  const std::uint16_t port = start();
+  const HttpReply reply = http_get(port, "/healthz");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_NE(reply.body.find("\"run\": \"detached\""), std::string::npos);
+}
+
+TEST_F(ObsExporterTest, RunsReportsLiveJobStateAndTrajectory) {
+  RunRegistry& registry = RunRegistry::instance();
+  registry.declare("cos8", "bssa");
+  registry.declare("log8", "dalta");
+  registry.job_started("cos8");
+  util::RunProgress progress;
+  progress.stage = "beam-search";
+  progress.round = 1;
+  progress.bit = 7;
+  progress.steps_done = 3;
+  progress.steps_total = 8;
+  progress.best_error = 0.75;
+  registry.job_progress("cos8", progress);
+  progress.steps_done = 4;
+  progress.best_error = 0.5;
+  registry.job_progress("cos8", progress);
+  registry.job_completed("log8", 1.25, /*from_cache=*/true,
+                         /*resumed=*/false);
+
+  const std::uint16_t port = start();
+  const HttpReply reply = http_get(port, "/runs");
+  ASSERT_TRUE(reply.ok);
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("\"name\": \"cos8\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"state\": \"running\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"stage\": \"beam-search\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"best_error\": 0.5"), std::string::npos);
+  EXPECT_NE(reply.body.find("\"state\": \"cached\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"cache\": {"), std::string::npos);
+  EXPECT_NE(reply.body.find("\"events\": {"), std::string::npos);
+  EXPECT_NE(reply.body.find("\"failpoints\": {"), std::string::npos);
+}
+
+TEST_F(ObsExporterTest, UnknownPathAndNonGetAreRejected) {
+  const std::uint16_t port = start();
+  const HttpReply missing = http_get(port, "/nope");
+  ASSERT_TRUE(missing.ok);
+  EXPECT_EQ(missing.status, 404);
+  const HttpReply posted = http_exchange(
+      port, "POST /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(posted.ok);
+  EXPECT_EQ(posted.status, 405);
+  // Query strings are stripped, not 404ed.
+  const HttpReply busted = http_get(port, "/metrics?ts=123");
+  ASSERT_TRUE(busted.ok);
+  EXPECT_EQ(busted.status, 200);
+}
+
+TEST_F(ObsExporterTest, ConcurrentScrapesNeverSeeTornTotals) {
+  constexpr int kWorkers = 8;
+  // Register before the workers start so the very first scrape sees the
+  // series (registration itself is what the first get() call does).
+  const telemetry::Counter counter = telemetry::Counter::get("exporter.hammer");
+  const std::uint16_t port = start();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> added{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.add(1);
+        added.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Scrape while the hammer runs; assert after the join so a failed scrape
+  // cannot leave joinable threads behind.
+  std::vector<HttpReply> scrapes;
+  for (int scrape = 0; scrape < 20; ++scrape) {
+    scrapes.push_back(http_get(port, "/metrics"));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  scrapes.push_back(http_get(port, "/metrics"));  // post-join: exact
+
+  std::uint64_t previous = 0;
+  for (const HttpReply& reply : scrapes) {
+    ASSERT_TRUE(reply.ok);
+    ASSERT_EQ(reply.status, 200);
+    const auto pos = reply.body.find("\ndalut_exporter_hammer_total ");
+    ASSERT_NE(pos, std::string::npos);
+    const std::uint64_t seen = std::strtoull(
+        reply.body.c_str() + pos + sizeof("\ndalut_exporter_hammer_total ") - 1,
+        nullptr, 10);
+    // Monotone across scrapes: a torn or lost shard read would run the
+    // total backwards.
+    EXPECT_GE(seen, previous);
+    previous = seen;
+  }
+  // The last scrape ran after every worker joined: exact total.
+  EXPECT_EQ(previous, added.load(std::memory_order_relaxed));
+}
+
+TEST_F(ObsExporterTest, AcceptFaultsAreCountedAndServedPast) {
+  const std::uint16_t port = start();
+  fp::configure("obs.accept=EMFILE@every-2");
+
+  int served = 0;
+  int refused = 0;
+  for (int i = 0; i < 6; ++i) {
+    const HttpReply reply = http_get(port, "/healthz");
+    if (reply.ok && reply.status == 200) {
+      ++served;
+    } else {
+      ++refused;  // drained and closed unanswered: the injected fault
+    }
+  }
+  fp::reset();
+
+  // every-2 fires on accepts 2, 4, 6; the odd ones are served normally.
+  EXPECT_EQ(served, 3);
+  EXPECT_EQ(refused, 3);
+  EXPECT_TRUE(exporter_.running());  // the exporter survived every fault
+  EXPECT_EQ(telemetry::snapshot_metrics().counter_value(
+                "obs.accept_failures"),
+            3u);
+  // ...and keeps serving after the site is disarmed.
+  const HttpReply after = http_get(port, "/healthz");
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.status, 200);
+}
+
+// ---- RunRegistry ---------------------------------------------------------
+
+class RunRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RunRegistry::instance().set_enabled(true);
+    RunRegistry::instance().reset();
+  }
+  void TearDown() override {
+    RunRegistry::instance().reset();
+    RunRegistry::instance().set_enabled(false);
+    RunRegistry::instance().set_trajectory_capacity(64);
+  }
+};
+
+TEST_F(RunRegistryTest, DisabledPublishersAreNoops) {
+  RunRegistry& registry = RunRegistry::instance();
+  registry.set_enabled(false);
+  registry.declare("ghost", "bssa");
+  registry.job_started("ghost");
+  EXPECT_TRUE(registry.snapshot().empty());
+}
+
+TEST_F(RunRegistryTest, BestErrorIsMinAcrossReports) {
+  RunRegistry& registry = RunRegistry::instance();
+  registry.job_started("job");
+  util::RunProgress progress;
+  progress.stage = "stage-a";
+  progress.best_error = 0.5;
+  registry.job_progress("job", progress);
+  progress.stage = "stage-b";
+  progress.best_error = 0.75;  // a later stage restarting its objective
+  registry.job_progress("job", progress);
+
+  const auto jobs = registry.snapshot();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs[0].has_best);
+  EXPECT_EQ(jobs[0].best_error, 0.5);  // min, not last
+  EXPECT_EQ(jobs[0].stage, "stage-b");
+  EXPECT_EQ(jobs[0].attempts, 1u);
+}
+
+TEST_F(RunRegistryTest, TrajectoryIsBoundedOldestDroppedFirst) {
+  RunRegistry& registry = RunRegistry::instance();
+  registry.set_trajectory_capacity(2);
+  util::RunProgress progress;
+  progress.stage = "s";
+  for (std::size_t i = 1; i <= 5; ++i) {
+    progress.steps_done = i;
+    progress.best_error = 1.0 / static_cast<double>(i);
+    registry.job_progress("job", progress);
+  }
+  const auto jobs = registry.snapshot();
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_EQ(jobs[0].trajectory.size(), 2u);
+  EXPECT_EQ(jobs[0].trajectory[0].steps_done, 4u);  // newest two survive
+  EXPECT_EQ(jobs[0].trajectory[1].steps_done, 5u);
+  EXPECT_EQ(jobs[0].trajectory_dropped, 3u);
+}
+
+TEST_F(RunRegistryTest, JobsJsonCarriesStatesAndNullBestError) {
+  RunRegistry& registry = RunRegistry::instance();
+  registry.declare("pending-job", "bssa");
+  registry.job_failed("broken-job", "quarantined: EIO");
+  registry.job_skipped("late-job");
+
+  std::ostringstream out;
+  registry.write_jobs_json(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"name\": \"pending-job\""), std::string::npos);
+  EXPECT_NE(text.find("\"state\": \"pending\""), std::string::npos);
+  // Never-reported best error renders as JSON null, not a garbage number.
+  EXPECT_NE(text.find("\"best_error\": null"), std::string::npos);
+  EXPECT_NE(text.find("\"state\": \"failed\""), std::string::npos);
+  EXPECT_NE(text.find("\"error\": \"quarantined: EIO\""), std::string::npos);
+  EXPECT_NE(text.find("\"state\": \"skipped\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dalut::obs

@@ -208,6 +208,7 @@ class TracingTest : public ::testing::Test {
     set_tracing_enabled(false);
     set_metrics_enabled(false);
     set_span_ring_capacity(16384);
+    set_retired_span_capacity(65536);
     reset_tracing_for_test();
     reset_metrics_for_test();
   }
@@ -267,6 +268,69 @@ TEST_F(TracingTest, NoOverflowKeepsEverySpan) {
   }
   EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
   EXPECT_NE(text.find("\"thread_name\""), std::string::npos);
+}
+
+TEST_F(TracingTest, ExitedThreadSpansSurviveIntoExport) {
+  // The regression this pins: a worker's ring used to vanish with the
+  // thread, so short-lived workers left no spans in the export. Exiting
+  // folds the ring into the retired list instead.
+  std::thread([] {
+    Span span("worker-span", trace_intern("job-alpha"));
+  }).join();
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"worker-span\""), std::string::npos);
+  // The retired track keeps the origin thread's label, marked exited.
+  EXPECT_NE(text.find(" (exited)\""), std::string::npos);
+  // Span args (the suite's job-name tags) survive retirement too.
+  EXPECT_NE(text.find("\"args\": {\"arg\": \"job-alpha\"}"),
+            std::string::npos);
+  EXPECT_EQ(dropped_span_count(), 0u);
+}
+
+TEST_F(TracingTest, RetiredSpansAreBoundedOldestDroppedFirst) {
+  set_retired_span_capacity(4);
+  const auto emit_named = [](const char* name, int n) {
+    std::thread([name, n] {
+      for (int i = 0; i < n; ++i) {
+        Span span(name);
+      }
+    }).join();
+  };
+  emit_named("old-span", 3);  // retired total: 3
+  emit_named("new-span", 3);  // would be 6 > 4: two oldest drop
+
+  EXPECT_EQ(dropped_span_count(), 2u);
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string text = out.str();
+  const auto count_of = [&text](std::string_view needle) {
+    std::size_t count = 0;
+    for (auto pos = text.find(needle); pos != std::string::npos;
+         pos = text.find(needle, pos + needle.size())) {
+      ++count;
+    }
+    return count;
+  };
+  // The newest ring survives whole; the oldest keeps only its newest span.
+  EXPECT_EQ(count_of("\"old-span\""), 1u);
+  EXPECT_EQ(count_of("\"new-span\""), 3u);
+  EXPECT_NE(text.find("\"dropped_spans\": 2"), std::string::npos);
+}
+
+TEST_F(TracingTest, RetiredCapZeroEvictsWholeRingsAndCounts) {
+  set_retired_span_capacity(0);
+  std::thread([] {
+    Span a("evicted-a");
+    Span b("evicted-b");
+  }).join();
+
+  EXPECT_EQ(dropped_span_count(), 2u);
+  std::ostringstream out;
+  write_chrome_trace(out);
+  EXPECT_EQ(out.str().find("\"evicted-"), std::string::npos);
 }
 
 TEST_F(TracingTest, DisabledTracingRecordsNothing) {

@@ -58,6 +58,9 @@
 #include "hw/simulator.hpp"
 #include "hw/tech_io.hpp"
 #include "hw/verilog.hpp"
+#include "obs/event_log.hpp"
+#include "obs/exporter.hpp"
+#include "obs/run_registry.hpp"
 #include "util/cli.hpp"
 #include "util/failpoint.hpp"
 #include "util/retry.hpp"
@@ -207,6 +210,15 @@ int run(int argc, char** argv) {
   cli.add_option("trace-out", "",
                  "write a Chrome trace-event JSON of the run here, loadable "
                  "in Perfetto or chrome://tracing (enables span tracing)");
+  cli.add_option("listen", "",
+                 "serve GET /metrics (Prometheus), /healthz, and /runs over "
+                 "HTTP while the run is live; host:port, :port, or port "
+                 "(host defaults to 127.0.0.1, port 0 binds an ephemeral "
+                 "port; the bound endpoint is printed to stderr)");
+  cli.add_option("events-out", "",
+                 "write the dalut-events v1 structured JSONL lifecycle log "
+                 "here (job/checkpoint/retry/failpoint events; bounded "
+                 "queue, never blocks the search)");
   cli.add_flag("progress",
                "print a human-readable progress line (throttled, plus the "
                "final at-completion report) to stderr");
@@ -248,8 +260,55 @@ int run(int argc, char** argv) {
   // the emitted settings or MEDs (docs/observability.md).
   const auto metrics_out = cli.str("metrics-out");
   const auto trace_out = cli.str("trace-out");
+  const auto listen_spec = cli.str("listen");
+  const auto events_out = cli.str("events-out");
   if (!metrics_out.empty()) util::telemetry::set_metrics_enabled(true);
   if (!trace_out.empty()) util::telemetry::set_tracing_enabled(true);
+
+  // The live observability plane: counters feed /metrics, so both surfaces
+  // force the registry on; neither reads anything back into the search
+  // (write-only guarantee, docs/observability.md).
+  obs::EventLog& events = obs::EventLog::instance();
+  if (!events_out.empty()) {
+    util::telemetry::set_metrics_enabled(true);
+    try {
+      events.open(events_out);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "io error: %s\n", error.what());
+      return kExitIo;
+    }
+  }
+  obs::MetricsExporter exporter;  // stops (if started) when run() returns
+  if (!listen_spec.empty()) {
+    util::telemetry::set_metrics_enabled(true);
+    obs::RunRegistry::instance().set_enabled(true);
+    try {
+      const auto [host, port] = obs::parse_listen_spec(listen_spec);
+      obs::ExporterOptions exporter_options;
+      exporter_options.host = host;
+      exporter_options.port = port;
+      exporter_options.control = &control;
+      exporter.start(exporter_options);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return kExitUsage;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "io error: %s\n", error.what());
+      return kExitIo;
+    }
+    // Grep-able and flushed before the run starts, so a harness scraping an
+    // ephemeral port (--listen 127.0.0.1:0) can find it immediately.
+    std::fprintf(stderr, "observability: listening on http://%s (/metrics, "
+                 "/healthz, /runs)\n",
+                 exporter.endpoint().c_str());
+    std::fflush(stderr);
+  }
+  // The single run shows up on /runs under its function name.
+  const std::string run_name =
+      cli.str("table").empty() ? cli.str("benchmark") : cli.str("table");
+  obs::RunRegistry::instance().declare(run_name, cli.str("algorithm"));
+  const obs::EventLog::JobScope event_scope(run_name);
+
   std::function<void(const util::RunProgress&)> progress_line;
   if (cli.flag("progress")) {
     progress_line = [](const util::RunProgress& p) {
@@ -260,13 +319,22 @@ int run(int argc, char** argv) {
                    p.best_error);
     };
   }
+  // /runs rides the same throttled forward as the human progress line (the
+  // first and at-completion reports always pass the throttle).
+  std::function<void(const util::RunProgress&)> forward;
+  if (progress_line || !listen_spec.empty()) {
+    forward = [&, run_name](const util::RunProgress& p) {
+      obs::RunRegistry::instance().job_progress(run_name, p);
+      if (progress_line) progress_line(p);
+    };
+  }
   util::telemetry::SnapshotPump pump;
   if (!metrics_out.empty()) {
     // The pump observes every report (for the trajectory) and applies the
     // progress line's own 5 s throttle when forwarding.
-    pump.attach(control, progress_line, std::chrono::seconds(5));
-  } else if (progress_line) {
-    control.set_progress_callback(progress_line, std::chrono::seconds(5));
+    pump.attach(control, forward, std::chrono::seconds(5));
+  } else if (forward) {
+    control.set_progress_callback(forward, std::chrono::seconds(5));
   }
 
   // --- Checkpoint / resume. ---
@@ -282,6 +350,7 @@ int run(int argc, char** argv) {
     // Generation-aware load: a torn or corrupt latest checkpoint degrades
     // to the previous generation ("<path>.1"); neither usable starts fresh.
     if (auto loaded = core::load_checkpoint_with_fallback(checkpoint_path)) {
+      if (loaded->from_previous) events.emit("checkpoint.fallback");
       resume_state = std::move(loaded->checkpoint);
       std::fprintf(stderr,
                    "resuming from %s%s (%s, round %u, %u bits done, %.2f s "
@@ -298,10 +367,13 @@ int run(int argc, char** argv) {
   }
   std::function<void(const core::SearchCheckpoint&)> sink;
   if (!checkpoint_path.empty()) {
-    sink = [&checkpoint_path](const core::SearchCheckpoint& ck) {
+    sink = [&checkpoint_path, &events](const core::SearchCheckpoint& ck) {
       // Best-effort: a failed snapshot (after retries) must not kill the
       // search — the run degrades to a coarser resume point.
-      if (!core::save_checkpoint_best_effort(checkpoint_path, ck)) {
+      if (core::save_checkpoint_best_effort(checkpoint_path, ck)) {
+        events.emit("checkpoint.save");
+      } else {
+        events.emit("checkpoint.save_failure");
         std::fprintf(stderr,
                      "warning: checkpoint save to '%s' failed, continuing "
                      "without this snapshot\n",
@@ -369,6 +441,8 @@ int run(int argc, char** argv) {
   }
 
   // --- Optimize. ---
+  obs::RunRegistry::instance().job_started(run_name);
+  events.emit("job.start");
   core::DecompositionResult result;
   if (cli.str("algorithm") == "dalta") {
     if (arch != hw::ArchKind::kDalta) {
@@ -413,6 +487,10 @@ int run(int argc, char** argv) {
     return kExitFatal;
   }
 
+  events.emit("job.finish");
+  obs::RunRegistry::instance().job_completed(run_name, result.report.med,
+                                             /*from_cache=*/false,
+                                             result.resumed);
   if (result.status != util::RunStatus::kCompleted) {
     std::fprintf(stderr,
                  "note: run stopped early (%s); emitting the best-so-far "
@@ -493,6 +571,9 @@ int run(int argc, char** argv) {
   }
 
   // --- Telemetry artifacts (also emitted for early-stopped runs). ---
+  // Close the event log first so its written/dropped counters are final in
+  // the metrics snapshot below.
+  events.close();
   if (!metrics_out.empty()) {
     // Cache occupancy is a point-in-time value, published as gauges just
     // before export.

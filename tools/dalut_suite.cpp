@@ -36,6 +36,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_log.hpp"
+#include "obs/exporter.hpp"
+#include "obs/run_registry.hpp"
 #include "suite/manifest.hpp"
 #include "suite/suite_runner.hpp"
 #include "util/cli.hpp"
@@ -44,6 +47,7 @@
 #include "util/run_control.hpp"
 #include "util/telemetry.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace_writer.hpp"
 
 namespace {
 
@@ -109,6 +113,19 @@ int run(int argc, char** argv) {
   cli.add_option("metrics-out", "",
                  "write the dalut-metrics-v1 JSON artifact (suite header, "
                  "per-job provenance, metrics snapshot, trajectory) here");
+  cli.add_option("trace-out", "",
+                 "write a Chrome trace-event JSON of the run here (one "
+                 "suite.job span per job attempt, tagged with the job name), "
+                 "loadable in Perfetto or chrome://tracing");
+  cli.add_option("listen", "",
+                 "serve GET /metrics (Prometheus), /healthz, and /runs over "
+                 "HTTP while the suite is live; host:port, :port, or port "
+                 "(host defaults to 127.0.0.1, port 0 binds an ephemeral "
+                 "port; the bound endpoint is printed to stderr)");
+  cli.add_option("events-out", "",
+                 "write the dalut-events v1 structured JSONL lifecycle log "
+                 "here (job/checkpoint/cache/failpoint events; bounded "
+                 "queue, never blocks the workers)");
   cli.add_option("deadline", "",
                  "wall-clock budget for the whole suite ('30s', '5m', "
                  "'1h'); unfinished jobs checkpoint and exit code is 4");
@@ -168,7 +185,50 @@ int run(int argc, char** argv) {
   std::signal(SIGTERM, handle_stop_signal);
 
   const auto metrics_out = cli.str("metrics-out");
+  const auto trace_out = cli.str("trace-out");
+  const auto listen_spec = cli.str("listen");
+  const auto events_out = cli.str("events-out");
   if (!metrics_out.empty()) util::telemetry::set_metrics_enabled(true);
+  if (!trace_out.empty()) util::telemetry::set_tracing_enabled(true);
+
+  // The live observability plane. Both surfaces are write-only for the
+  // searches (docs/observability.md): the suite CSV and MEDs are
+  // bit-identical with them on or off, at any worker count.
+  obs::EventLog& events = obs::EventLog::instance();
+  if (!events_out.empty()) {
+    util::telemetry::set_metrics_enabled(true);
+    try {
+      events.open(events_out);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "io error: %s\n", error.what());
+      return kExitIo;
+    }
+  }
+  obs::MetricsExporter exporter;  // stops (if started) when run() returns
+  if (!listen_spec.empty()) {
+    util::telemetry::set_metrics_enabled(true);
+    obs::RunRegistry::instance().set_enabled(true);
+    try {
+      const auto [host, port] = obs::parse_listen_spec(listen_spec);
+      obs::ExporterOptions exporter_options;
+      exporter_options.host = host;
+      exporter_options.port = port;
+      exporter_options.control = &control;
+      exporter.start(exporter_options);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return kExitUsage;
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "io error: %s\n", error.what());
+      return kExitIo;
+    }
+    // Grep-able and flushed before the run starts, so a harness scraping an
+    // ephemeral port (--listen 127.0.0.1:0) can find it immediately.
+    std::fprintf(stderr, "observability: listening on http://%s (/metrics, "
+                 "/healthz, /runs)\n",
+                 exporter.endpoint().c_str());
+    std::fflush(stderr);
+  }
 
   util::ThreadPool pool(util::resolve_worker_count(cli.integer("threads")));
 
@@ -196,7 +256,10 @@ int run(int argc, char** argv) {
     };
   }
 
+  events.emit("suite.start", {}, manifest.jobs.size());
   const auto report = suite::run_suite(manifest, options);
+  events.emit("suite.finish", {},
+              static_cast<std::uint64_t>(report.any_failed));
 
   // --- Human summary (stderr; the CSV owns stdout when --csv-out=""). ---
   for (const auto& o : report.outcomes) {
@@ -241,6 +304,10 @@ int run(int argc, char** argv) {
     suite::write_suite_csv(std::cout, report);
   }
 
+  // Close the event log before the metrics artifact so its written/dropped
+  // counters are final in the snapshot below.
+  events.close();
+
   // --- Metrics artifact. ---
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
@@ -268,6 +335,24 @@ int run(int argc, char** argv) {
     suite::write_suite_trajectory_json(out, report, 2);
     out << "\n}\n";
     std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+  }
+
+  // --- Trace artifact (one suite.job span per attempt, arg = job name). ---
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "io error: cannot write trace to '%s': %s\n",
+                   trace_out.c_str(), std::strerror(errno));
+      return kExitIo;
+    }
+    util::telemetry::write_chrome_trace(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "io error: cannot write trace to '%s': %s\n",
+                   trace_out.c_str(), std::strerror(errno));
+      return kExitIo;
+    }
+    std::fprintf(stderr, "wrote trace to %s\n", trace_out.c_str());
   }
 
   if (util::fp::active()) {
