@@ -6,8 +6,9 @@ Usage: check_bench_smoke.py <report.json>
 Asserts on the width-16 cost_matrix micro row (present even under
 --micro-only since schema v3):
 
-  1. the report is schema v3 and records the SIMD ISA, lane width, and
-     table-load mode in its config block,
+  1. the report is schema v4 and records the SIMD ISA, lane width, and
+     table-load mode in its config block, and its stream micro row (v4)
+     is bit-identical to the scalar simulator,
   2. the EvalWorkspace path is not slower than the reference
      CostMatrix::build path it replaced (relative check, same machine and
      same run, so it is immune to host speed differences), and
@@ -31,12 +32,17 @@ def main() -> int:
     with open(sys.argv[1]) as f:
         report = json.load(f)
 
-    assert report["schema"] == "dalut-bench-report-v3", report["schema"]
+    assert report["schema"] == "dalut-bench-report-v4", report["schema"]
     config = report["config"]
     for key in ("simd_isa", "simd_lanes", "table_load"):
         assert key in config, f"config missing {key}"
     assert config["simd_lanes"] >= 1
     assert config["table_load"] in ("mmap", "copy")
+
+    stream = report["stream"]
+    assert stream["bit_identical"] is True, (
+        "batched stream_simulate diverged from the scalar simulate() loop")
+    assert stream["batched_ns_per_read"] > 0, stream
 
     rows = [m for m in report["micro"]
             if m["kernel"] == "cost_matrix" and m["width"] == 16]
@@ -54,7 +60,9 @@ def main() -> int:
 
     print(f"ok: cost_matrix w16 new {new_ns:.0f} ns (old {old_ns:.0f} ns, "
           f"baseline {BASELINE_NS:.0f} ns), isa={config['simd_isa']} "
-          f"lanes={config['simd_lanes']} table_load={config['table_load']}")
+          f"lanes={config['simd_lanes']} table_load={config['table_load']}, "
+          f"stream w{stream['width']} "
+          f"{stream['batched_ns_per_read']:.2f} ns/read bit-identical")
     return 0
 
 

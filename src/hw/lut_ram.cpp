@@ -1,14 +1,21 @@
 #include "hw/lut_ram.hpp"
 
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace dalut::hw {
 
 LutRam::LutRam(unsigned addr_bits, unsigned width, const Technology& tech)
-    : addr_bits_(addr_bits), width_(width), tech_(tech) {
-  assert(addr_bits >= 1 && addr_bits <= 24);
-  assert(width >= 1 && width <= 32);
+    : addr_bits_(addr_bits), width_(width), addr_mask_(0), tech_(tech) {
+  if (addr_bits < 1 || addr_bits > 24) {
+    throw std::invalid_argument("LutRam addr_bits must be in [1, 24], got " +
+                                std::to_string(addr_bits));
+  }
+  if (width < 1 || width > 32) {
+    throw std::invalid_argument("LutRam width must be in [1, 32], got " +
+                                std::to_string(width));
+  }
+  addr_mask_ = static_cast<std::uint32_t>(entries() - 1);
   contents_.assign(entries(), 0);
 }
 

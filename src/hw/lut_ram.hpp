@@ -16,12 +16,22 @@ namespace dalut::hw {
 
 class LutRam {
  public:
+  /// Throws std::invalid_argument unless 1 <= addr_bits <= 24 and
+  /// 1 <= width <= 32 (enforced in release builds too, not assert-only).
   LutRam(unsigned addr_bits, unsigned width, const Technology& tech);
 
   /// Loads contents (size 2^addr_bits, each value < 2^width).
   void program(std::vector<std::uint32_t> contents);
 
-  std::uint32_t read(std::uint32_t addr) const { return contents_[addr]; }
+  /// Address lines above addr_bits do not exist in the hardware: the read
+  /// masks them off, so a malformed address wraps instead of indexing out
+  /// of bounds.
+  std::uint32_t read(std::uint32_t addr) const noexcept {
+    return contents_[addr & addr_mask_];
+  }
+
+  /// Mask selecting the addr_bits address lines (entries() - 1).
+  std::uint32_t addr_mask() const noexcept { return addr_mask_; }
 
   unsigned addr_bits() const noexcept { return addr_bits_; }
   unsigned width() const noexcept { return width_; }
@@ -40,6 +50,7 @@ class LutRam {
  private:
   unsigned addr_bits_;
   unsigned width_;
+  std::uint32_t addr_mask_;
   Technology tech_;
   std::vector<std::uint32_t> contents_;
 };

@@ -1,6 +1,8 @@
 #include "hw/simulator.hpp"
 
 #include <bit>
+#include <stdexcept>
+#include <string>
 
 namespace dalut::hw {
 
@@ -25,6 +27,7 @@ SimulationReport simulate(const SimTarget& target,
                           const core::MultiOutputFunction* reference,
                           const Technology& tech) {
   SimulationReport report;
+  const core::OutputWord bus_mask = output_bus_mask(target.num_outputs);
   core::OutputWord previous = 0;
   bool first = true;
   for (const auto x : sequence) {
@@ -32,7 +35,9 @@ SimulationReport simulate(const SimTarget& target,
     ++report.reads;
     report.total_energy += target.static_read_energy;
     if (!first) {
-      const unsigned toggles = std::popcount(previous ^ y);
+      // Only the target's num_outputs wires exist: bits above the output
+      // width (a wide read value, an out_shift overhang) must not count.
+      const unsigned toggles = std::popcount((previous ^ y) & bus_mask);
       report.output_toggles += toggles;
       report.total_energy += toggles * tech.wire_energy;
     }
@@ -53,6 +58,12 @@ SimulationReport simulate_random(const SimTarget& target, std::size_t count,
                                  unsigned num_inputs,
                                  const core::MultiOutputFunction* reference,
                                  const Technology& tech, util::Rng& rng) {
+  if (num_inputs < 1 || num_inputs > kMaxSimInputs) {
+    throw std::invalid_argument(
+        "simulate_random: num_inputs must be in [1, " +
+        std::to_string(kMaxSimInputs) + "], got " +
+        std::to_string(num_inputs));
+  }
   std::vector<core::InputWord> sequence(count);
   const std::uint64_t domain = std::uint64_t{1} << num_inputs;
   for (auto& x : sequence) {

@@ -23,7 +23,22 @@ struct SimulationReport {
   double avg_read_energy = 0.0;   ///< fJ per read
   std::size_t output_toggles = 0; ///< measured output-bus bit flips
   std::size_t mismatches = 0;     ///< reads differing from the reference
+
+  bool operator==(const SimulationReport&) const = default;
 };
+
+/// Widest input width simulate_random accepts (InputWord is 32 bits).
+inline constexpr unsigned kMaxSimInputs = 32;
+
+/// Mask selecting the `num_outputs` wires of the output bus. Toggle
+/// accounting masks `previous ^ y` with this so read values wider than the
+/// bus (e.g. an out_shift overhang) can never inflate the wire energy.
+constexpr core::OutputWord output_bus_mask(unsigned num_outputs) noexcept {
+  return num_outputs >= 32
+             ? ~core::OutputWord{0}
+             : static_cast<core::OutputWord>(
+                   (core::OutputWord{1} << num_outputs) - 1);
+}
 
 /// Any block exposing read(x) and a static per-read energy can be simulated.
 struct SimTarget {
@@ -44,6 +59,7 @@ SimulationReport simulate(const SimTarget& target,
                           const Technology& tech);
 
 /// Convenience: `count` uniform random reads (the paper averages 1024).
+/// Throws std::invalid_argument unless 1 <= num_inputs <= kMaxSimInputs.
 SimulationReport simulate_random(const SimTarget& target, std::size_t count,
                                  unsigned num_inputs,
                                  const core::MultiOutputFunction* reference,

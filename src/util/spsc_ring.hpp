@@ -1,0 +1,129 @@
+// Lock-free single-producer/single-consumer ring buffer.
+//
+// The decoupling primitive of the streaming engine (docs/streaming.md):
+// one producer thread pushes sample words, one consumer thread (the
+// StreamEngine) pops them in batches. Wait-free on both sides — a push or
+// pop is a handful of plain loads/stores plus one release store of the
+// owned index; there is no CAS, no RMW, and no cross-thread store
+// contention.
+//
+// Layout follows the classic cached-index design (aiie's LRingBuffer is the
+// lineage; see ROADMAP.md): the producer owns `tail_`, the consumer owns
+// `head_`, both monotonically increasing and masked on access. Each side
+// keeps a cached copy of the *other* side's index and refreshes it (one
+// acquire load) only when the cached value is insufficient, so steady-state
+// traffic touches each foreign cache line O(1/capacity) times per element.
+//
+// Memory ordering contract: the producer's release store of `tail_`
+// publishes the slot writes before it; the consumer's acquire load of
+// `tail_` observes them. Symmetrically for `head_` (slot reuse). `close()`
+// is a release store sequenced after the producer's final push, so a
+// consumer that observes `closed()` and then re-reads `size()` sees every
+// element ever pushed.
+//
+// Capacity is rounded up to a power of two (minimum 2) so masking replaces
+// modulo. Indices are 64-bit and never wrapped explicitly; unsigned
+// wrap-around at 2^64 preserves `tail - head` arithmetic.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dalut::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Rounds `capacity` up to the next power of two, minimum 2.
+  explicit SpscRing(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // ---- Producer side ----------------------------------------------------
+
+  /// Pushes up to `count` items; returns how many were accepted (0 when
+  /// full). Never blocks.
+  std::size_t try_push(const T* items, std::size_t count) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint64_t free = capacity() - (tail - cached_head_);
+    if (free < count) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity() - (tail - cached_head_);
+    }
+    const std::size_t take =
+        count < free ? count : static_cast<std::size_t>(free);
+    for (std::size_t i = 0; i < take; ++i) {
+      slots_[(tail + i) & mask_] = items[i];
+    }
+    tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  bool try_push(const T& item) noexcept { return try_push(&item, 1) == 1; }
+
+  /// Marks the stream complete: the producer promises no further pushes.
+  /// Sequenced after every push, so a consumer that sees closed() == true
+  /// and then re-reads size() sees the final element count.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  // ---- Consumer side ----------------------------------------------------
+
+  /// Pops up to `count` items into `out`; returns how many were popped
+  /// (0 when empty). Never blocks.
+  std::size_t try_pop(T* out, std::size_t count) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t avail = cached_tail_ - head;
+    if (avail < count) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+    }
+    const std::size_t take =
+        count < avail ? count : static_cast<std::size_t>(avail);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  bool try_pop(T& out) noexcept { return try_pop(&out, 1) == 1; }
+
+  // ---- Either side ------------------------------------------------------
+
+  /// Elements currently buffered. Exact from the consumer thread (may lag
+  /// in-flight pushes by one release store); a lower bound elsewhere.
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::uint64_t mask_;
+  std::vector<T> slots_;
+
+  // Consumer-owned line: read index plus the consumer's cache of tail_.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+
+  // Producer-owned line: write index plus the producer's cache of head_.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace dalut::util

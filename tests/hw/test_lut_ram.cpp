@@ -21,6 +21,28 @@ TEST(LutRam, ProgramValidation) {
   EXPECT_THROW(ram.program({0, 1, 2, 0}), std::invalid_argument);  // width
 }
 
+TEST(LutRam, GeometryValidationThrowsInEveryBuild) {
+  // Regression: these were assert()s, so release builds accepted impossible
+  // geometries and then indexed out of bounds. Now they throw regardless of
+  // NDEBUG.
+  EXPECT_THROW(LutRam(0, 1, kTech), std::invalid_argument);
+  EXPECT_THROW(LutRam(25, 1, kTech), std::invalid_argument);
+  EXPECT_THROW(LutRam(4, 0, kTech), std::invalid_argument);
+  EXPECT_THROW(LutRam(4, 33, kTech), std::invalid_argument);
+}
+
+TEST(LutRam, ReadMasksOutOfRangeAddresses) {
+  // Regression: read() was unchecked in release builds, so an address past
+  // entries() walked off the contents array. Addresses now wrap modulo the
+  // table size (hardware address-decoder semantics).
+  LutRam ram(3, 4, kTech);
+  ram.program({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(ram.addr_mask(), 7u);
+  EXPECT_EQ(ram.read(8 + 3), ram.read(3));
+  EXPECT_EQ(ram.read(0xFFFFFFFFu), ram.read(7));
+  EXPECT_EQ(ram.read(64), 0u);
+}
+
 TEST(LutRam, SizesFollowGeometry) {
   LutRam ram(9, 1, kTech);
   EXPECT_EQ(ram.entries(), 512u);

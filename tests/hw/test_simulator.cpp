@@ -89,6 +89,43 @@ TEST(Simulator, SystemTargetVerifiesAgainstDecomposition) {
   EXPECT_EQ(report.mismatches, 0u);
 }
 
+TEST(Simulator, TogglesAreMaskedToTheDeclaredBus) {
+  // Regression: out_shift pushes stored bits above the declared output bus.
+  // Toggle accounting must ignore wires the bus does not have; the old
+  // unmasked previous ^ y counted phantom toggles on bits >= num_outputs.
+  const MonolithicLut lut(2, 2, {3, 0, 3, 0}, kTech, 0, /*out_shift=*/2);
+  const std::vector<core::InputWord> sequence{0, 1, 0, 1, 0};
+  // 2-wire bus: the read values (12, 0, 12, ...) only differ in bits 2..3.
+  const auto narrow = simulate(make_target(lut, 2), sequence, nullptr, kTech);
+  EXPECT_EQ(narrow.output_toggles, 0u);
+  EXPECT_NEAR(narrow.total_energy, 5 * lut.cost().read_energy, 1e-9);
+  // 4-wire bus: both toggling bits exist, four transitions of two bits.
+  const auto wide = simulate(make_target(lut, 4), sequence, nullptr, kTech);
+  EXPECT_EQ(wide.output_toggles, 8u);
+}
+
+TEST(Simulator, RandomSimulationRejectsOutOfRangeWidths) {
+  // Regression: num_inputs >= 64 shifted a 64-bit 1 by >= 64 (UB) before
+  // sampling; 0 sampled from an empty domain. Both now throw up front.
+  const auto g = benchmark("cos", 8);
+  std::vector<std::uint32_t> contents(g.values().begin(), g.values().end());
+  const MonolithicLut lut(8, 8, contents, kTech);
+  const auto target = make_target(lut, 8);
+  util::Rng rng(5);
+  EXPECT_THROW(simulate_random(target, 16, 0, &g, kTech, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_random(target, 16, kMaxSimInputs + 1, &g, kTech, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_random(target, 16, 64, &g, kTech, rng),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_random(target, 16, 200, &g, kTech, rng),
+               std::invalid_argument);
+  // The boundary width itself stays legal.
+  const auto report = simulate_random(target, 4, kMaxSimInputs, nullptr,
+                                      kTech, rng);
+  EXPECT_EQ(report.reads, 4u);
+}
+
 TEST(Simulator, EmptySequence) {
   const auto g = benchmark("tan", 8);
   std::vector<std::uint32_t> contents(g.values().begin(), g.values().end());

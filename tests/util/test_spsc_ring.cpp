@@ -1,0 +1,153 @@
+#include "util/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dalut::util {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, SingleThreadedPushPop) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, RejectsPushesWhenFull) {
+  SpscRing<int> ring(4);
+  const int items[] = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(ring.try_push(items, 6), 4u);  // capacity 4
+  EXPECT_FALSE(ring.try_push(7));
+  int out[4] = {};
+  EXPECT_EQ(ring.try_pop(out, 4), 4u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<std::uint32_t> ring(8);
+  std::uint32_t next_in = 0;
+  std::uint32_t next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    for (int i = 0; i < 5; ++i) ring.try_push(next_in++);
+    std::uint32_t out;
+    while (ring.try_pop(out)) {
+      EXPECT_EQ(out, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(SpscRing, CloseIsVisibleAfterFinalPush) {
+  SpscRing<int> ring(4);
+  EXPECT_FALSE(ring.closed());
+  ring.try_push(42);
+  ring.close();
+  EXPECT_TRUE(ring.closed());
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+// Cross-thread FIFO integrity under contention: one producer pushes a known
+// sequence in randomly sized chunks, one consumer pops in randomly sized
+// chunks; every element must arrive exactly once, in order. Runs under the
+// TSan CI job to certify the acquire/release protocol.
+TEST(SpscRingStress, TwoThreadFifoOrder) {
+  constexpr std::size_t kTotal = 1 << 19;
+  SpscRing<std::uint32_t> ring(256);
+
+  std::thread producer([&ring] {
+    Rng rng(11);
+    std::uint32_t next = 0;
+    std::uint32_t chunk[64];
+    while (next < kTotal) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(1 + rng.next_below(64), kTotal - next));
+      for (std::size_t i = 0; i < want; ++i) {
+        chunk[i] = next + static_cast<std::uint32_t>(i);
+      }
+      std::size_t pushed = 0;
+      while (pushed < want) {
+        pushed += ring.try_push(chunk + pushed, want - pushed);
+        if (pushed < want) std::this_thread::yield();
+      }
+      next += static_cast<std::uint32_t>(want);
+    }
+    ring.close();
+  });
+
+  Rng rng(22);
+  std::uint32_t expected = 0;
+  std::uint32_t out[96];
+  while (true) {
+    const std::size_t want =
+        static_cast<std::size_t>(1 + rng.next_below(96));
+    const std::size_t got = ring.try_pop(out, want);
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i], expected);
+      ++expected;
+    }
+    if (got == 0) {
+      if (ring.closed() && ring.empty()) break;
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kTotal);
+  EXPECT_TRUE(ring.empty());
+}
+
+// The close() handshake: a consumer that observes closed() and then re-reads
+// size() must see every element the producer pushed before closing.
+TEST(SpscRingStress, CloseHandshakeLosesNothing) {
+  for (int round = 0; round < 50; ++round) {
+    SpscRing<int> ring(64);
+    constexpr int kCount = 1000;
+    std::thread producer([&ring] {
+      for (int i = 0; i < kCount; ++i) {
+        while (!ring.try_push(i)) std::this_thread::yield();
+      }
+      ring.close();
+    });
+    long long sum = 0;
+    int count = 0;
+    int out;
+    for (;;) {
+      if (ring.try_pop(out)) {
+        sum += out;
+        ++count;
+      } else if (ring.closed() && ring.empty()) {
+        break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    producer.join();
+    EXPECT_EQ(count, kCount);
+    EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+  }
+}
+
+}  // namespace
+}  // namespace dalut::util

@@ -30,6 +30,7 @@
 #include "core/sa_search.hpp"
 #include "core/two_dim_table.hpp"
 #include "func/registry.hpp"
+#include "hw/stream_engine.hpp"
 #include "util/cli.hpp"
 #include "util/simd.hpp"
 #include "util/telemetry.hpp"
@@ -317,6 +318,45 @@ TelemetryOverheadResult bench_telemetry_overhead(unsigned width,
   return result;
 }
 
+struct StreamMicroResult {
+  unsigned width = 0;
+  double scalar_ns = 0.0;   ///< simulate() per read
+  double batched_ns = 0.0;  ///< stream_simulate() per read
+  bool bit_identical = false;
+};
+
+StreamMicroResult bench_stream_micro(unsigned width, unsigned runs) {
+  // The scalar simulate() loop vs the batched streaming kernels on an exact
+  // monolithic LUT (hw/stream_engine). Both must return the same
+  // SimulationReport bit for bit; only the time may differ.
+  const auto g = make_function("cos", width);
+  std::vector<std::uint32_t> contents(g.values().begin(), g.values().end());
+  const hw::Technology tech = hw::Technology::nangate45();
+  const hw::MonolithicLut lut(width, g.num_outputs(), contents, tech);
+  const auto target = hw::make_target(lut, g.num_outputs());
+
+  util::Rng rng(5);
+  std::vector<core::InputWord> sequence(std::size_t{1} << 16);
+  for (auto& x : sequence) {
+    x = static_cast<core::InputWord>(
+        rng.next_below(std::uint64_t{1} << width));
+  }
+
+  StreamMicroResult result;
+  result.width = width;
+  hw::SimulationReport scalar_report;
+  result.scalar_ns = time_ns(runs, 4, [&] {
+    scalar_report = hw::simulate(target, sequence, &g, tech);
+  }) / static_cast<double>(sequence.size());
+  auto stream_target = hw::StreamTarget::compile(lut, g.num_outputs());
+  hw::SimulationReport batched_report;
+  result.batched_ns = time_ns(runs, 4, [&] {
+    batched_report = hw::stream_simulate(stream_target, sequence, &g, tech);
+  }) / static_cast<double>(sequence.size());
+  result.bit_identical = batched_report == scalar_report;
+  return result;
+}
+
 std::vector<Table2Result> bench_table2(unsigned width, unsigned runs,
                                        util::ThreadPool& pool) {
   // A subset of the table-2 function set, scaled down from the paper's
@@ -372,10 +412,11 @@ std::vector<Table2Result> bench_table2(unsigned width, unsigned runs,
 void write_json(std::FILE* out, const std::vector<MicroResult>& micro,
                 const std::vector<CacheResult>& cache,
                 const TelemetryOverheadResult& telemetry,
+                const StreamMicroResult& stream,
                 const std::vector<Table2Result>& table2, unsigned runs,
                 bool micro_only, std::size_t workers) {
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"dalut-bench-report-v3\",\n");
+  std::fprintf(out, "  \"schema\": \"dalut-bench-report-v4\",\n");
   std::fprintf(out,
                "  \"config\": {\"runs\": %u, \"micro_only\": %s, "
                "\"pool_workers\": %zu, \"simd_isa\": \"%s\", "
@@ -421,6 +462,15 @@ void write_json(std::FILE* out, const std::vector<MicroResult>& micro,
                    ? 100.0 * (telemetry.on_ns - telemetry.off_ns) /
                          telemetry.off_ns
                    : 0.0);
+
+  std::fprintf(out,
+               "  \"stream\": {\"width\": %u, \"scalar_ns_per_read\": %.2f, "
+               "\"batched_ns_per_read\": %.2f, \"speedup\": %.3f, "
+               "\"bit_identical\": %s},\n",
+               stream.width, stream.scalar_ns, stream.batched_ns,
+               stream.batched_ns > 0 ? stream.scalar_ns / stream.batched_ns
+                                     : 0.0,
+               stream.bit_identical ? "true" : "false");
 
   std::fprintf(out, "  \"table2\": [\n");
   for (std::size_t i = 0; i < table2.size(); ++i) {
@@ -471,6 +521,9 @@ int main(int argc, char** argv) {
 
   const TelemetryOverheadResult telemetry = bench_telemetry_overhead(10, runs);
 
+  // Runs under --micro-only too: CI's smoke keys on bit_identical.
+  const StreamMicroResult stream = bench_stream_micro(12, runs);
+
   std::vector<Table2Result> table2;
   std::size_t workers = 0;
   if (!micro_only) {
@@ -484,6 +537,11 @@ int main(int argc, char** argv) {
                  m.name.c_str(), m.width, m.old_ns, m.new_ns,
                  m.new_ns > 0 ? m.old_ns / m.new_ns : 0.0);
   }
+  std::fprintf(stderr, "stream         n=%-2u  scalar %7.2f ns/read  batched %7.2f ns/read  x%.2f  identical=%s\n",
+               stream.width, stream.scalar_ns, stream.batched_ns,
+               stream.batched_ns > 0 ? stream.scalar_ns / stream.batched_ns
+                                     : 0.0,
+               stream.bit_identical ? "yes" : "NO");
   std::fprintf(stderr, "telemetry      n=%-2u  off %10.0f ns  on  %10.0f ns  %+.2f%%\n",
                telemetry.width, telemetry.off_ns, telemetry.on_ns,
                telemetry.off_ns > 0
@@ -498,7 +556,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  write_json(out, micro, cache, telemetry, table2, runs, micro_only, workers);
+  write_json(out, micro, cache, telemetry, stream, table2, runs, micro_only,
+             workers);
   if (out != stdout) {
     std::fclose(out);
     std::fprintf(stderr, "wrote %s\n", out_path.c_str());
